@@ -1,0 +1,130 @@
+//===- bench/ScalingHarness.h - Fig. 4 measurement harness -----*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared driver for the thread-scaling experiments (paper Fig. 4 and the
+/// Section 5 2000x2000 sweep): runs the 2D shock-interaction workload for
+/// a fixed number of time steps on each (engine, backend, threads)
+/// configuration and prints one row per run.
+///
+/// Engine/backend pairing follows the paper's comparison:
+///   sac      ArraySolver  on SpinBarrierPool (persistent pool, spin sync)
+///   fortran  FusedSolver  on ForkJoinBackend (thread team per loop)
+/// plus the serial single-core reference for both engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_BENCH_SCALINGHARNESS_H
+#define SACFD_BENCH_SCALINGHARNESS_H
+
+#include "runtime/Runtime.h"
+#include "solver/ArraySolver.h"
+#include "solver/Diagnostics.h"
+#include "solver/FusedSolver.h"
+#include "solver/Problems.h"
+#include "support/Env.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace sacfd {
+
+struct ScalingOptions {
+  const char *ExperimentId;
+  size_t Cells;        ///< grid cells per axis
+  unsigned Steps;      ///< fixed time steps (paper: 1000)
+  unsigned Repeats;    ///< timing repetitions, min is reported
+  std::vector<unsigned> ThreadCounts;
+};
+
+/// One configuration's measurement.
+struct ScalingRow {
+  std::string Model; ///< "sac" or "fortran"
+  unsigned Threads;
+  double Seconds;
+};
+
+inline double runOneScalingConfig(const ScalingOptions &Opt, bool SacModel,
+                                  unsigned Threads,
+                                  double *RegionsPerStep = nullptr) {
+  TimingSamples Samples;
+  for (unsigned Rep = 0; Rep < Opt.Repeats; ++Rep) {
+    // dx = 1 at every size, like the paper's 400x400 reference grid.
+    Problem<2> Prob = shockInteraction2D(
+        Opt.Cells, 2.2, static_cast<double>(Opt.Cells) / 2.0);
+    SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
+
+    std::unique_ptr<Backend> Exec =
+        Threads <= 1
+            ? createBackend(BackendKind::Serial, 1)
+            : createBackend(SacModel ? BackendKind::SpinPool
+                                     : BackendKind::ForkJoin,
+                            Threads);
+
+    std::unique_ptr<EulerSolver<2>> Solver;
+    if (SacModel)
+      Solver = std::make_unique<ArraySolver<2>>(Prob, Scheme, *Exec);
+    else
+      Solver = std::make_unique<FusedSolver<2>>(Prob, Scheme, *Exec);
+
+    WallTimer Timer;
+    Solver->advanceSteps(Opt.Steps);
+    Samples.add(Timer.seconds());
+
+    if (RegionsPerStep)
+      *RegionsPerStep = static_cast<double>(Exec->regionsDispatched()) /
+                        static_cast<double>(Opt.Steps);
+
+    FieldHealth<2> H = fieldHealth(*Solver);
+    if (!H.AllFinite)
+      std::fprintf(stderr, "warning: %s run lost finiteness\n",
+                   SacModel ? "sac" : "fortran");
+  }
+  return Samples.min();
+}
+
+/// Runs the full sweep and prints the Fig. 4 table.
+inline int runScalingExperiment(const ScalingOptions &Opt) {
+  std::printf("# %s: wall clock of a %u-step simulation on a %zux%zu "
+              "grid (RK3 + piecewise-constant reconstruction)\n",
+              Opt.ExperimentId, Opt.Steps, Opt.Cells, Opt.Cells);
+  std::printf("# models: sac = array solver on persistent spin pool; "
+              "fortran = fused solver on per-loop fork-join\n");
+  std::printf("# host hardware threads: %u (thread counts beyond this "
+              "measure oversubscribed dispatch overhead only)\n",
+              hardwareThreadCount());
+  std::printf("%-8s %8s %12s %14s\n", "model", "threads", "wall[s]",
+              "vs fortran@1");
+
+  double FortranBase = 0.0;
+  std::vector<ScalingRow> Rows;
+  double RegionsPerStep[2] = {0.0, 0.0};
+  for (bool SacModel : {false, true})
+    for (unsigned T : Opt.ThreadCounts) {
+      double Seconds = runOneScalingConfig(Opt, SacModel, T,
+                                           &RegionsPerStep[SacModel]);
+      Rows.push_back({SacModel ? "sac" : "fortran", T, Seconds});
+      if (!SacModel && T == Opt.ThreadCounts.front())
+        FortranBase = Seconds;
+    }
+  std::printf("# parallel regions per time step: fortran %.1f, sac %.1f "
+              "(each pays one dispatch; the models differ in its cost)\n",
+              RegionsPerStep[0], RegionsPerStep[1]);
+
+  for (const ScalingRow &Row : Rows)
+    std::printf("%-8s %8u %12.3f %14.2f\n", Row.Model.c_str(), Row.Threads,
+                Row.Seconds,
+                FortranBase > 0.0 ? Row.Seconds / FortranBase : 0.0);
+  return 0;
+}
+
+} // namespace sacfd
+
+#endif // SACFD_BENCH_SCALINGHARNESS_H

@@ -1,0 +1,145 @@
+//===- bench/ablation_fusion.cpp - A1: with-loop fusion effect ------------===//
+//
+// A1: the paper credits SaC's scaling to the compiler "collating the many
+// small operations on the arrays into fewer larger operations".  This
+// ablation measures that collation in our analogue: the array engine's
+// Fused mode (expression chains evaluate in one pass) against its
+// Materialized mode (one temporary array per operation), at the kernel
+// level and over full solver steps.
+//
+//===----------------------------------------------------------------------===//
+
+#include "array/Reductions.h"
+#include "array/WithLoop.h"
+#include "runtime/Runtime.h"
+#include "solver/ArraySolver.h"
+#include "solver/Problems.h"
+#include "support/CommandLine.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+namespace {
+
+double timeIt(unsigned Iterations, FunctionRef<void()> Body) {
+  // One warmup, then best of 3.
+  Body();
+  TimingSamples S;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    WallTimer T;
+    for (unsigned I = 0; I < Iterations; ++I)
+      Body();
+    S.add(T.seconds() / Iterations);
+  }
+  return S.min();
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  bool Full = false;
+  int Cells = 96;
+  unsigned Steps = 10;
+
+  CommandLine CL("ablation_fusion",
+                 "A1: fused vs materialized array-pipeline evaluation");
+  CL.addFlag("full", Full, "larger kernel arrays and more steps");
+  CL.addInt("cells", Cells, "2D solver grid cells per axis");
+  CL.addUnsigned("steps", Steps, "solver steps per measurement");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+
+  size_t KernelN = Full ? 4'000'000 : 400'000;
+  if (Full) {
+    Cells = 192;
+    Steps = 30;
+  }
+
+  auto Exec = createBackend(BackendKind::Serial, 1);
+  std::printf("# A1: fused vs materialized evaluation (serial, kernel "
+              "N=%zu, solver %dx%d x %u steps)\n",
+              KernelN, Cells, Cells, Steps);
+  std::printf("%-34s %12s %12s %8s\n", "pipeline", "fused[s]", "mater.[s]",
+              "ratio");
+
+  // Kernel 1: the dfDx chain from the paper --
+  //   (drop([1], q) - drop([-1], q)) / delta  feeding an axpy consumer.
+  {
+    NDArray<double> Q(Shape{KernelN});
+    for (size_t I = 0; I < KernelN; ++I)
+      Q[I] = static_cast<double>(I % 1000) * 1e-3;
+    NDArray<double> Out(Shape{KernelN - 2});
+
+    double Fused = timeIt(4, [&] {
+      // Whole chain in one pass.
+      assignInto(Out,
+                 (drop(Index{1}, drop(Index{-1}, Q)) * 2.0 -
+                  drop(Index{2}, Q) - drop(Index{-2}, Q)) /
+                     0.01,
+                 *Exec);
+    });
+    double Mat = timeIt(4, [&] {
+      // One temporary per operation.
+      NDArray<double> A = materialize(drop(Index{1}, drop(Index{-1}, Q)),
+                                      *Exec);
+      NDArray<double> B = materialize(toExpr(A) * 2.0, *Exec);
+      NDArray<double> C = materialize(drop(Index{2}, Q), *Exec);
+      NDArray<double> D = materialize(drop(Index{-2}, Q), *Exec);
+      NDArray<double> E = materialize(toExpr(B) - toExpr(C), *Exec);
+      NDArray<double> F = materialize(toExpr(E) - toExpr(D), *Exec);
+      assignInto(Out, toExpr(F) / 0.01, *Exec);
+    });
+    std::printf("%-34s %12.5f %12.5f %8.2f\n", "dfDx second-difference",
+                Fused, Mat, Mat / Fused);
+  }
+
+  // Kernel 2: the getDt pipeline -- sqrt/fabs/add/scale feeding maxval.
+  {
+    NDArray<double> P(Shape{KernelN}), Rho(Shape{KernelN}),
+        U(Shape{KernelN});
+    for (size_t I = 0; I < KernelN; ++I) {
+      P[I] = 1.0 + 0.5 * static_cast<double>(I % 17);
+      Rho[I] = 0.5 + 0.25 * static_cast<double>(I % 13);
+      U[I] = static_cast<double>(I % 29) - 14.0;
+    }
+    volatile double Sink = 0.0;
+
+    double Fused = timeIt(4, [&] {
+      Sink = maxval((fabsE(U) + sqrtE(toExpr(P) * 1.4 / toExpr(Rho))) /
+                        0.01,
+                    *Exec);
+    });
+    double Mat = timeIt(4, [&] {
+      NDArray<double> C =
+          materialize(sqrtE(toExpr(P) * 1.4 / toExpr(Rho)), *Exec);
+      NDArray<double> D = materialize(fabsE(U), *Exec);
+      NDArray<double> Ev =
+          materialize((toExpr(D) + toExpr(C)) / 0.01, *Exec);
+      Sink = maxval(Ev, *Exec);
+    });
+    (void)Sink;
+    std::printf("%-34s %12.5f %12.5f %8.2f\n", "getDt eigenvalue pipeline",
+                Fused, Mat, Mat / Fused);
+  }
+
+  // Full solver: the Fig. 4 workload under both evaluation modes.
+  {
+    auto RunSolver = [&](ArrayEvalMode Mode) {
+      Problem<2> Prob = shockInteraction2D(
+          static_cast<size_t>(Cells), 2.2,
+          static_cast<double>(Cells) / 2.0);
+      ArraySolver<2> S(Prob, SchemeConfig::benchmarkScheme(), *Exec, Mode);
+      WallTimer T;
+      S.advanceSteps(Steps);
+      return T.seconds();
+    };
+    double Fused = RunSolver(ArrayEvalMode::Fused);
+    double Mat = RunSolver(ArrayEvalMode::Materialized);
+    std::printf("%-34s %12.5f %12.5f %8.2f\n",
+                "full 2D solver (benchmark scheme)", Fused, Mat,
+                Mat / Fused);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/ablation_schedule.cpp - A2: OMP_SCHEDULE analogue ------------===//
+//
+// A2: the paper tuned the Fortran runtime via OMP_SCHEDULE and found
+// "several different combinations ... made a negligible difference".
+// This ablation sweeps the fork-join backend's schedule (static,
+// static-chunked, dynamic) over the Fig. 4 workload and reports the
+// spread, so the claim can be checked on this analogue.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ForkJoinBackend.h"
+#include "runtime/Runtime.h"
+#include "solver/FusedSolver.h"
+#include "solver/Problems.h"
+#include "support/CommandLine.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+int main(int Argc, const char **Argv) {
+  bool Full = false;
+  int Cells = 128;
+  unsigned Steps = 20;
+  unsigned Threads = 4;
+
+  CommandLine CL("ablation_schedule",
+                 "A2: fork-join schedule sweep (OMP_SCHEDULE analogue)");
+  CL.addFlag("full", Full, "larger grid and more steps");
+  CL.addInt("cells", Cells, "grid cells per axis");
+  CL.addUnsigned("steps", Steps, "time steps per run");
+  CL.addUnsigned("threads", Threads, "fork-join team size");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+  if (Full) {
+    Cells = 400;
+    Steps = 100;
+  }
+
+  std::printf("# A2: fused solver on fork-join(%u), %dx%d grid, %u steps "
+              "per schedule\n",
+              Threads, Cells, Cells, Steps);
+  std::printf("%-14s %12s\n", "schedule", "wall[s]");
+
+  const char *Schedules[] = {"static", "static,8", "static,64", "dynamic",
+                             "dynamic,8", "dynamic,64"};
+  double Best = 1e300, Worst = 0.0;
+  for (const char *Name : Schedules) {
+    Schedule Sched = Schedule::parse(Name).value();
+    auto Exec = std::make_unique<ForkJoinBackend>(Threads, Sched);
+    Problem<2> Prob = shockInteraction2D(
+        static_cast<size_t>(Cells), 2.2, static_cast<double>(Cells) / 2.0);
+    FusedSolver<2> S(Prob, SchemeConfig::benchmarkScheme(), *Exec);
+    WallTimer T;
+    S.advanceSteps(Steps);
+    double Seconds = T.seconds();
+    Best = std::min(Best, Seconds);
+    Worst = std::max(Worst, Seconds);
+    std::printf("%-14s %12.3f\n", Name, Seconds);
+  }
+  std::printf("# spread worst/best = %.2f (paper: 'negligible "
+              "difference')\n",
+              Best > 0.0 ? Worst / Best : 0.0);
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- bench/ablation_variables.cpp - A4: characteristic projection -------===//
+//
+// A4: Section 3 insists "the reconstruction is applied to the so-called
+// (local) characteristic variables rather than to the primitive
+// variables ... Otherwise, numerical simulations fail because of a loss
+// of monotonicity and numerical oscillations developing near the
+// discontinuities."  This ablation runs the same scheme in both variable
+// sets and quantifies the oscillations (total-variation excess over the
+// exact solution's TV) and the cost of the projection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "solver/ArraySolver.h"
+#include "solver/Diagnostics.h"
+#include "solver/Problems.h"
+#include "support/CommandLine.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+int main(int Argc, const char **Argv) {
+  bool Full = false;
+  int Cells = 400;
+
+  CommandLine CL("ablation_variables",
+                 "A4: characteristic vs primitive-variable "
+                 "reconstruction");
+  CL.addFlag("full", Full, "run at 2000 cells");
+  CL.addInt("cells", Cells, "grid cells");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+  if (Full)
+    Cells = 2000;
+
+  Prim<1> L, R;
+  L.Rho = 1.0;
+  L.Vel = {0.0};
+  L.P = 1.0;
+  R.Rho = 0.125;
+  R.Vel = {0.0};
+  R.P = 0.1;
+
+  auto Exec = createBackend(BackendKind::Serial, 1);
+  std::printf("# A4: Sod N=%d to t=0.2; TV0 is the initial density total "
+              "variation (the exact solution keeps TV = TV0)\n",
+              Cells);
+  std::printf("%-8s %-16s %10s %12s %12s\n", "recon", "variables",
+              "wall[s]", "L1(rho)", "TV-TV0");
+
+  for (ReconstructionKind K :
+       {ReconstructionKind::Tvd2, ReconstructionKind::Tvd3,
+        ReconstructionKind::Weno3}) {
+    for (ReconstructVariables V : {ReconstructVariables::Characteristic,
+                                   ReconstructVariables::Primitive}) {
+      SchemeConfig C = SchemeConfig::figureScheme();
+      C.Recon = K;
+      C.Vars = V;
+      ArraySolver<1> S(sodProblem(static_cast<size_t>(Cells)), C, *Exec);
+      double Tv0 = densityTotalVariation(S);
+      WallTimer T;
+      S.advanceTo(0.2);
+      double Seconds = T.seconds();
+      double TvExcess = densityTotalVariation(S) - Tv0;
+      RiemannErrors E = riemannL1Error(S, L, R, 0.5);
+      std::printf("%-8s %-16s %10.3f %12.5f %12.2e\n",
+                  reconstructionKindName(K),
+                  V == ReconstructVariables::Characteristic
+                      ? "characteristic"
+                      : "primitive",
+                  Seconds, E.Rho, TvExcess);
+    }
+  }
+  std::printf("# positive TV-TV0 = spurious oscillations; the paper's "
+              "choice (characteristic) should stay at or below the "
+              "primitive variant\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/extra_openmp_baseline.cpp - E1: OpenMP cross-check -----------===//
+//
+// E1 (extra baseline, beyond the paper): the paper's Fortran runs used
+// OpenMP.  Our fork-join backend models the *cost structure* the paper
+// attributes to it (team per region); a modern OpenMP runtime (libgomp)
+// instead keeps its team alive, which should land its dispatch cost
+// near the spin pool's.  This bench measures all three on the same
+// workload so the model assumptions are checkable against an industrial
+// runtime.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/OmpBackend.h"
+#include "runtime/Runtime.h"
+#include "solver/FusedSolver.h"
+#include "solver/Problems.h"
+#include "support/CommandLine.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+int main(int Argc, const char **Argv) {
+  bool Full = false;
+  int Cells = 128;
+  unsigned Steps = 20;
+  unsigned Threads = 4;
+
+  CommandLine CL("extra_openmp_baseline",
+                 "E1: spin-pool vs fork-join vs real OpenMP on the "
+                 "benchmark workload");
+  CL.addFlag("full", Full, "400x400 x 200 steps");
+  CL.addInt("cells", Cells, "grid cells per axis");
+  CL.addUnsigned("steps", Steps, "time steps");
+  CL.addUnsigned("threads", Threads, "team size");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+  if (Full) {
+    Cells = 400;
+    Steps = 200;
+  }
+
+  if (!openMpAvailable())
+    std::printf("# E1: OpenMP not available in this build; measuring the "
+                "two models only\n");
+
+  std::printf("# E1: fused solver, %dx%d grid, %u steps, %u threads\n",
+              Cells, Cells, Steps, Threads);
+  std::printf("%-12s %12s\n", "backend", "wall[s]");
+
+  for (BackendKind K : {BackendKind::Serial, BackendKind::SpinPool,
+                        BackendKind::ForkJoin, BackendKind::OpenMp}) {
+    auto Exec = createBackend(K, Threads);
+    if (!Exec)
+      continue;
+    Problem<2> Prob = shockInteraction2D(
+        static_cast<size_t>(Cells), 2.2, static_cast<double>(Cells) / 2.0);
+    FusedSolver<2> S(Prob, SchemeConfig::benchmarkScheme(), *Exec);
+    WallTimer T;
+    S.advanceSteps(Steps);
+    std::printf("%-12s %12.3f\n", Exec->name(), T.seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+//===- bench/fig5_scaling_large.cpp - Section 5 large-grid sweep ----------===//
+//
+// EXT5: the paper's prose extension of Fig. 4 — "When the same benchmark
+// was run with a larger 2000x2000 grid we discovered that Fortran was
+// able to scale slightly with small numbers of cores but after just five
+// cores it started to suffer from the overheads of inter-thread
+// communication again."  Larger grain per parallel region, same
+// measurement harness.
+//
+// Scaled default; --full for 2000x2000.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ScalingHarness.h"
+
+#include "support/CommandLine.h"
+#include "support/StrUtil.h"
+
+using namespace sacfd;
+
+int main(int Argc, const char **Argv) {
+  bool Full = false;
+  int Cells = 384;
+  unsigned Steps = 12;
+  unsigned Repeats = 1;
+  std::string Threads = "1,2,4";
+
+  CommandLine CL("fig5_scaling_large",
+                 "EXT5: the 2000x2000 variant of the Fig. 4 sweep "
+                 "(larger per-region grain)");
+  CL.addFlag("full", Full, "run the paper-scale 2000x2000 grid");
+  CL.addInt("cells", Cells, "grid cells per axis (scaled default)");
+  CL.addUnsigned("steps", Steps, "time steps");
+  CL.addUnsigned("repeats", Repeats, "repetitions per config (min wins)");
+  CL.addString("threads", Threads, "comma-separated thread counts");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+
+  ScalingOptions Opt;
+  Opt.ExperimentId = "EXT5";
+  Opt.Cells = Full ? 2000 : static_cast<size_t>(Cells);
+  Opt.Steps = Full ? 100 : Steps;
+  Opt.Repeats = Repeats;
+  if (Full)
+    Threads = "1,2,4,5,8,16";
+  for (const std::string &Part : split(Threads, ','))
+    if (auto N = parseInt(Part); N && *N > 0)
+      Opt.ThreadCounts.push_back(static_cast<unsigned>(*N));
+  if (Opt.ThreadCounts.empty())
+    Opt.ThreadCounts = {1, 2, 4};
+
+  return runScalingExperiment(Opt);
+}

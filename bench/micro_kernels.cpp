@@ -1,0 +1,151 @@
+//===- bench/micro_kernels.cpp - K1: kernel microbenchmarks ---------------===//
+//
+// K1 (methodology support): google-benchmark microbenchmarks of the
+// primitives whose costs explain the Fig. 4 curves:
+//
+//   - parallel-region dispatch latency per backend (the fork-join vs
+//     spin-pool gap IS the paper's "overhead of communication between
+//     the threads");
+//   - with-loop elementwise throughput (fused vs materialized);
+//   - the getDt reduction;
+//   - per-face reconstruction + Riemann solve for each scheme.
+//
+//===----------------------------------------------------------------------===//
+
+#include "array/Reductions.h"
+#include "array/WithLoop.h"
+#include "numerics/Reconstruction.h"
+#include "numerics/RiemannSolvers.h"
+#include "runtime/ForkJoinBackend.h"
+#include "runtime/SerialBackend.h"
+#include "runtime/SpinBarrierPool.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace sacfd;
+
+//===----------------------------------------------------------------------===//
+// Dispatch latency
+//===----------------------------------------------------------------------===//
+
+static void BM_DispatchSerial(benchmark::State &State) {
+  SerialBackend Exec;
+  for (auto _ : State)
+    Exec.parallelFor(0, 1, [](size_t, size_t) {});
+}
+BENCHMARK(BM_DispatchSerial);
+
+static void BM_DispatchSpinPool(benchmark::State &State) {
+  SpinBarrierPool Exec(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    Exec.parallelFor(0, 64, [](size_t, size_t) {});
+}
+BENCHMARK(BM_DispatchSpinPool)->Arg(2)->Arg(4);
+
+static void BM_DispatchForkJoin(benchmark::State &State) {
+  ForkJoinBackend Exec(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    Exec.parallelFor(0, 64, [](size_t, size_t) {});
+}
+BENCHMARK(BM_DispatchForkJoin)->Arg(2)->Arg(4);
+
+//===----------------------------------------------------------------------===//
+// With-loop throughput
+//===----------------------------------------------------------------------===//
+
+static void BM_WithLoopElementwiseFused(benchmark::State &State) {
+  SerialBackend Exec;
+  size_t N = static_cast<size_t>(State.range(0));
+  NDArray<double> A(Shape{N}, 1.5), B(Shape{N}, 2.5), Out(Shape{N});
+  for (auto _ : State) {
+    assignInto(Out, (toExpr(A) + toExpr(B)) * 0.5 - toExpr(A) / 4.0, Exec);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_WithLoopElementwiseFused)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_WithLoopElementwiseMaterialized(benchmark::State &State) {
+  SerialBackend Exec;
+  size_t N = static_cast<size_t>(State.range(0));
+  NDArray<double> A(Shape{N}, 1.5), B(Shape{N}, 2.5), Out(Shape{N});
+  for (auto _ : State) {
+    NDArray<double> T1 = materialize(toExpr(A) + toExpr(B), Exec);
+    NDArray<double> T2 = materialize(toExpr(T1) * 0.5, Exec);
+    NDArray<double> T3 = materialize(toExpr(A) / 4.0, Exec);
+    assignInto(Out, toExpr(T2) - toExpr(T3), Exec);
+    benchmark::DoNotOptimize(Out.data());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_WithLoopElementwiseMaterialized)->Arg(1 << 14)->Arg(1 << 18);
+
+static void BM_MaxvalReduction(benchmark::State &State) {
+  SerialBackend Exec;
+  size_t N = static_cast<size_t>(State.range(0));
+  NDArray<double> A(Shape{N});
+  for (size_t I = 0; I < N; ++I)
+    A[I] = static_cast<double>((I * 2654435761u) % 1000);
+  for (auto _ : State) {
+    double M = maxval(fabsE(A) * 0.5 + 1.0, Exec);
+    benchmark::DoNotOptimize(M);
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_MaxvalReduction)->Arg(1 << 14)->Arg(1 << 18);
+
+//===----------------------------------------------------------------------===//
+// Face kernels
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+std::array<Cons<2>, 6> faceStencil() {
+  Gas G;
+  std::array<Cons<2>, 6> S;
+  for (int I = 0; I < 6; ++I) {
+    Prim<2> W;
+    W.Rho = 1.0 + 0.1 * I;
+    W.Vel = {0.3 - 0.05 * I, 0.1};
+    W.P = 1.0 + 0.05 * I * I;
+    S[I] = toCons(W, G);
+  }
+  return S;
+}
+
+} // namespace
+
+template <ReconstructionKind K>
+static void BM_FaceReconstruct(benchmark::State &State) {
+  Gas G;
+  auto Stencil = faceStencil();
+  for (auto _ : State) {
+    FaceStates<2> F = reconstructFaceStates(
+        K, LimiterKind::MinMod, ReconstructVariables::Characteristic,
+        Stencil, G, 0);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_FaceReconstruct<ReconstructionKind::PiecewiseConstant>)
+    ->Name("BM_FaceReconstruct/pc1");
+BENCHMARK(BM_FaceReconstruct<ReconstructionKind::Tvd2>)
+    ->Name("BM_FaceReconstruct/tvd2");
+BENCHMARK(BM_FaceReconstruct<ReconstructionKind::Weno3>)
+    ->Name("BM_FaceReconstruct/weno3");
+
+template <RiemannKind K>
+static void BM_RiemannFlux(benchmark::State &State) {
+  Gas G;
+  auto Stencil = faceStencil();
+  for (auto _ : State) {
+    Cons<2> F = numericalFlux(K, Stencil[2], Stencil[3], G, 0);
+    benchmark::DoNotOptimize(F);
+  }
+}
+BENCHMARK(BM_RiemannFlux<RiemannKind::Rusanov>)
+    ->Name("BM_RiemannFlux/rusanov");
+BENCHMARK(BM_RiemannFlux<RiemannKind::Hll>)->Name("BM_RiemannFlux/hll");
+BENCHMARK(BM_RiemannFlux<RiemannKind::Hllc>)->Name("BM_RiemannFlux/hllc");
+BENCHMARK(BM_RiemannFlux<RiemannKind::Roe>)->Name("BM_RiemannFlux/roe");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,362 @@
+//===- array/Expr.h - Lazy array expressions (fusion) ----------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Expression templates standing in for the SaC compiler's with-loop fusion.
+///
+/// The paper attributes SaC's scalability to the compiler "collating the
+/// many small operations on the arrays into fewer larger operations".  In
+/// this C++ reproduction the same role is played by lazy expressions: a
+/// chain like
+/// \code
+///   assignInto(Out, (drop({1}, Dqc) - drop({-1}, Dqc)) / Delta, Pool);
+/// \endcode
+/// evaluates in a single parallel pass with no temporaries — exactly the
+/// fused with-loop sac2c emits for dfDxNoBoundary.  The unfused behavior
+/// (one materialized temporary per operation, SaC before optimization) is
+/// available by calling materialize() on each sub-expression; the A1
+/// ablation benchmark measures the difference.
+///
+/// An expression is any type with:
+///   - `using ValueType = ...;`
+///   - `using SacfdExprTag = void;`   (opt-in marker for the operators)
+///   - `Shape shape() const`
+///   - `ValueType eval(const Index &) const`
+/// Expressions hold references to the arrays they read; they must be
+/// consumed before those arrays change or die.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_ARRAY_EXPR_H
+#define SACFD_ARRAY_EXPR_H
+
+#include "array/NDArray.h"
+#include "array/Shape.h"
+
+#include <cassert>
+#include <cmath>
+#include <type_traits>
+#include <utility>
+
+namespace sacfd {
+
+//===----------------------------------------------------------------------===//
+// Concepts
+//===----------------------------------------------------------------------===//
+
+/// Matches the duck-typed expression protocol (via the opt-in tag).
+template <typename E>
+concept ArrayExprType = requires { typename std::remove_cvref_t<E>::SacfdExprTag; };
+
+namespace detail {
+template <typename T> struct IsNDArrayImpl : std::false_type {};
+template <typename T> struct IsNDArrayImpl<NDArray<T>> : std::true_type {};
+} // namespace detail
+
+/// Matches NDArray<T> for any T.
+template <typename A>
+concept NDArrayType = detail::IsNDArrayImpl<std::remove_cvref_t<A>>::value;
+
+/// Anything usable as an expression operand.
+template <typename X>
+concept ExprOperand = ArrayExprType<X> || NDArrayType<X>;
+
+//===----------------------------------------------------------------------===//
+// Leaf: reference to an array
+//===----------------------------------------------------------------------===//
+
+/// Wraps a borrowed NDArray as an expression leaf.
+template <typename T> class ArrayRefExpr {
+public:
+  using ValueType = T;
+  using SacfdExprTag = void;
+
+  explicit ArrayRefExpr(const NDArray<T> &Array) : Base(&Array) {}
+
+  const Shape &shape() const { return Base->shape(); }
+  const T &eval(const Index &Ix) const { return Base->at(Ix); }
+
+private:
+  const NDArray<T> *Base;
+};
+
+/// Normalizes an operand (array or expression) into an expression.
+template <typename T> ArrayRefExpr<T> toExpr(const NDArray<T> &Array) {
+  return ArrayRefExpr<T>(Array);
+}
+template <ArrayExprType E> decltype(auto) toExpr(E &&Ex) {
+  return std::forward<E>(Ex);
+}
+
+/// The expression type an operand normalizes to.
+template <typename X>
+using ExprOf = std::remove_cvref_t<decltype(toExpr(std::declval<X>()))>;
+
+//===----------------------------------------------------------------------===//
+// Element-wise binary combination
+//===----------------------------------------------------------------------===//
+
+/// Element-wise combination of two same-shape expressions.
+template <typename L, typename R, typename Op> class BinaryExpr {
+public:
+  using ValueType =
+      decltype(std::declval<Op>()(std::declval<typename L::ValueType>(),
+                                  std::declval<typename R::ValueType>()));
+  using SacfdExprTag = void;
+
+  BinaryExpr(L Lhs, R Rhs, Op Fn)
+      : Lhs(std::move(Lhs)), Rhs(std::move(Rhs)), Fn(std::move(Fn)) {
+    assert(this->Lhs.shape() == this->Rhs.shape() &&
+           "element-wise operands must have equal shapes");
+  }
+
+  Shape shape() const { return Lhs.shape(); }
+  ValueType eval(const Index &Ix) const { return Fn(Lhs.eval(Ix), Rhs.eval(Ix)); }
+
+private:
+  L Lhs;
+  R Rhs;
+  Op Fn;
+};
+
+/// Element-wise combination of an expression with a broadcast scalar
+/// (scalar on the right).
+template <typename E, typename S, typename Op> class ScalarRhsExpr {
+public:
+  using ValueType = decltype(std::declval<Op>()(
+      std::declval<typename E::ValueType>(), std::declval<S>()));
+  using SacfdExprTag = void;
+
+  ScalarRhsExpr(E Ex, S Scalar, Op Fn)
+      : Ex(std::move(Ex)), Scalar(std::move(Scalar)), Fn(std::move(Fn)) {}
+
+  Shape shape() const { return Ex.shape(); }
+  ValueType eval(const Index &Ix) const { return Fn(Ex.eval(Ix), Scalar); }
+
+private:
+  E Ex;
+  S Scalar;
+  Op Fn;
+};
+
+/// Element-wise combination with a broadcast scalar on the left.
+template <typename S, typename E, typename Op> class ScalarLhsExpr {
+public:
+  using ValueType = decltype(std::declval<Op>()(
+      std::declval<S>(), std::declval<typename E::ValueType>()));
+  using SacfdExprTag = void;
+
+  ScalarLhsExpr(S Scalar, E Ex, Op Fn)
+      : Scalar(std::move(Scalar)), Ex(std::move(Ex)), Fn(std::move(Fn)) {}
+
+  Shape shape() const { return Ex.shape(); }
+  ValueType eval(const Index &Ix) const { return Fn(Scalar, Ex.eval(Ix)); }
+
+private:
+  S Scalar;
+  E Ex;
+  Op Fn;
+};
+
+/// Element-wise transformation of one expression.
+template <typename E, typename Fn> class UnaryExpr {
+public:
+  using ValueType =
+      decltype(std::declval<Fn>()(std::declval<typename E::ValueType>()));
+  using SacfdExprTag = void;
+
+  UnaryExpr(E Ex, Fn F) : Ex(std::move(Ex)), F(std::move(F)) {}
+
+  Shape shape() const { return Ex.shape(); }
+  ValueType eval(const Index &Ix) const { return F(Ex.eval(Ix)); }
+
+private:
+  E Ex;
+  Fn F;
+};
+
+//===----------------------------------------------------------------------===//
+// Set notation: { iv -> body(iv) }
+//===----------------------------------------------------------------------===//
+
+/// An array defined point-wise by an index function — SaC's set notation
+/// `{ [i,j] -> body }` and the body of a genarray with-loop.
+template <typename Fn> class MapExpr {
+public:
+  using ValueType = decltype(std::declval<Fn>()(std::declval<Index>()));
+  using SacfdExprTag = void;
+
+  MapExpr(Shape S, Fn Body) : Dims(S), Body(std::move(Body)) {}
+
+  const Shape &shape() const { return Dims; }
+  ValueType eval(const Index &Ix) const { return Body(Ix); }
+
+private:
+  Shape Dims;
+  Fn Body;
+};
+
+/// Builds a set-notation expression over index space \p S.
+template <typename Fn> MapExpr<Fn> mapIndex(Shape S, Fn Body) {
+  return MapExpr<Fn>(S, std::move(Body));
+}
+
+//===----------------------------------------------------------------------===//
+// Cropping views: drop / take
+//===----------------------------------------------------------------------===//
+
+/// A contiguous sub-box of a base expression (the engine behind SaC's
+/// drop/take).  Lo is the per-axis offset of the view inside the base.
+template <typename E> class CropExpr {
+public:
+  using ValueType = typename E::ValueType;
+  using SacfdExprTag = void;
+
+  CropExpr(E Base, Index Lo, Shape S)
+      : Base(std::move(Base)), Lo(Lo), Dims(S) {
+    assert(Lo.Rank == Dims.rank() && "offset rank mismatch");
+  }
+
+  const Shape &shape() const { return Dims; }
+  ValueType eval(const Index &Ix) const {
+    Index Shifted = Ix;
+    for (unsigned I = 0; I < Shifted.Rank; ++I)
+      Shifted.Coord[I] += Lo.Coord[I];
+    return Base.eval(Shifted);
+  }
+
+private:
+  E Base;
+  Index Lo;
+  Shape Dims;
+};
+
+/// SaC `drop(Offsets, Base)`: removes |Offsets[a]| elements from axis a —
+/// from the front when positive, from the back when negative.
+template <ExprOperand X> auto drop(Index Offsets, X &&Base) {
+  auto Ex = toExpr(std::forward<X>(Base));
+  Shape S = Ex.shape();
+  assert(Offsets.Rank == S.rank() && "drop offsets must cover every axis");
+  Index Lo;
+  Lo.Rank = S.rank();
+  for (unsigned A = 0; A < S.rank(); ++A) {
+    size_t Drop = static_cast<size_t>(
+        Offsets.Coord[A] >= 0 ? Offsets.Coord[A] : -Offsets.Coord[A]);
+    assert(Drop <= S.dim(A) && "dropping more elements than the axis has");
+    S.dim(A) -= Drop;
+    Lo.Coord[A] = Offsets.Coord[A] >= 0 ? Offsets.Coord[A] : 0;
+  }
+  return CropExpr<ExprOf<X>>(std::move(Ex), Lo, S);
+}
+
+/// SaC `take(Counts, Base)`: keeps the first Counts[a] elements of axis a
+/// when positive, the last |Counts[a]| when negative.
+template <ExprOperand X> auto take(Index Counts, X &&Base) {
+  auto Ex = toExpr(std::forward<X>(Base));
+  Shape Full = Ex.shape();
+  assert(Counts.Rank == Full.rank() && "take counts must cover every axis");
+  Shape S = Full;
+  Index Lo;
+  Lo.Rank = Full.rank();
+  for (unsigned A = 0; A < Full.rank(); ++A) {
+    size_t Keep = static_cast<size_t>(
+        Counts.Coord[A] >= 0 ? Counts.Coord[A] : -Counts.Coord[A]);
+    assert(Keep <= Full.dim(A) && "taking more elements than the axis has");
+    S.dim(A) = Keep;
+    Lo.Coord[A] =
+        Counts.Coord[A] >= 0
+            ? 0
+            : static_cast<std::ptrdiff_t>(Full.dim(A) - Keep);
+  }
+  return CropExpr<ExprOf<X>>(std::move(Ex), Lo, S);
+}
+
+//===----------------------------------------------------------------------===//
+// Operators
+//===----------------------------------------------------------------------===//
+
+namespace detail {
+struct AddOp {
+  template <typename A, typename B> auto operator()(const A &X, const B &Y) const {
+    return X + Y;
+  }
+};
+struct SubOp {
+  template <typename A, typename B> auto operator()(const A &X, const B &Y) const {
+    return X - Y;
+  }
+};
+struct MulOp {
+  template <typename A, typename B> auto operator()(const A &X, const B &Y) const {
+    return X * Y;
+  }
+};
+struct DivOp {
+  template <typename A, typename B> auto operator()(const A &X, const B &Y) const {
+    return X / Y;
+  }
+};
+} // namespace detail
+
+/// True for types broadcast as scalars in mixed expressions.
+template <typename S>
+concept BroadcastScalar = std::is_arithmetic_v<std::remove_cvref_t<S>>;
+
+#define SACFD_DEFINE_ELEMENTWISE_OPERATOR(SYM, OP)                             \
+  template <ExprOperand L, ExprOperand R>                                      \
+    requires(ArrayExprType<L> || ArrayExprType<R>)                             \
+  auto operator SYM(L &&Lhs, R &&Rhs) {                                        \
+    return BinaryExpr<ExprOf<L>, ExprOf<R>, detail::OP>(                       \
+        toExpr(std::forward<L>(Lhs)), toExpr(std::forward<R>(Rhs)),            \
+        detail::OP{});                                                         \
+  }                                                                            \
+  template <ArrayExprType E, BroadcastScalar S>                                \
+  auto operator SYM(E &&Ex, S Scalar) {                                        \
+    return ScalarRhsExpr<ExprOf<E>, S, detail::OP>(                            \
+        toExpr(std::forward<E>(Ex)), Scalar, detail::OP{});                    \
+  }                                                                            \
+  template <BroadcastScalar S, ArrayExprType E>                                \
+  auto operator SYM(S Scalar, E &&Ex) {                                        \
+    return ScalarLhsExpr<S, ExprOf<E>, detail::OP>(                            \
+        Scalar, toExpr(std::forward<E>(Ex)), detail::OP{});                    \
+  }
+
+SACFD_DEFINE_ELEMENTWISE_OPERATOR(+, AddOp)
+SACFD_DEFINE_ELEMENTWISE_OPERATOR(-, SubOp)
+SACFD_DEFINE_ELEMENTWISE_OPERATOR(*, MulOp)
+SACFD_DEFINE_ELEMENTWISE_OPERATOR(/, DivOp)
+
+#undef SACFD_DEFINE_ELEMENTWISE_OPERATOR
+
+/// Element-wise transform with an arbitrary function.
+template <ExprOperand X, typename Fn> auto transform(X &&Base, Fn F) {
+  return UnaryExpr<ExprOf<X>, Fn>(toExpr(std::forward<X>(Base)),
+                                  std::move(F));
+}
+
+/// Element-wise negation.
+template <ExprOperand X> auto operator-(X &&Base)
+  requires ArrayExprType<X>
+{
+  return transform(std::forward<X>(Base), [](const auto &V) { return -V; });
+}
+
+/// Element-wise absolute value (MathArray::fabs in the paper's listing).
+template <ExprOperand X> auto fabsE(X &&Base) {
+  return transform(std::forward<X>(Base),
+                   [](const auto &V) { return std::fabs(V); });
+}
+
+/// Element-wise square root.
+template <ExprOperand X> auto sqrtE(X &&Base) {
+  return transform(std::forward<X>(Base),
+                   [](const auto &V) { return std::sqrt(V); });
+}
+
+} // namespace sacfd
+
+#endif // SACFD_ARRAY_EXPR_H

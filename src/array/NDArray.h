@@ -1,0 +1,98 @@
+//===- array/NDArray.h - Owning multi-dimensional array --------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dense, owning array the SaC-style API computes with.
+///
+/// Element types are value types: double for scalar fields, or small
+/// user-defined structs like the paper's `fluid_cv`/`fluid_pv` cell states
+/// (any T with the needed arithmetic operators works inside expressions).
+/// Storage is row-major and contiguous; rank is dynamic (see Shape).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_ARRAY_NDARRAY_H
+#define SACFD_ARRAY_NDARRAY_H
+
+#include "array/Shape.h"
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace sacfd {
+
+/// A dense row-major array of T with runtime rank and extents.
+template <typename T> class NDArray {
+public:
+  using ValueType = T;
+
+  /// Creates an empty rank-0 array of one (value-initialized) element.
+  NDArray() : Dims({}), Data(1) {}
+
+  /// Creates a value-initialized array of the given shape.
+  explicit NDArray(Shape S) : Dims(S), Data(S.count()) {}
+
+  /// Creates an array of the given shape filled with \p Fill.
+  NDArray(Shape S, const T &Fill) : Dims(S), Data(S.count(), Fill) {}
+
+  const Shape &shape() const { return Dims; }
+  unsigned rank() const { return Dims.rank(); }
+  size_t size() const { return Data.size(); }
+
+  /// Linear (row-major) element access.
+  const T &operator[](size_t Linear) const {
+    assert(Linear < Data.size() && "linear index out of bounds");
+    return Data[Linear];
+  }
+  T &operator[](size_t Linear) {
+    assert(Linear < Data.size() && "linear index out of bounds");
+    return Data[Linear];
+  }
+
+  /// Multi-dimensional element access.
+  const T &at(const Index &Ix) const { return Data[Dims.linearize(Ix)]; }
+  T &at(const Index &Ix) { return Data[Dims.linearize(Ix)]; }
+
+  /// Rank-1 convenience access.
+  const T &at(std::ptrdiff_t I) const { return at(Index{I}); }
+  T &at(std::ptrdiff_t I) { return at(Index{I}); }
+
+  /// Rank-2 convenience access.
+  const T &at(std::ptrdiff_t I, std::ptrdiff_t J) const {
+    return at(Index{I, J});
+  }
+  T &at(std::ptrdiff_t I, std::ptrdiff_t J) { return at(Index{I, J}); }
+
+  T *data() { return Data.data(); }
+  const T *data() const { return Data.data(); }
+
+  auto begin() { return Data.begin(); }
+  auto end() { return Data.end(); }
+  auto begin() const { return Data.begin(); }
+  auto end() const { return Data.end(); }
+
+  /// Replaces shape and storage; contents are value-initialized.
+  void reshapeDiscard(Shape S) {
+    Dims = S;
+    Data.assign(S.count(), T());
+  }
+
+  /// Fills every element with \p Value.
+  void fill(const T &Value) {
+    for (T &Elem : Data)
+      Elem = Value;
+  }
+
+private:
+  Shape Dims;
+  std::vector<T> Data;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_ARRAY_NDARRAY_H

@@ -1,0 +1,16 @@
+//===- array/Shape.cpp - Rank-generic array shapes and indices -----------===//
+
+#include "array/Shape.h"
+
+using namespace sacfd;
+
+std::string Shape::str() const {
+  std::string Out = "[";
+  for (unsigned I = 0; I < RankValue; ++I) {
+    if (I != 0)
+      Out += ",";
+    Out += std::to_string(Extent[I]);
+  }
+  Out += "]";
+  return Out;
+}

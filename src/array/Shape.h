@@ -1,0 +1,170 @@
+//===- array/Shape.h - Rank-generic array shapes and indices ---*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shapes and multi-dimensional indices for the array language.
+///
+/// SaC types like `double[+]` (any rank) and `double[.,.]` (rank 2, any
+/// extent) make rank a runtime property.  Shape mirrors that: rank is
+/// dynamic up to MaxRank, so the same solver code instantiates for the 1D
+/// Sod tube and the 2D channel interaction — the code-reuse claim of the
+/// paper's Section 2.  Layout is row-major (C order); the last axis is
+/// contiguous.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_ARRAY_SHAPE_H
+#define SACFD_ARRAY_SHAPE_H
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace sacfd {
+
+/// Maximum supported array rank (space dims + headroom).
+inline constexpr unsigned MaxRank = 3;
+
+/// A multi-dimensional index into an array (signed so that shifted/cropped
+/// expression views can reason about out-of-range offsets).
+struct Index {
+  unsigned Rank = 0;
+  std::array<std::ptrdiff_t, MaxRank> Coord = {};
+
+  Index() = default;
+  Index(std::initializer_list<std::ptrdiff_t> Coords) {
+    assert(Coords.size() <= MaxRank && "rank too large");
+    for (std::ptrdiff_t C : Coords)
+      Coord[Rank++] = C;
+  }
+
+  std::ptrdiff_t operator[](unsigned Axis) const {
+    assert(Axis < Rank && "axis out of range");
+    return Coord[Axis];
+  }
+  std::ptrdiff_t &operator[](unsigned Axis) {
+    assert(Axis < Rank && "axis out of range");
+    return Coord[Axis];
+  }
+
+  friend bool operator==(const Index &A, const Index &B) {
+    if (A.Rank != B.Rank)
+      return false;
+    for (unsigned I = 0; I < A.Rank; ++I)
+      if (A.Coord[I] != B.Coord[I])
+        return false;
+    return true;
+  }
+  friend bool operator!=(const Index &A, const Index &B) { return !(A == B); }
+};
+
+/// The extents of a rank-dynamic, row-major array.
+class Shape {
+public:
+  Shape() = default;
+  Shape(std::initializer_list<size_t> Dims) {
+    assert(Dims.size() <= MaxRank && "rank too large");
+    for (size_t D : Dims)
+      Extent[RankValue++] = D;
+  }
+
+  /// Builds a rank-\p Rank shape with every extent \p Dim.
+  static Shape uniform(unsigned Rank, size_t Dim) {
+    assert(Rank <= MaxRank && "rank too large");
+    Shape S;
+    S.RankValue = Rank;
+    for (unsigned I = 0; I < Rank; ++I)
+      S.Extent[I] = Dim;
+    return S;
+  }
+
+  unsigned rank() const { return RankValue; }
+
+  size_t dim(unsigned Axis) const {
+    assert(Axis < RankValue && "axis out of range");
+    return Extent[Axis];
+  }
+  size_t &dim(unsigned Axis) {
+    assert(Axis < RankValue && "axis out of range");
+    return Extent[Axis];
+  }
+
+  /// Total element count (1 for rank 0 — a scalar cell).
+  size_t count() const {
+    size_t N = 1;
+    for (unsigned I = 0; I < RankValue; ++I)
+      N *= Extent[I];
+    return N;
+  }
+
+  /// \returns true if \p Ix lies inside [0, dim) on every axis.
+  bool contains(const Index &Ix) const {
+    if (Ix.Rank != RankValue)
+      return false;
+    for (unsigned I = 0; I < RankValue; ++I)
+      if (Ix.Coord[I] < 0 ||
+          static_cast<size_t>(Ix.Coord[I]) >= Extent[I])
+        return false;
+    return true;
+  }
+
+  /// Row-major linearization of \p Ix.
+  size_t linearize(const Index &Ix) const {
+    assert(contains(Ix) && "index out of bounds");
+    size_t Linear = 0;
+    for (unsigned I = 0; I < RankValue; ++I)
+      Linear = Linear * Extent[I] + static_cast<size_t>(Ix.Coord[I]);
+    return Linear;
+  }
+
+  /// Inverse of linearize.
+  Index delinearize(size_t Linear) const {
+    assert(Linear < count() && "linear index out of bounds");
+    Index Ix;
+    Ix.Rank = RankValue;
+    for (unsigned I = RankValue; I-- > 0;) {
+      Ix.Coord[I] = static_cast<std::ptrdiff_t>(Linear % Extent[I]);
+      Linear /= Extent[I];
+    }
+    return Ix;
+  }
+
+  /// Advances \p Ix to the next row-major position.  \returns false when
+  /// the iteration space is exhausted.
+  bool increment(Index &Ix) const {
+    assert(Ix.Rank == RankValue && "rank mismatch");
+    for (unsigned I = RankValue; I-- > 0;) {
+      if (static_cast<size_t>(++Ix.Coord[I]) < Extent[I])
+        return true;
+      Ix.Coord[I] = 0;
+    }
+    return false;
+  }
+
+  friend bool operator==(const Shape &A, const Shape &B) {
+    if (A.RankValue != B.RankValue)
+      return false;
+    for (unsigned I = 0; I < A.RankValue; ++I)
+      if (A.Extent[I] != B.Extent[I])
+        return false;
+    return true;
+  }
+  friend bool operator!=(const Shape &A, const Shape &B) { return !(A == B); }
+
+  /// \returns e.g. "[400,400]".
+  std::string str() const;
+
+private:
+  unsigned RankValue = 0;
+  std::array<size_t, MaxRank> Extent = {};
+};
+
+} // namespace sacfd
+
+#endif // SACFD_ARRAY_SHAPE_H

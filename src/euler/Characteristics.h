@@ -1,0 +1,223 @@
+//===- euler/Characteristics.h - Local characteristic fields ---*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Eigen-decomposition of the directional Euler flux Jacobian.
+///
+/// Section 3 of the paper: "The reconstruction is applied to the so-called
+/// (local) characteristic variables rather than to the primitive variables
+/// ... or the conservative variables Q."  At each cell face the Jacobian
+/// dF/dQ is diagonalized at a Roe-averaged state; stencil values are
+/// projected onto the left eigenvectors (toCharacteristic), reconstructed
+/// component-wise, and projected back (fromCharacteristic).  The same
+/// decomposition powers the Roe approximate Riemann solver.
+///
+/// Variable ordering is [rho, mom_0 .. mom_{Dim-1}, E].  For normal axis a
+/// the waves are ordered: u_a - c, entropy, shear (one per tangential
+/// axis), u_a + c.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_EULER_CHARACTERISTICS_H
+#define SACFD_EULER_CHARACTERISTICS_H
+
+#include "euler/Gas.h"
+#include "euler/State.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace sacfd {
+
+/// The face-averaged quantities the eigen-decomposition is evaluated at.
+template <unsigned Dim> struct FaceAverage {
+  std::array<double, Dim> Vel = {}; ///< velocity
+  double H = 0.0;                   ///< specific total enthalpy
+  double C = 0.0;                   ///< sound speed
+};
+
+/// Roe average of two primitive states: sqrt(rho)-weighted velocity and
+/// enthalpy, with the sound speed consistent with them.  This is the
+/// average that makes the linearized Jacobian exact on isolated jumps.
+template <unsigned Dim>
+FaceAverage<Dim> roeAverage(const Prim<Dim> &L, const Prim<Dim> &R,
+                            const Gas &G) {
+  assert(L.Rho > 0.0 && R.Rho > 0.0 && "non-positive density");
+  double Wl = std::sqrt(L.Rho), Wr = std::sqrt(R.Rho);
+  double Inv = 1.0 / (Wl + Wr);
+
+  FaceAverage<Dim> A;
+  double Q2 = 0.0;
+  for (unsigned D = 0; D < Dim; ++D) {
+    A.Vel[D] = (Wl * L.Vel[D] + Wr * R.Vel[D]) * Inv;
+    Q2 += A.Vel[D] * A.Vel[D];
+  }
+  double El = G.totalEnergy(L.P, L.kineticEnergyDensity());
+  double Er = G.totalEnergy(R.P, R.kineticEnergyDensity());
+  double Hl = G.totalEnthalpy(L.Rho, L.P, El);
+  double Hr = G.totalEnthalpy(R.Rho, R.P, Er);
+  A.H = (Wl * Hl + Wr * Hr) * Inv;
+
+  double C2 = (G.Gamma - 1.0) * (A.H - 0.5 * Q2);
+  assert(C2 > 0.0 && "Roe average lost hyperbolicity");
+  A.C = std::sqrt(C2);
+  return A;
+}
+
+/// Arithmetic-mean face state (cheaper, adequate away from strong jumps).
+template <unsigned Dim>
+FaceAverage<Dim> simpleAverage(const Prim<Dim> &L, const Prim<Dim> &R,
+                               const Gas &G) {
+  FaceAverage<Dim> A;
+  double Q2 = 0.0;
+  for (unsigned D = 0; D < Dim; ++D) {
+    A.Vel[D] = 0.5 * (L.Vel[D] + R.Vel[D]);
+    Q2 += A.Vel[D] * A.Vel[D];
+  }
+  double Rho = 0.5 * (L.Rho + R.Rho);
+  double P = 0.5 * (L.P + R.P);
+  A.C = G.soundSpeed(Rho, P);
+  A.H = A.C * A.C / (G.Gamma - 1.0) + 0.5 * Q2;
+  return A;
+}
+
+/// Full eigen-decomposition of dF_axis/dQ at a face-averaged state.
+template <unsigned Dim> class EigenSystem {
+public:
+  static constexpr unsigned N = NumVars<Dim>;
+  using Vector = std::array<double, N>;
+
+  EigenSystem(const FaceAverage<Dim> &Avg, const Gas &G, unsigned Axis) {
+    assert(Axis < Dim && "axis out of range");
+    double C = Avg.C;
+    double Un = Avg.Vel[Axis];
+    double Q2 = 0.0;
+    for (unsigned D = 0; D < Dim; ++D)
+      Q2 += Avg.Vel[D] * Avg.Vel[D];
+    double B1 = (G.Gamma - 1.0) / (C * C);
+    double B2 = 0.5 * B1 * Q2;
+
+    // Wave slots: 0 = u-c, 1 = entropy, 2.. = shear (tangential axes in
+    // increasing order), N-1 = u+c.
+    Lambda[0] = Un - C;
+    Lambda[1] = Un;
+    Lambda[N - 1] = Un + C;
+
+    auto clear = [](Vector &V) { V.fill(0.0); };
+
+    // Acoustic u - c.
+    clear(Right[0]);
+    Right[0][0] = 1.0;
+    for (unsigned D = 0; D < Dim; ++D)
+      Right[0][1 + D] = Avg.Vel[D];
+    Right[0][1 + Axis] = Un - C;
+    Right[0][N - 1] = Avg.H - Un * C;
+
+    clear(Left[0]);
+    Left[0][0] = 0.5 * (B2 + Un / C);
+    for (unsigned D = 0; D < Dim; ++D)
+      Left[0][1 + D] = 0.5 * (-B1 * Avg.Vel[D]);
+    Left[0][1 + Axis] += 0.5 * (-1.0 / C);
+    Left[0][N - 1] = 0.5 * B1;
+
+    // Entropy wave.
+    clear(Right[1]);
+    Right[1][0] = 1.0;
+    for (unsigned D = 0; D < Dim; ++D)
+      Right[1][1 + D] = Avg.Vel[D];
+    Right[1][N - 1] = 0.5 * Q2;
+
+    clear(Left[1]);
+    Left[1][0] = 1.0 - B2;
+    for (unsigned D = 0; D < Dim; ++D)
+      Left[1][1 + D] = B1 * Avg.Vel[D];
+    Left[1][N - 1] = -B1;
+
+    // Shear waves, one per tangential axis.
+    unsigned Slot = 2;
+    for (unsigned T = 0; T < Dim; ++T) {
+      if (T == Axis)
+        continue;
+      Lambda[Slot] = Un;
+      clear(Right[Slot]);
+      Right[Slot][1 + T] = 1.0;
+      Right[Slot][N - 1] = Avg.Vel[T];
+      clear(Left[Slot]);
+      Left[Slot][0] = -Avg.Vel[T];
+      Left[Slot][1 + T] = 1.0;
+      ++Slot;
+    }
+    assert(Slot == N - 1 && "wave slot accounting broken");
+
+    // Acoustic u + c.
+    clear(Right[N - 1]);
+    Right[N - 1][0] = 1.0;
+    for (unsigned D = 0; D < Dim; ++D)
+      Right[N - 1][1 + D] = Avg.Vel[D];
+    Right[N - 1][1 + Axis] = Un + C;
+    Right[N - 1][N - 1] = Avg.H + Un * C;
+
+    clear(Left[N - 1]);
+    Left[N - 1][0] = 0.5 * (B2 - Un / C);
+    for (unsigned D = 0; D < Dim; ++D)
+      Left[N - 1][1 + D] = 0.5 * (-B1 * Avg.Vel[D]);
+    Left[N - 1][1 + Axis] += 0.5 * (1.0 / C);
+    Left[N - 1][N - 1] = 0.5 * B1;
+  }
+
+  /// Wave speed of characteristic field \p K.
+  double lambda(unsigned K) const {
+    assert(K < N && "field out of range");
+    return Lambda[K];
+  }
+
+  /// Projects a conservative state onto the characteristic basis: w = L q.
+  Vector toCharacteristic(const Cons<Dim> &Q) const {
+    Vector W;
+    for (unsigned K = 0; K < N; ++K) {
+      double Acc = 0.0;
+      for (unsigned J = 0; J < N; ++J)
+        Acc += Left[K][J] * Q.comp(J);
+      W[K] = Acc;
+    }
+    return W;
+  }
+
+  /// Reassembles a conservative state from characteristic amplitudes:
+  /// q = sum_k w_k r_k.
+  Cons<Dim> fromCharacteristic(const Vector &W) const {
+    Cons<Dim> Q;
+    for (unsigned J = 0; J < N; ++J) {
+      double Acc = 0.0;
+      for (unsigned K = 0; K < N; ++K)
+        Acc += W[K] * Right[K][J];
+      Q.setComp(J, Acc);
+    }
+    return Q;
+  }
+
+  /// Right eigenvector of field \p K as a conservative state.
+  Cons<Dim> rightVector(unsigned K) const {
+    assert(K < N && "field out of range");
+    Cons<Dim> Q;
+    for (unsigned J = 0; J < N; ++J)
+      Q.setComp(J, Right[K][J]);
+    return Q;
+  }
+
+private:
+  std::array<double, N> Lambda;
+  // Left[k] is the k-th left eigenvector (row of L); Right[k] the k-th
+  // right eigenvector (column of R, stored row-wise).
+  std::array<Vector, N> Left;
+  std::array<Vector, N> Right;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_EULER_CHARACTERISTICS_H

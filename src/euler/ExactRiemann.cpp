@@ -1,0 +1,190 @@
+//===- euler/ExactRiemann.cpp - Exact Riemann solver ----------------------===//
+//
+// Implementation follows the classical Godunov iteration as presented in
+// Toro, "Riemann Solvers and Numerical Methods for Fluid Dynamics",
+// chapter 4: a Newton-Raphson iteration on the star pressure with
+// shock (Rankine-Hugoniot) and rarefaction (isentropic) branches, then
+// direct sampling of the self-similar wave fan.
+//
+//===----------------------------------------------------------------------===//
+
+#include "euler/ExactRiemann.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace sacfd;
+
+ExactRiemannSolver::ExactRiemannSolver(const Prim<1> &L, const Prim<1> &R,
+                                       const Gas &Gas_, double Tol,
+                                       unsigned MaxIter)
+    : Left(L), Right(R), G(Gas_) {
+  if (L.Rho <= 0.0 || R.Rho <= 0.0 || L.P <= 0.0 || R.P <= 0.0)
+    return;
+  Cl = G.soundSpeed(L.Rho, L.P);
+  Cr = G.soundSpeed(R.Rho, R.P);
+
+  // Pressure positivity (no-vacuum) condition.
+  double Gm1 = G.Gamma - 1.0;
+  if (2.0 * (Cl + Cr) / Gm1 <= Right.Vel[0] - Left.Vel[0])
+    return;
+
+  double P = initialGuess();
+  double DeltaU = Right.Vel[0] - Left.Vel[0];
+  for (unsigned Iter = 0; Iter < MaxIter; ++Iter) {
+    double F = pressureFunction(P, Left, Cl) +
+               pressureFunction(P, Right, Cr) + DeltaU;
+    double DF = pressureDerivative(P, Left, Cl) +
+                pressureDerivative(P, Right, Cr);
+    double PNew = P - F / DF;
+    if (PNew < 0.0)
+      PNew = Tol; // guard: pressure stays positive
+    double Change = 2.0 * std::fabs(PNew - P) / (PNew + P);
+    P = PNew;
+    if (Change < Tol) {
+      PStar = P;
+      UStar = 0.5 * (Left.Vel[0] + Right.Vel[0]) +
+              0.5 * (pressureFunction(P, Right, Cr) -
+                     pressureFunction(P, Left, Cl));
+      Valid = true;
+      return;
+    }
+  }
+}
+
+double ExactRiemannSolver::pressureFunction(double P, const Prim<1> &W,
+                                            double C) const {
+  double Gam = G.Gamma;
+  if (P > W.P) {
+    // Shock branch (Rankine-Hugoniot).
+    double A = 2.0 / ((Gam + 1.0) * W.Rho);
+    double B = (Gam - 1.0) / (Gam + 1.0) * W.P;
+    return (P - W.P) * std::sqrt(A / (P + B));
+  }
+  // Rarefaction branch (isentropic).
+  return 2.0 * C / (Gam - 1.0) *
+         (std::pow(P / W.P, (Gam - 1.0) / (2.0 * Gam)) - 1.0);
+}
+
+double ExactRiemannSolver::pressureDerivative(double P, const Prim<1> &W,
+                                              double C) const {
+  double Gam = G.Gamma;
+  if (P > W.P) {
+    double A = 2.0 / ((Gam + 1.0) * W.Rho);
+    double B = (Gam - 1.0) / (Gam + 1.0) * W.P;
+    return std::sqrt(A / (B + P)) * (1.0 - 0.5 * (P - W.P) / (B + P));
+  }
+  return 1.0 / (W.Rho * C) *
+         std::pow(P / W.P, -(Gam + 1.0) / (2.0 * Gam));
+}
+
+double ExactRiemannSolver::initialGuess() const {
+  // PVRS (linearized) guess, clamped into the two-rarefaction /
+  // two-shock-sensible band; Toro Section 4.3.2.
+  double RhoBar = 0.5 * (Left.Rho + Right.Rho);
+  double CBar = 0.5 * (Cl + Cr);
+  double Ppv = 0.5 * (Left.P + Right.P) -
+               0.125 * (Right.Vel[0] - Left.Vel[0]) * RhoBar * CBar * 4.0;
+  double Pmin = std::min(Left.P, Right.P);
+  double Pmax = std::max(Left.P, Right.P);
+
+  if (Ppv >= Pmin && Ppv <= Pmax && Pmax / Pmin <= 2.0)
+    return Ppv;
+
+  if (Ppv < Pmin) {
+    // Two-rarefaction guess.
+    double Gam = G.Gamma;
+    double Z = (Gam - 1.0) / (2.0 * Gam);
+    double Num = Cl + Cr - 0.5 * (Gam - 1.0) * (Right.Vel[0] - Left.Vel[0]);
+    double Den = Cl / std::pow(Left.P, Z) + Cr / std::pow(Right.P, Z);
+    return std::pow(Num / Den, 1.0 / Z);
+  }
+
+  // Two-shock guess seeded with the (positive) PVRS value.
+  double Gam = G.Gamma;
+  double P0 = std::max(Ppv, 1e-12);
+  double Al = 2.0 / ((Gam + 1.0) * Left.Rho);
+  double Bl = (Gam - 1.0) / (Gam + 1.0) * Left.P;
+  double Ar = 2.0 / ((Gam + 1.0) * Right.Rho);
+  double Br = (Gam - 1.0) / (Gam + 1.0) * Right.P;
+  double Gl = std::sqrt(Al / (P0 + Bl));
+  double Gr = std::sqrt(Ar / (P0 + Br));
+  double Pts = (Gl * Left.P + Gr * Right.P -
+                (Right.Vel[0] - Left.Vel[0])) /
+               (Gl + Gr);
+  return std::max(Pts, 1e-12);
+}
+
+Prim<1> ExactRiemannSolver::sample(double S) const {
+  double Gam = G.Gamma;
+  double Gm1 = Gam - 1.0;
+  double Gp1 = Gam + 1.0;
+
+  Prim<1> W;
+  if (S <= UStar) {
+    // Left of the contact.
+    if (PStar > Left.P) {
+      // Left shock.
+      double Ratio = PStar / Left.P;
+      double ShockSpeed =
+          Left.Vel[0] - Cl * std::sqrt(Gp1 / (2.0 * Gam) * Ratio +
+                                       Gm1 / (2.0 * Gam));
+      if (S <= ShockSpeed)
+        return Left;
+      W.Rho = Left.Rho * (Ratio + Gm1 / Gp1) / (Gm1 / Gp1 * Ratio + 1.0);
+      W.Vel[0] = UStar;
+      W.P = PStar;
+      return W;
+    }
+    // Left rarefaction.
+    double HeadSpeed = Left.Vel[0] - Cl;
+    if (S <= HeadSpeed)
+      return Left;
+    double CStarL = Cl * std::pow(PStar / Left.P, Gm1 / (2.0 * Gam));
+    double TailSpeed = UStar - CStarL;
+    if (S >= TailSpeed) {
+      W.Rho = Left.Rho * std::pow(PStar / Left.P, 1.0 / Gam);
+      W.Vel[0] = UStar;
+      W.P = PStar;
+      return W;
+    }
+    // Inside the fan.
+    double C = 2.0 / Gp1 * (Cl + 0.5 * Gm1 * (Left.Vel[0] - S));
+    W.Vel[0] = 2.0 / Gp1 * (Cl + 0.5 * Gm1 * Left.Vel[0] + S);
+    W.Rho = Left.Rho * std::pow(C / Cl, 2.0 / Gm1);
+    W.P = Left.P * std::pow(C / Cl, 2.0 * Gam / Gm1);
+    return W;
+  }
+
+  // Right of the contact (mirror image).
+  if (PStar > Right.P) {
+    // Right shock.
+    double Ratio = PStar / Right.P;
+    double ShockSpeed =
+        Right.Vel[0] + Cr * std::sqrt(Gp1 / (2.0 * Gam) * Ratio +
+                                      Gm1 / (2.0 * Gam));
+    if (S >= ShockSpeed)
+      return Right;
+    W.Rho = Right.Rho * (Ratio + Gm1 / Gp1) / (Gm1 / Gp1 * Ratio + 1.0);
+    W.Vel[0] = UStar;
+    W.P = PStar;
+    return W;
+  }
+  // Right rarefaction.
+  double HeadSpeed = Right.Vel[0] + Cr;
+  if (S >= HeadSpeed)
+    return Right;
+  double CStarR = Cr * std::pow(PStar / Right.P, Gm1 / (2.0 * Gam));
+  double TailSpeed = UStar + CStarR;
+  if (S <= TailSpeed) {
+    W.Rho = Right.Rho * std::pow(PStar / Right.P, 1.0 / Gam);
+    W.Vel[0] = UStar;
+    W.P = PStar;
+    return W;
+  }
+  double C = 2.0 / Gp1 * (Cr - 0.5 * Gm1 * (Right.Vel[0] - S));
+  W.Vel[0] = 2.0 / Gp1 * (-Cr + 0.5 * Gm1 * Right.Vel[0] + S);
+  W.Rho = Right.Rho * std::pow(C / Cr, 2.0 / Gm1);
+  W.P = Right.P * std::pow(C / Cr, 2.0 * Gam / Gm1);
+  return W;
+}

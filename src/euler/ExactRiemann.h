@@ -1,0 +1,68 @@
+//===- euler/ExactRiemann.h - Exact Riemann solver --------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact solution of the 1D Riemann problem for a perfect gas.
+///
+/// The paper validates against Sod's problem [16], whose accepted answer
+/// is the exact Riemann solution.  This solver (Godunov/Toro style:
+/// Newton iteration on the star pressure, then self-similar wave-fan
+/// sampling) is the validation baseline for the whole 1D test matrix and
+/// the FIG1 error report.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_EULER_EXACTRIEMANN_H
+#define SACFD_EULER_EXACTRIEMANN_H
+
+#include "euler/Gas.h"
+#include "euler/State.h"
+
+namespace sacfd {
+
+/// Exact solution of the Riemann problem with data (L, R).
+///
+/// Construct, check valid(), then sample the self-similar solution at any
+/// speed s = x/t.  Invalid only when the data produce vacuum (the pressure
+/// positivity condition fails) or the Newton iteration cannot converge.
+class ExactRiemannSolver {
+public:
+  /// Solves the problem; O(iterations) Newton steps on p*.
+  ExactRiemannSolver(const Prim<1> &L, const Prim<1> &R,
+                     const Gas &G = Gas(), double Tol = 1e-12,
+                     unsigned MaxIter = 100);
+
+  /// \returns false when the data generate vacuum or no convergence.
+  bool valid() const { return Valid; }
+
+  /// Star-region pressure between the two nonlinear waves.
+  double pStar() const { return PStar; }
+  /// Star-region (contact) velocity.
+  double uStar() const { return UStar; }
+
+  /// Samples the self-similar solution at speed \p S = x/t.
+  Prim<1> sample(double S) const;
+
+  /// True when the left (resp. right) nonlinear wave is a shock.
+  bool leftIsShock() const { return PStar > Left.P; }
+  bool rightIsShock() const { return PStar > Right.P; }
+
+private:
+  double pressureFunction(double P, const Prim<1> &W, double C) const;
+  double pressureDerivative(double P, const Prim<1> &W, double C) const;
+  double initialGuess() const;
+
+  Prim<1> Left, Right;
+  Gas G;
+  double Cl = 0.0, Cr = 0.0;
+  double PStar = 0.0, UStar = 0.0;
+  bool Valid = false;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_EULER_EXACTRIEMANN_H

@@ -1,0 +1,71 @@
+//===- euler/Flux.h - Physical Euler fluxes --------------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inviscid flux vectors F and G of Eq. (2).
+///
+/// physicalFlux(Q, G, Axis) evaluates the flux along coordinate \p Axis:
+/// Axis 0 gives F, Axis 1 gives G.  The directional form lets the
+/// dimension-generic face sweep use one function for every direction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_EULER_FLUX_H
+#define SACFD_EULER_FLUX_H
+
+#include "euler/Gas.h"
+#include "euler/State.h"
+
+#include <cassert>
+
+namespace sacfd {
+
+/// Directional physical flux of the Euler equations (Eq. 2).
+///
+/// F_axis(Q) = [rho*un, rho*un*u_d + p*delta(d,axis)..., un*(E + p)]
+/// where un is the velocity component along \p Axis.
+template <unsigned Dim>
+Cons<Dim> physicalFlux(const Cons<Dim> &Q, const Gas &G, unsigned Axis) {
+  assert(Axis < Dim && "axis out of range");
+  assert(Q.Rho > 0.0 && "non-positive density");
+
+  double Un = Q.Mom[Axis] / Q.Rho;
+  double Kinetic = 0.0;
+  for (unsigned D = 0; D < Dim; ++D)
+    Kinetic += Q.Mom[D] * Q.Mom[D];
+  Kinetic = 0.5 * Kinetic / Q.Rho;
+  double P = G.pressure(Q.Rho, Kinetic, Q.E);
+
+  Cons<Dim> F;
+  F.Rho = Q.Mom[Axis];
+  for (unsigned D = 0; D < Dim; ++D)
+    F.Mom[D] = Q.Mom[D] * Un;
+  F.Mom[Axis] += P;
+  F.E = Un * (Q.E + P);
+  return F;
+}
+
+/// Directional physical flux from a primitive state (avoids the
+/// cons->prim roundtrip when the primitive form is already at hand).
+template <unsigned Dim>
+Cons<Dim> physicalFlux(const Prim<Dim> &W, const Gas &G, unsigned Axis) {
+  assert(Axis < Dim && "axis out of range");
+  double Un = W.Vel[Axis];
+  double E = G.totalEnergy(W.P, W.kineticEnergyDensity());
+
+  Cons<Dim> F;
+  F.Rho = W.Rho * Un;
+  for (unsigned D = 0; D < Dim; ++D)
+    F.Mom[D] = W.Rho * W.Vel[D] * Un;
+  F.Mom[Axis] += W.P;
+  F.E = Un * (E + W.P);
+  return F;
+}
+
+} // namespace sacfd
+
+#endif // SACFD_EULER_FLUX_H

@@ -1,0 +1,64 @@
+//===- euler/Gas.h - Perfect-gas equation of state --------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The calorically perfect gas closing the Euler system.
+///
+/// Eq. (3) of the paper:  p = (gamma - 1) (E - rho (u^2+v^2)/2)  with
+/// gamma = 1.4 for air.  Gas bundles gamma with the derived thermodynamic
+/// helpers every layer above needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_EULER_GAS_H
+#define SACFD_EULER_GAS_H
+
+#include <cassert>
+#include <cmath>
+
+namespace sacfd {
+
+/// Ratio of specific heats and the EOS helpers derived from it.
+struct Gas {
+  /// gamma = cp/cv; 1.4 for diatomic air (the paper's value).
+  double Gamma = 1.4;
+
+  constexpr Gas() = default;
+  constexpr explicit Gas(double Gamma) : Gamma(Gamma) {}
+
+  /// Pressure from density, total energy density, and kinetic energy
+  /// density (Eq. 3): p = (gamma-1) (E - rho |u|^2 / 2).
+  double pressure(double Rho, double KineticEnergyDensity,
+                  double TotalEnergyDensity) const {
+    (void)Rho;
+    return (Gamma - 1.0) * (TotalEnergyDensity - KineticEnergyDensity);
+  }
+
+  /// Total energy density from primitive state:
+  /// E = p/(gamma-1) + rho |u|^2 / 2.
+  double totalEnergy(double P, double KineticEnergyDensity) const {
+    return P / (Gamma - 1.0) + KineticEnergyDensity;
+  }
+
+  /// Speed of sound c = sqrt(gamma p / rho).
+  double soundSpeed(double Rho, double P) const {
+    assert(Rho > 0.0 && "non-positive density");
+    assert(P >= 0.0 && "negative pressure");
+    return std::sqrt(Gamma * P / Rho);
+  }
+
+  /// Specific total enthalpy H = (E + p) / rho.
+  double totalEnthalpy(double Rho, double P,
+                       double TotalEnergyDensity) const {
+    assert(Rho > 0.0 && "non-positive density");
+    return (TotalEnergyDensity + P) / Rho;
+  }
+};
+
+} // namespace sacfd
+
+#endif // SACFD_EULER_GAS_H

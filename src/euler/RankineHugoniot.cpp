@@ -1,0 +1,50 @@
+//===- euler/RankineHugoniot.cpp - Moving-shock jump relations -----------===//
+
+#include "euler/RankineHugoniot.h"
+
+#include <cmath>
+
+using namespace sacfd;
+
+PostShockState sacfd::postShockState(double Ms, double Rho0, double P0,
+                                     const Gas &G) {
+  assert(Ms >= 1.0 && "shock Mach number must be >= 1");
+  assert(Rho0 > 0.0 && P0 > 0.0 && "quiescent state must be physical");
+
+  double Gam = G.Gamma;
+  double Ms2 = Ms * Ms;
+  double C0 = G.soundSpeed(Rho0, P0);
+
+  PostShockState S;
+  S.P = P0 * (1.0 + 2.0 * Gam / (Gam + 1.0) * (Ms2 - 1.0));
+  S.Rho = Rho0 * ((Gam + 1.0) * Ms2) / ((Gam - 1.0) * Ms2 + 2.0);
+  S.U = 2.0 * C0 * (Ms2 - 1.0) / ((Gam + 1.0) * Ms);
+  return S;
+}
+
+double sacfd::postShockFlowMach(double Ms, double Rho0, double P0,
+                                const Gas &G) {
+  PostShockState S = postShockState(Ms, Rho0, P0, G);
+  return S.U / G.soundSpeed(S.Rho, S.P);
+}
+
+JumpResiduals sacfd::shockJumpResiduals(double Ms, double Rho0, double P0,
+                                        const PostShockState &S,
+                                        const Gas &G) {
+  // Shock-fixed frame: upstream speed W0 = Ms*c0, downstream W1 = W0 - u1.
+  double C0 = G.soundSpeed(Rho0, P0);
+  double W0 = Ms * C0;
+  double W1 = W0 - S.U;
+
+  double MassUp = Rho0 * W0;
+  double MassDown = S.Rho * W1;
+
+  double MomUp = Rho0 * W0 * W0 + P0;
+  double MomDown = S.Rho * W1 * W1 + S.P;
+
+  double Gam = G.Gamma;
+  double EnthUp = Gam / (Gam - 1.0) * P0 / Rho0 + 0.5 * W0 * W0;
+  double EnthDown = Gam / (Gam - 1.0) * S.P / S.Rho + 0.5 * W1 * W1;
+
+  return {MassDown - MassUp, MomDown - MomUp, EnthDown - EnthUp};
+}

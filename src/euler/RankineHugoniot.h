@@ -1,0 +1,76 @@
+//===- euler/RankineHugoniot.h - Moving-shock jump relations ---*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rankine-Hugoniot relations for a shock moving into quiescent gas.
+///
+/// The paper's 2D experiment drives the domain through its channel exits:
+/// "The boundary conditions in the exit sections of two channels are
+/// imposed in such a way that the flow variables are equal to the values
+/// behind the shock waves calculated from the Rankine-Hugoniot relations"
+/// at Ms = 2.2 (supersonic post-shock flow, so the exit state never
+/// changes during the run).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_EULER_RANKINEHUGONIOT_H
+#define SACFD_EULER_RANKINEHUGONIOT_H
+
+#include "euler/Gas.h"
+#include "euler/State.h"
+
+#include <cassert>
+
+namespace sacfd {
+
+/// Scalar post-shock state behind a shock of Mach number \p Ms advancing
+/// into gas at rest with (\p Rho0, \p P0).
+struct PostShockState {
+  double Rho; ///< post-shock density
+  double U;   ///< post-shock flow speed, in the shock's direction of travel
+  double P;   ///< post-shock pressure
+};
+
+/// Computes the post-shock state from the Rankine-Hugoniot relations.
+/// Requires Ms >= 1.
+PostShockState postShockState(double Ms, double Rho0, double P0,
+                              const Gas &G);
+
+/// \returns the flow Mach number u1/c1 behind the shock; > 1 iff the exit
+/// state is supersonic and boundary values stay frozen (true at Ms = 2.2,
+/// as the paper notes).
+double postShockFlowMach(double Ms, double Rho0, double P0, const Gas &G);
+
+/// Builds the Dim-dimensional primitive inflow state for a shock
+/// traveling along +\p Axis into quiescent gas \p Quiescent.
+template <unsigned Dim>
+Prim<Dim> postShockInflow(double Ms, const Prim<Dim> &Quiescent,
+                          unsigned Axis, const Gas &G) {
+  assert(Axis < Dim && "axis out of range");
+  PostShockState S = postShockState(Ms, Quiescent.Rho, Quiescent.P, G);
+  Prim<Dim> W;
+  W.Rho = S.Rho;
+  W.P = S.P;
+  W.Vel = {};
+  W.Vel[Axis] = S.U;
+  return W;
+}
+
+/// Residuals of the three conservation laws across the shock, evaluated
+/// in the shock-fixed frame; all ~0 for a state produced by
+/// postShockState.  Exposed for property tests.
+struct JumpResiduals {
+  double Mass;
+  double Momentum;
+  double Energy;
+};
+JumpResiduals shockJumpResiduals(double Ms, double Rho0, double P0,
+                                 const PostShockState &S, const Gas &G);
+
+} // namespace sacfd
+
+#endif // SACFD_EULER_RANKINEHUGONIOT_H

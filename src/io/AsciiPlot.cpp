@@ -1,0 +1,97 @@
+//===- io/AsciiPlot.cpp - Terminal plots ------------------------------------===//
+
+#include "io/AsciiPlot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+using namespace sacfd;
+
+std::string sacfd::asciiLinePlot(const std::vector<double> &Values,
+                                 unsigned Width, unsigned Height) {
+  if (Values.empty() || Width == 0 || Height == 0)
+    return "(empty plot)\n";
+
+  double Lo = Values[0], Hi = Values[0];
+  for (double V : Values) {
+    Lo = std::min(Lo, V);
+    Hi = std::max(Hi, V);
+  }
+  if (Hi <= Lo)
+    Hi = Lo + 1.0;
+
+  // Downsample/upsample onto Width columns.
+  std::vector<double> Col(Width);
+  for (unsigned C = 0; C < Width; ++C) {
+    double Pos = static_cast<double>(C) * (Values.size() - 1) /
+                 std::max(1u, Width - 1);
+    Col[C] = Values[static_cast<size_t>(Pos + 0.5)];
+  }
+
+  std::vector<std::string> Rows(Height, std::string(Width, ' '));
+  for (unsigned C = 0; C < Width; ++C) {
+    double Frac = (Col[C] - Lo) / (Hi - Lo);
+    unsigned R = static_cast<unsigned>(
+        std::lround(Frac * static_cast<double>(Height - 1)));
+    Rows[Height - 1 - R][C] = '*';
+  }
+
+  char Buf[64];
+  std::string Out;
+  std::snprintf(Buf, sizeof(Buf), "%10.4g +", Hi);
+  Out += Buf;
+  Out += std::string(Width, '-');
+  Out += "\n";
+  for (const std::string &Row : Rows) {
+    Out += "           |";
+    Out += Row;
+    Out += "\n";
+  }
+  std::snprintf(Buf, sizeof(Buf), "%10.4g +", Lo);
+  Out += Buf;
+  Out += std::string(Width, '-');
+  Out += "\n";
+  return Out;
+}
+
+std::string sacfd::asciiFieldMap(const NDArray<double> &Field,
+                                 unsigned MaxWidth, unsigned MaxHeight) {
+  if (Field.rank() != 2 || Field.size() == 0)
+    return "(not a 2D field)\n";
+
+  static const char Ramp[] = " .:-=+*#%@";
+  constexpr unsigned RampLen = sizeof(Ramp) - 2;
+
+  double Lo = Field[0], Hi = Field[0];
+  for (size_t I = 0; I < Field.size(); ++I) {
+    Lo = std::min(Lo, Field[I]);
+    Hi = std::max(Hi, Field[I]);
+  }
+  double Scale = Hi > Lo ? 1.0 / (Hi - Lo) : 0.0;
+
+  size_t Nx = Field.shape().dim(0);
+  size_t Ny = Field.shape().dim(1);
+  unsigned W = static_cast<unsigned>(std::min<size_t>(Nx, MaxWidth));
+  unsigned H = static_cast<unsigned>(std::min<size_t>(Ny, MaxHeight));
+
+  std::string Out;
+  Out.reserve((W + 3) * H);
+  for (unsigned R = 0; R < H; ++R) {
+    // Row 0 at the top = highest y.
+    size_t J = (H - 1 - R) * (Ny - 1) / std::max(1u, H - 1);
+    Out += "|";
+    for (unsigned C = 0; C < W; ++C) {
+      size_t I = C * (Nx - 1) / std::max(1u, W - 1);
+      double Frac = (Field.at(static_cast<std::ptrdiff_t>(I),
+                              static_cast<std::ptrdiff_t>(J)) -
+                     Lo) *
+                    Scale;
+      unsigned Level = static_cast<unsigned>(
+          std::clamp(Frac, 0.0, 1.0) * RampLen);
+      Out += Ramp[Level];
+    }
+    Out += "|\n";
+  }
+  return Out;
+}

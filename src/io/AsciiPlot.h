@@ -1,0 +1,37 @@
+//===- io/AsciiPlot.h - Terminal plots ---------------------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Character-cell rendering of 1D profiles and 2D fields, so the FIG1
+/// bench and the quickstart example can show the wave structure (the
+/// three frames of the paper's Fig. 1) directly in the terminal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_ASCIIPLOT_H
+#define SACFD_IO_ASCIIPLOT_H
+
+#include "array/NDArray.h"
+
+#include <string>
+#include <vector>
+
+namespace sacfd {
+
+/// Renders \p Values as a Height-row ASCII line plot ('*' marks, axes
+/// annotated with the value range).
+std::string asciiLinePlot(const std::vector<double> &Values,
+                          unsigned Width = 72, unsigned Height = 16);
+
+/// Renders a rank-2 field as an ASCII density map using a dark-to-light
+/// character ramp; axis 1 (y) points up.
+std::string asciiFieldMap(const NDArray<double> &Field,
+                          unsigned MaxWidth = 72, unsigned MaxHeight = 28);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_ASCIIPLOT_H

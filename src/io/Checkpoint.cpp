@@ -1,0 +1,132 @@
+//===- io/Checkpoint.cpp - Binary checkpoint / restart --------------------===//
+
+#include "io/Checkpoint.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+using namespace sacfd;
+
+namespace {
+
+constexpr uint64_t CheckpointMagic = 0x53414346'44434B50ull; // "SACFDCKP"
+constexpr uint32_t CheckpointVersion = 1;
+
+struct AxisRecord {
+  uint64_t Cells;
+  double Lo;
+  double Hi;
+};
+
+struct Header {
+  uint64_t Magic;
+  uint32_t Version;
+  uint32_t Rank;
+  uint32_t Ghost;
+  uint32_t Steps;
+  double Gamma;
+  double Time;
+  AxisRecord Axis[MaxRank];
+};
+
+/// RAII FILE handle.
+struct FileCloser {
+  void operator()(std::FILE *F) const {
+    if (F)
+      std::fclose(F);
+  }
+};
+using FileHandle = std::unique_ptr<std::FILE, FileCloser>;
+
+template <unsigned Dim>
+Header makeHeader(const EulerSolver<Dim> &S) {
+  const Grid<Dim> &G = S.problem().Domain;
+  Header H = {};
+  H.Magic = CheckpointMagic;
+  H.Version = CheckpointVersion;
+  H.Rank = Dim;
+  H.Ghost = G.ghost();
+  H.Steps = S.stepCount();
+  H.Gamma = S.problem().G.Gamma;
+  H.Time = S.time();
+  for (unsigned A = 0; A < Dim; ++A)
+    H.Axis[A] = {static_cast<uint64_t>(G.cells(A)), G.lo(A), G.hi(A)};
+  return H;
+}
+
+template <unsigned Dim>
+bool headerMatches(const Header &H, const EulerSolver<Dim> &S) {
+  if (H.Magic != CheckpointMagic || H.Version != CheckpointVersion)
+    return false;
+  const Grid<Dim> &G = S.problem().Domain;
+  if (H.Rank != Dim || H.Ghost != G.ghost() ||
+      H.Gamma != S.problem().G.Gamma)
+    return false;
+  for (unsigned A = 0; A < Dim; ++A) {
+    if (H.Axis[A].Cells != static_cast<uint64_t>(G.cells(A)) ||
+        H.Axis[A].Lo != G.lo(A) || H.Axis[A].Hi != G.hi(A))
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+template <unsigned Dim>
+bool sacfd::saveCheckpoint(const std::string &Path,
+                           const EulerSolver<Dim> &S) {
+  FileHandle File(std::fopen(Path.c_str(), "wb"));
+  if (!File)
+    return false;
+
+  Header H = makeHeader(S);
+  if (std::fwrite(&H, sizeof(H), 1, File.get()) != 1)
+    return false;
+
+  const NDArray<Cons<Dim>> &U = S.field();
+  static_assert(std::is_trivially_copyable_v<Cons<Dim>>,
+                "checkpoint writes raw state bytes");
+  size_t Count = U.size();
+  return std::fwrite(U.data(), sizeof(Cons<Dim>), Count, File.get()) ==
+         Count;
+}
+
+template <unsigned Dim>
+bool sacfd::loadCheckpoint(const std::string &Path, EulerSolver<Dim> &S) {
+  FileHandle File(std::fopen(Path.c_str(), "rb"));
+  if (!File)
+    return false;
+
+  Header H = {};
+  if (std::fread(&H, sizeof(H), 1, File.get()) != 1)
+    return false;
+  if (!headerMatches(H, S))
+    return false;
+
+  NDArray<Cons<Dim>> &U = S.field();
+  size_t Count = U.size();
+  if (std::fread(U.data(), sizeof(Cons<Dim>), Count, File.get()) != Count)
+    return false;
+  // Reject trailing garbage (truncated-next-section corruption).
+  char Extra;
+  if (std::fread(&Extra, 1, 1, File.get()) == 1)
+    return false;
+
+  S.restoreClock(H.Time, H.Steps);
+  return true;
+}
+
+template bool sacfd::saveCheckpoint<1>(const std::string &,
+                                       const EulerSolver<1> &);
+template bool sacfd::saveCheckpoint<2>(const std::string &,
+                                       const EulerSolver<2> &);
+template bool sacfd::saveCheckpoint<3>(const std::string &,
+                                       const EulerSolver<3> &);
+template bool sacfd::loadCheckpoint<1>(const std::string &,
+                                       EulerSolver<1> &);
+template bool sacfd::loadCheckpoint<2>(const std::string &,
+                                       EulerSolver<2> &);
+template bool sacfd::loadCheckpoint<3>(const std::string &,
+                                       EulerSolver<3> &);

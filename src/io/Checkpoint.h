@@ -1,0 +1,58 @@
+//===- io/Checkpoint.h - Binary checkpoint / restart -----------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Save/restore of a solver's full state (field including ghosts, clock,
+/// step count) for long-run workflows: a restarted run continues
+/// bit-identically to an uninterrupted one (tested).
+///
+/// Format: a fixed header (magic, version, rank, gamma, grid geometry,
+/// time, steps) followed by the raw field bytes.  Native endianness and
+/// IEEE-754 doubles — a single-machine format, not an archival one.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_CHECKPOINT_H
+#define SACFD_IO_CHECKPOINT_H
+
+#include "solver/EulerSolver.h"
+
+#include <string>
+
+namespace sacfd {
+
+/// Writes the solver's full state to \p Path.  \returns false on I/O
+/// failure.
+template <unsigned Dim>
+bool saveCheckpoint(const std::string &Path, const EulerSolver<Dim> &S);
+
+/// Restores a checkpoint into \p S.
+///
+/// The solver must already be constructed on the *same problem geometry*
+/// (rank, cell counts, ghost layers, bounds, gamma); the file is
+/// validated against it and the load is rejected on any mismatch,
+/// corruption, or version skew.  On success the field, time and step
+/// count are replaced and the run continues bit-identically.
+template <unsigned Dim>
+bool loadCheckpoint(const std::string &Path, EulerSolver<Dim> &S);
+
+extern template bool saveCheckpoint<1>(const std::string &,
+                                       const EulerSolver<1> &);
+extern template bool saveCheckpoint<2>(const std::string &,
+                                       const EulerSolver<2> &);
+extern template bool saveCheckpoint<3>(const std::string &,
+                                       const EulerSolver<3> &);
+extern template bool loadCheckpoint<1>(const std::string &,
+                                       EulerSolver<1> &);
+extern template bool loadCheckpoint<2>(const std::string &,
+                                       EulerSolver<2> &);
+extern template bool loadCheckpoint<3>(const std::string &,
+                                       EulerSolver<3> &);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_CHECKPOINT_H

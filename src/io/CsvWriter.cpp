@@ -1,0 +1,35 @@
+//===- io/CsvWriter.cpp - CSV output ---------------------------------------===//
+
+#include "io/CsvWriter.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+bool sacfd::writeCsv(const std::string &Path,
+                     const std::vector<std::string> &Header,
+                     const std::vector<std::vector<double>> &Rows) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+
+  for (size_t I = 0; I < Header.size(); ++I)
+    std::fprintf(File, "%s%s", Header[I].c_str(),
+                 I + 1 < Header.size() ? "," : "\n");
+  for (const std::vector<double> &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      std::fprintf(File, "%.12g%s", Row[I], I + 1 < Row.size() ? "," : "\n");
+
+  bool Ok = std::ferror(File) == 0;
+  std::fclose(File);
+  return Ok;
+}
+
+bool sacfd::writeProfileCsv(const std::string &Path,
+                            const std::vector<ProfileSample> &Profile) {
+  std::vector<std::vector<double>> Rows;
+  Rows.reserve(Profile.size());
+  for (const ProfileSample &S : Profile)
+    Rows.push_back({S.X, S.Rho, S.U, S.P});
+  return writeCsv(Path, {"x", "rho", "u", "p"}, Rows);
+}

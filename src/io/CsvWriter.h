@@ -1,0 +1,36 @@
+//===- io/CsvWriter.h - CSV output -------------------------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal CSV emission for profiles and benchmark tables.  Writers
+/// return false on I/O failure (recoverable error policy: no exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_CSVWRITER_H
+#define SACFD_IO_CSVWRITER_H
+
+#include "io/FieldExport.h"
+
+#include <string>
+#include <vector>
+
+namespace sacfd {
+
+/// Writes a CSV file with \p Header (comma-joined) and numeric \p Rows.
+/// \returns false if the file cannot be written.
+bool writeCsv(const std::string &Path,
+              const std::vector<std::string> &Header,
+              const std::vector<std::vector<double>> &Rows);
+
+/// Writes a 1D profile as x,rho,u,p.
+bool writeProfileCsv(const std::string &Path,
+                     const std::vector<ProfileSample> &Profile);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_CSVWRITER_H

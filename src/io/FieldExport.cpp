@@ -1,0 +1,41 @@
+//===- io/FieldExport.cpp - Extract plottable fields ----------------------===//
+
+#include "io/FieldExport.h"
+
+#include <algorithm>
+
+using namespace sacfd;
+
+NDArray<double> sacfd::schlierenField(const EulerSolver<2> &S,
+                                      double Contrast) {
+  NDArray<double> Rho = scalarField(S, FieldQuantity::Density);
+  const Grid<2> &G = S.problem().Domain;
+  std::ptrdiff_t Nx = static_cast<std::ptrdiff_t>(G.cells(0));
+  std::ptrdiff_t Ny = static_cast<std::ptrdiff_t>(G.cells(1));
+
+  NDArray<double> Grad(Rho.shape());
+  double MaxGrad = 0.0;
+  for (std::ptrdiff_t I = 0; I < Nx; ++I)
+    for (std::ptrdiff_t J = 0; J < Ny; ++J) {
+      // One-sided differences at the domain edge.
+      std::ptrdiff_t Im = std::max<std::ptrdiff_t>(I - 1, 0);
+      std::ptrdiff_t Ip = std::min<std::ptrdiff_t>(I + 1, Nx - 1);
+      std::ptrdiff_t Jm = std::max<std::ptrdiff_t>(J - 1, 0);
+      std::ptrdiff_t Jp = std::min<std::ptrdiff_t>(J + 1, Ny - 1);
+      double Dx = (Rho.at(Ip, J) - Rho.at(Im, J)) /
+                  (G.dx(0) * static_cast<double>(Ip - Im));
+      double Dy = (Rho.at(I, Jp) - Rho.at(I, Jm)) /
+                  (G.dx(1) * static_cast<double>(Jp - Jm));
+      double Mag = std::sqrt(Dx * Dx + Dy * Dy);
+      Grad.at(I, J) = Mag;
+      MaxGrad = std::max(MaxGrad, Mag);
+    }
+
+  if (MaxGrad <= 0.0) {
+    Grad.fill(1.0);
+    return Grad;
+  }
+  for (size_t K = 0; K < Grad.size(); ++K)
+    Grad[K] = std::exp(-Contrast * Grad[K] / MaxGrad);
+  return Grad;
+}

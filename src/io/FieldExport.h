@@ -1,0 +1,97 @@
+//===- io/FieldExport.h - Extract plottable fields --------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts solver fields into plain scalar arrays/profiles for the
+/// writers (CSV/PGM/VTK) and the terminal plots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_FIELDEXPORT_H
+#define SACFD_IO_FIELDEXPORT_H
+
+#include "array/NDArray.h"
+#include "solver/EulerSolver.h"
+
+#include <cmath>
+#include <vector>
+
+namespace sacfd {
+
+/// Which primitive scalar to extract.
+enum class FieldQuantity {
+  Density,
+  Pressure,
+  VelocityX,
+  VelocityY,
+  MachNumber,
+};
+
+/// Samples one primitive quantity of \p W.
+template <unsigned Dim>
+double sampleQuantity(const Prim<Dim> &W, const Gas &G, FieldQuantity Q) {
+  switch (Q) {
+  case FieldQuantity::Density:
+    return W.Rho;
+  case FieldQuantity::Pressure:
+    return W.P;
+  case FieldQuantity::VelocityX:
+    return W.Vel[0];
+  case FieldQuantity::VelocityY:
+    return Dim >= 2 ? W.Vel[Dim - 1] : 0.0;
+  case FieldQuantity::MachNumber: {
+    double Q2 = 0.0;
+    for (unsigned D = 0; D < Dim; ++D)
+      Q2 += W.Vel[D] * W.Vel[D];
+    return std::sqrt(Q2) / G.soundSpeed(W.Rho, W.P);
+  }
+  }
+  return 0.0;
+}
+
+/// Interior scalar field of a 2D solver.
+inline NDArray<double> scalarField(const EulerSolver<2> &S,
+                                   FieldQuantity Q) {
+  const Grid<2> &G = S.problem().Domain;
+  NDArray<double> Out(G.interiorShape());
+  Shape Interior = G.interiorShape();
+  Index Iv = Interior.delinearize(0);
+  size_t Linear = 0;
+  do {
+    Out[Linear++] = sampleQuantity(S.primitiveAt(Iv), S.problem().G, Q);
+  } while (Interior.increment(Iv));
+  return Out;
+}
+
+/// One sample of a 1D profile: position plus primitive state.
+struct ProfileSample {
+  double X;
+  double Rho;
+  double U;
+  double P;
+};
+
+/// The full 1D interior profile of a solver.
+inline std::vector<ProfileSample> profileOf(const EulerSolver<1> &S) {
+  const Grid<1> &G = S.problem().Domain;
+  std::vector<ProfileSample> Out;
+  Out.reserve(G.cells(0));
+  for (std::ptrdiff_t I = 0;
+       I < static_cast<std::ptrdiff_t>(G.cells(0)); ++I) {
+    Prim<1> W = S.primitiveAt(Index{I});
+    Out.push_back({G.cellCenter(0, I), W.Rho, W.Vel[0], W.P});
+  }
+  return Out;
+}
+
+/// Numerical schlieren field: exp(-k |grad rho| / max|grad rho|), the
+/// standard visualization of Fig. 3-style snapshots.
+NDArray<double> schlierenField(const EulerSolver<2> &S, double Contrast = 15.0);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_FIELDEXPORT_H

@@ -1,0 +1,53 @@
+//===- io/PgmWriter.cpp - Grayscale image output ---------------------------===//
+
+#include "io/PgmWriter.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+using namespace sacfd;
+
+bool sacfd::writePgm(const std::string &Path, const NDArray<double> &Field,
+                     std::optional<PgmRange> Range) {
+  if (Field.rank() != 2 || Field.size() == 0)
+    return false;
+
+  double Lo, Hi;
+  if (Range) {
+    Lo = Range->Lo;
+    Hi = Range->Hi;
+  } else {
+    Lo = Hi = Field[0];
+    for (size_t I = 1; I < Field.size(); ++I) {
+      Lo = std::min(Lo, Field[I]);
+      Hi = std::max(Hi, Field[I]);
+    }
+  }
+  double Scale = Hi > Lo ? 255.0 / (Hi - Lo) : 0.0;
+
+  size_t Nx = Field.shape().dim(0);
+  size_t Ny = Field.shape().dim(1);
+
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
+  if (!File)
+    return false;
+  std::fprintf(File, "P5\n%zu %zu\n255\n", Nx, Ny);
+
+  // Image rows top to bottom = field y from Ny-1 down to 0.
+  std::vector<unsigned char> Row(Nx);
+  for (size_t J = Ny; J-- > 0;) {
+    for (size_t I = 0; I < Nx; ++I) {
+      double V = (Field.at(static_cast<std::ptrdiff_t>(I),
+                           static_cast<std::ptrdiff_t>(J)) -
+                  Lo) *
+                 Scale;
+      Row[I] = static_cast<unsigned char>(std::clamp(V, 0.0, 255.0));
+    }
+    std::fwrite(Row.data(), 1, Nx, File);
+  }
+
+  bool Ok = std::ferror(File) == 0;
+  std::fclose(File);
+  return Ok;
+}

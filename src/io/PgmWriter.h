@@ -1,0 +1,42 @@
+//===- io/PgmWriter.h - Grayscale image output ------------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portable graymap (PGM) output for 2D scalar fields — the Fig. 3
+/// snapshot images.  Binary P5 format, 8-bit, min/max normalized (or a
+/// caller-fixed range for comparable frames).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_PGMWRITER_H
+#define SACFD_IO_PGMWRITER_H
+
+#include "array/NDArray.h"
+
+#include <optional>
+#include <string>
+
+namespace sacfd {
+
+/// Optional fixed normalization range for writePgm.
+struct PgmRange {
+  double Lo;
+  double Hi;
+};
+
+/// Writes a rank-2 scalar field as a binary PGM image.
+///
+/// Axis 0 of the field maps to image x, axis 1 to image y with row 0 at
+/// the bottom (flow-field convention).  Values normalize over the field
+/// min/max unless \p Range fixes them.  \returns false on I/O failure or
+/// rank != 2.
+bool writePgm(const std::string &Path, const NDArray<double> &Field,
+              std::optional<PgmRange> Range = std::nullopt);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_PGMWRITER_H

@@ -1,0 +1,49 @@
+//===- io/VtkWriter.cpp - Legacy VTK structured output ----------------------===//
+
+#include "io/VtkWriter.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+bool sacfd::writeVtk(const std::string &Path, const EulerSolver<2> &Solver) {
+  const Grid<2> &G = Solver.problem().Domain;
+  size_t Nx = G.cells(0), Ny = G.cells(1);
+
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+
+  std::fprintf(File, "# vtk DataFile Version 3.0\n");
+  std::fprintf(File, "sacfd %s t=%.6g\n", Solver.problem().Name.c_str(),
+               Solver.time());
+  std::fprintf(File, "ASCII\nDATASET STRUCTURED_POINTS\n");
+  std::fprintf(File, "DIMENSIONS %zu %zu 1\n", Nx, Ny);
+  std::fprintf(File, "ORIGIN %.9g %.9g 0\n", G.lo(0) + 0.5 * G.dx(0),
+               G.lo(1) + 0.5 * G.dx(1));
+  std::fprintf(File, "SPACING %.9g %.9g 1\n", G.dx(0), G.dx(1));
+  std::fprintf(File, "POINT_DATA %zu\n", Nx * Ny);
+
+  // VTK structured points iterate x fastest.
+  auto forEachCell = [&](auto &&Fn) {
+    for (size_t J = 0; J < Ny; ++J)
+      for (size_t I = 0; I < Nx; ++I)
+        Fn(Solver.primitiveAt(Index{static_cast<std::ptrdiff_t>(I),
+                                    static_cast<std::ptrdiff_t>(J)}));
+  };
+
+  std::fprintf(File, "SCALARS density double 1\nLOOKUP_TABLE default\n");
+  forEachCell([&](const Prim<2> &W) { std::fprintf(File, "%.9g\n", W.Rho); });
+
+  std::fprintf(File, "SCALARS pressure double 1\nLOOKUP_TABLE default\n");
+  forEachCell([&](const Prim<2> &W) { std::fprintf(File, "%.9g\n", W.P); });
+
+  std::fprintf(File, "VECTORS velocity double\n");
+  forEachCell([&](const Prim<2> &W) {
+    std::fprintf(File, "%.9g %.9g 0\n", W.Vel[0], W.Vel[1]);
+  });
+
+  bool Ok = std::ferror(File) == 0;
+  std::fclose(File);
+  return Ok;
+}

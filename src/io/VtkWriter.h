@@ -1,0 +1,29 @@
+//===- io/VtkWriter.h - Legacy VTK structured output ------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Legacy-format VTK structured-points writer so 2D runs open directly
+/// in ParaView/VisIt.  ASCII format, density/pressure/velocity fields.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_VTKWRITER_H
+#define SACFD_IO_VTKWRITER_H
+
+#include "solver/EulerSolver.h"
+
+#include <string>
+
+namespace sacfd {
+
+/// Writes the interior primitive fields of a 2D solver as legacy VTK
+/// STRUCTURED_POINTS.  \returns false on I/O failure.
+bool writeVtk(const std::string &Path, const EulerSolver<2> &Solver);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_VTKWRITER_H

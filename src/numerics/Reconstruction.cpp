@@ -1,0 +1,166 @@
+//===- numerics/Reconstruction.cpp - Face-value reconstruction ------------===//
+
+#include "numerics/Reconstruction.h"
+
+#include "support/StrUtil.h"
+
+#include <cmath>
+
+using namespace sacfd;
+
+const char *sacfd::reconstructionKindName(ReconstructionKind Kind) {
+  switch (Kind) {
+  case ReconstructionKind::PiecewiseConstant:
+    return "pc1";
+  case ReconstructionKind::Tvd2:
+    return "tvd2";
+  case ReconstructionKind::Tvd3:
+    return "tvd3";
+  case ReconstructionKind::Weno3:
+    return "weno3";
+  case ReconstructionKind::Weno5:
+    return "weno5";
+  }
+  return "unknown";
+}
+
+std::optional<ReconstructionKind>
+sacfd::parseReconstructionKind(std::string_view Text) {
+  std::string_view Name = trim(Text);
+  if (equalsLower(Name, "pc1") || equalsLower(Name, "pc") ||
+      equalsLower(Name, "constant"))
+    return ReconstructionKind::PiecewiseConstant;
+  if (equalsLower(Name, "tvd2") || equalsLower(Name, "muscl"))
+    return ReconstructionKind::Tvd2;
+  if (equalsLower(Name, "tvd3"))
+    return ReconstructionKind::Tvd3;
+  if (equalsLower(Name, "weno3") || equalsLower(Name, "weno"))
+    return ReconstructionKind::Weno3;
+  if (equalsLower(Name, "weno5"))
+    return ReconstructionKind::Weno5;
+  return std::nullopt;
+}
+
+const char *sacfd::limiterKindName(LimiterKind Kind) {
+  switch (Kind) {
+  case LimiterKind::MinMod:
+    return "minmod";
+  case LimiterKind::Superbee:
+    return "superbee";
+  case LimiterKind::VanLeer:
+    return "vanleer";
+  case LimiterKind::Mc:
+    return "mc";
+  }
+  return "unknown";
+}
+
+std::optional<LimiterKind> sacfd::parseLimiterKind(std::string_view Text) {
+  std::string_view Name = trim(Text);
+  if (equalsLower(Name, "minmod"))
+    return LimiterKind::MinMod;
+  if (equalsLower(Name, "superbee"))
+    return LimiterKind::Superbee;
+  if (equalsLower(Name, "vanleer") || equalsLower(Name, "van-leer"))
+    return LimiterKind::VanLeer;
+  if (equalsLower(Name, "mc"))
+    return LimiterKind::Mc;
+  return std::nullopt;
+}
+
+/// One-sided 3rd-order WENO reconstruction toward the right face of the
+/// middle cell, from the ordered window (Um, U0, Up) = (upwind, cell,
+/// downwind).
+static double weno3Biased(double Um, double U0, double Up) {
+  // Candidate polynomials evaluated at the face.
+  double P0 = -0.5 * Um + 1.5 * U0; // stencil {i-1, i}
+  double P1 = 0.5 * U0 + 0.5 * Up;  // stencil {i, i+1}
+  // Smoothness indicators and ideal weights (d0 = 1/3, d1 = 2/3).
+  double B0 = (U0 - Um) * (U0 - Um);
+  double B1 = (Up - U0) * (Up - U0);
+  constexpr double Eps = 1e-6;
+  double A0 = (1.0 / 3.0) / ((Eps + B0) * (Eps + B0));
+  double A1 = (2.0 / 3.0) / ((Eps + B1) * (Eps + B1));
+  return (A0 * P0 + A1 * P1) / (A0 + A1);
+}
+
+/// One-sided 5th-order WENO reconstruction toward the right face of the
+/// middle cell, from the ordered 5-cell window (A, B, C, D, E) =
+/// (i-2, i-1, i, i+1, i+2) in upwind orientation (Jiang & Shu weights).
+static double weno5Biased(double A, double B, double C, double D, double E) {
+  double P0 = (2.0 * A - 7.0 * B + 11.0 * C) / 6.0;
+  double P1 = (-B + 5.0 * C + 2.0 * D) / 6.0;
+  double P2 = (2.0 * C + 5.0 * D - E) / 6.0;
+
+  double B0 = (13.0 / 12.0) * (A - 2.0 * B + C) * (A - 2.0 * B + C) +
+              0.25 * (A - 4.0 * B + 3.0 * C) * (A - 4.0 * B + 3.0 * C);
+  double B1 = (13.0 / 12.0) * (B - 2.0 * C + D) * (B - 2.0 * C + D) +
+              0.25 * (B - D) * (B - D);
+  double B2 = (13.0 / 12.0) * (C - 2.0 * D + E) * (C - 2.0 * D + E) +
+              0.25 * (3.0 * C - 4.0 * D + E) * (3.0 * C - 4.0 * D + E);
+
+  constexpr double Eps = 1e-6;
+  double A0 = 0.1 / ((Eps + B0) * (Eps + B0));
+  double A1 = 0.6 / ((Eps + B1) * (Eps + B1));
+  double A2 = 0.3 / ((Eps + B2) * (Eps + B2));
+  return (A0 * P0 + A1 * P1 + A2 * P2) / (A0 + A1 + A2);
+}
+
+/// kappa = 1/3 limited reconstruction toward the right face of the middle
+/// cell; DM/DP are its backward/forward differences.
+static double tvd3Biased(double U0, double DM, double DP,
+                         LimiterKind Limiter) {
+  // Third-order interpolation q + (2 dp + dm)/6, limited so each
+  // difference contribution stays within the TVD bounds (b = 4 for
+  // kappa = 1/3; narrower limiters simply substitute their own slope).
+  if (Limiter == LimiterKind::MinMod) {
+    constexpr double B = 4.0;
+    double DmT = minmod(DM, B * DP);
+    double DpT = minmod(DP, B * DM);
+    return U0 + (2.0 * DpT + DmT) / 6.0;
+  }
+  double DmT = limitedSlope(Limiter, DM, DP);
+  double DpT = limitedSlope(Limiter, DP, DM);
+  return U0 + (2.0 * DpT + DmT) / 6.0;
+}
+
+FaceScalars sacfd::reconstructFace(ReconstructionKind Kind,
+                                   LimiterKind Limiter,
+                                   const std::array<double, 6> &W) {
+  FaceScalars Out;
+  switch (Kind) {
+  case ReconstructionKind::PiecewiseConstant:
+    Out.L = W[2];
+    Out.R = W[3];
+    return Out;
+
+  case ReconstructionKind::Tvd2: {
+    // MUSCL: cell i extrapolates forward, cell i+1 backward.
+    double SlopeL = limitedSlope(Limiter, W[2] - W[1], W[3] - W[2]);
+    double SlopeR = limitedSlope(Limiter, W[3] - W[2], W[4] - W[3]);
+    Out.L = W[2] + 0.5 * SlopeL;
+    Out.R = W[3] - 0.5 * SlopeR;
+    return Out;
+  }
+
+  case ReconstructionKind::Tvd3: {
+    Out.L = tvd3Biased(W[2], W[2] - W[1], W[3] - W[2], Limiter);
+    // Mirror for the right cell: its "forward" direction points left.
+    Out.R = tvd3Biased(W[3], W[3] - W[4], W[2] - W[3], Limiter);
+    return Out;
+  }
+
+  case ReconstructionKind::Weno3:
+    Out.L = weno3Biased(W[1], W[2], W[3]);
+    Out.R = weno3Biased(W[4], W[3], W[2]);
+    return Out;
+
+  case ReconstructionKind::Weno5:
+    Out.L = weno5Biased(W[0], W[1], W[2], W[3], W[4]);
+    Out.R = weno5Biased(W[5], W[4], W[3], W[2], W[1]);
+    return Out;
+  }
+  Out.L = W[2];
+  Out.R = W[3];
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- numerics/RiemannSolvers.cpp - Approximate Riemann solvers ---------===//
+
+#include "numerics/RiemannSolvers.h"
+
+#include "support/StrUtil.h"
+
+using namespace sacfd;
+
+const char *sacfd::riemannKindName(RiemannKind Kind) {
+  switch (Kind) {
+  case RiemannKind::Rusanov:
+    return "rusanov";
+  case RiemannKind::Hll:
+    return "hll";
+  case RiemannKind::Hllc:
+    return "hllc";
+  case RiemannKind::Roe:
+    return "roe";
+  }
+  return "unknown";
+}
+
+std::optional<RiemannKind> sacfd::parseRiemannKind(std::string_view Text) {
+  std::string_view Name = trim(Text);
+  if (equalsLower(Name, "rusanov") || equalsLower(Name, "llf") ||
+      equalsLower(Name, "lax-friedrichs"))
+    return RiemannKind::Rusanov;
+  if (equalsLower(Name, "hll"))
+    return RiemannKind::Hll;
+  if (equalsLower(Name, "hllc"))
+    return RiemannKind::Hllc;
+  if (equalsLower(Name, "roe"))
+    return RiemannKind::Roe;
+  return std::nullopt;
+}

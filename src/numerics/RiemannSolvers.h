@@ -1,0 +1,197 @@
+//===- numerics/RiemannSolvers.h - Approximate Riemann solvers -*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stage 2 of the Godunov pipeline: "evaluation of the numerical fluxes
+/// through the cell boundaries ... by approximately solving the Riemann
+/// problems between two states on the 'left' and 'right' sides of the
+/// cell boundaries".  The paper's code "includes a few options for the
+/// approximate Riemann solver"; this menu provides the four standard
+/// ones, ordered by increasing resolution:
+///
+///   Rusanov  local Lax-Friedrichs: one dissipative wave speed
+///   HLL      two-wave fan average (contact smeared)
+///   HLLC     HLL with restored contact/shear wave
+///   Roe      full linearized wave decomposition + Harten entropy fix
+///
+/// Every solver is consistent (F(q, q) = f(q)) and rotation-covariant via
+/// the Axis parameter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_NUMERICS_RIEMANNSOLVERS_H
+#define SACFD_NUMERICS_RIEMANNSOLVERS_H
+
+#include "euler/Characteristics.h"
+#include "euler/Flux.h"
+#include "euler/State.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <optional>
+#include <string_view>
+
+namespace sacfd {
+
+/// Approximate Riemann solver menu.
+enum class RiemannKind {
+  Rusanov,
+  Hll,
+  Hllc,
+  Roe,
+};
+
+/// \returns the stable CLI/report name of \p Kind.
+const char *riemannKindName(RiemannKind Kind);
+
+/// Parses "rusanov"/"llf", "hll", "hllc", "roe".
+std::optional<RiemannKind> parseRiemannKind(std::string_view Text);
+
+namespace detail {
+
+/// Einfeldt-style wave speed estimates from the Roe average.
+template <unsigned Dim> struct WaveSpeeds {
+  double SL;
+  double SR;
+};
+
+template <unsigned Dim>
+WaveSpeeds<Dim> einfeldtSpeeds(const Prim<Dim> &Wl, const Prim<Dim> &Wr,
+                               const Gas &G, unsigned Axis) {
+  FaceAverage<Dim> Roe = roeAverage(Wl, Wr, G);
+  double Cl = G.soundSpeed(Wl.Rho, Wl.P);
+  double Cr = G.soundSpeed(Wr.Rho, Wr.P);
+  WaveSpeeds<Dim> S;
+  S.SL = std::min(Wl.Vel[Axis] - Cl, Roe.Vel[Axis] - Roe.C);
+  S.SR = std::max(Wr.Vel[Axis] + Cr, Roe.Vel[Axis] + Roe.C);
+  return S;
+}
+
+} // namespace detail
+
+/// Rusanov (local Lax-Friedrichs) flux:
+/// F = (F_L + F_R)/2 - smax (Q_R - Q_L)/2.
+template <unsigned Dim>
+Cons<Dim> rusanovFlux(const Cons<Dim> &Ql, const Cons<Dim> &Qr, const Gas &G,
+                      unsigned Axis) {
+  Prim<Dim> Wl = toPrim(Ql, G);
+  Prim<Dim> Wr = toPrim(Qr, G);
+  double Smax =
+      std::max(maxWaveSpeed(Wl, G, Axis), maxWaveSpeed(Wr, G, Axis));
+  Cons<Dim> Fl = physicalFlux(Wl, G, Axis);
+  Cons<Dim> Fr = physicalFlux(Wr, G, Axis);
+  return (Fl + Fr) * 0.5 - (Qr - Ql) * (0.5 * Smax);
+}
+
+/// HLL flux: two-wave average between Einfeldt speed estimates.
+template <unsigned Dim>
+Cons<Dim> hllFlux(const Cons<Dim> &Ql, const Cons<Dim> &Qr, const Gas &G,
+                  unsigned Axis) {
+  Prim<Dim> Wl = toPrim(Ql, G);
+  Prim<Dim> Wr = toPrim(Qr, G);
+  auto [SL, SR] = detail::einfeldtSpeeds(Wl, Wr, G, Axis);
+  Cons<Dim> Fl = physicalFlux(Wl, G, Axis);
+  if (SL >= 0.0)
+    return Fl;
+  Cons<Dim> Fr = physicalFlux(Wr, G, Axis);
+  if (SR <= 0.0)
+    return Fr;
+  return (Fl * SR - Fr * SL + (Qr - Ql) * (SL * SR)) / (SR - SL);
+}
+
+/// HLLC flux: HLL with the contact/shear wave restored (Toro 10.4).
+template <unsigned Dim>
+Cons<Dim> hllcFlux(const Cons<Dim> &Ql, const Cons<Dim> &Qr, const Gas &G,
+                   unsigned Axis) {
+  Prim<Dim> Wl = toPrim(Ql, G);
+  Prim<Dim> Wr = toPrim(Qr, G);
+  auto [SL, SR] = detail::einfeldtSpeeds(Wl, Wr, G, Axis);
+
+  Cons<Dim> Fl = physicalFlux(Wl, G, Axis);
+  if (SL >= 0.0)
+    return Fl;
+  Cons<Dim> Fr = physicalFlux(Wr, G, Axis);
+  if (SR <= 0.0)
+    return Fr;
+
+  double Ul = Wl.Vel[Axis], Ur = Wr.Vel[Axis];
+  double Ml = Wl.Rho * (SL - Ul); // mass flux factors
+  double Mr = Wr.Rho * (SR - Ur);
+  double SStar = (Wr.P - Wl.P + Ml * Ul - Mr * Ur) / (Ml - Mr);
+
+  auto starState = [&](const Prim<Dim> &W, const Cons<Dim> &Q, double S,
+                       double U) {
+    double Factor = W.Rho * (S - U) / (S - SStar);
+    Cons<Dim> QStar;
+    QStar.Rho = Factor;
+    for (unsigned D = 0; D < Dim; ++D)
+      QStar.Mom[D] = Factor * W.Vel[D];
+    QStar.Mom[Axis] = Factor * SStar;
+    double EOverRho = Q.E / W.Rho +
+                      (SStar - U) * (SStar + W.P / (W.Rho * (S - U)));
+    QStar.E = Factor * EOverRho;
+    return QStar;
+  };
+
+  if (SStar >= 0.0) {
+    Cons<Dim> QlStar = starState(Wl, Ql, SL, Ul);
+    return Fl + (QlStar - Ql) * SL;
+  }
+  Cons<Dim> QrStar = starState(Wr, Qr, SR, Ur);
+  return Fr + (QrStar - Qr) * SR;
+}
+
+/// Roe flux with Harten's entropy fix on the acoustic fields:
+/// F = (F_L + F_R)/2 - sum_k |lambda_k| alpha_k r_k / 2.
+template <unsigned Dim>
+Cons<Dim> roeFlux(const Cons<Dim> &Ql, const Cons<Dim> &Qr, const Gas &G,
+                  unsigned Axis) {
+  constexpr unsigned N = NumVars<Dim>;
+  Prim<Dim> Wl = toPrim(Ql, G);
+  Prim<Dim> Wr = toPrim(Qr, G);
+  FaceAverage<Dim> Avg = roeAverage(Wl, Wr, G);
+  EigenSystem<Dim> ES(Avg, G, Axis);
+
+  auto Alpha = ES.toCharacteristic(Qr - Ql);
+  Cons<Dim> Fl = physicalFlux(Wl, G, Axis);
+  Cons<Dim> Fr = physicalFlux(Wr, G, Axis);
+
+  Cons<Dim> Dissipation; // zero-initialized
+  // Harten's entropy fix threshold scaled by the face sound speed.
+  double Delta = 0.1 * Avg.C;
+  for (unsigned K = 0; K < N; ++K) {
+    double Lambda = ES.lambda(K);
+    double AbsLambda = std::fabs(Lambda);
+    bool Acoustic = (K == 0) || (K == N - 1);
+    if (Acoustic && AbsLambda < Delta)
+      AbsLambda = 0.5 * (Lambda * Lambda / Delta + Delta);
+    Dissipation += ES.rightVector(K) * (AbsLambda * Alpha[K]);
+  }
+  return (Fl + Fr) * 0.5 - Dissipation * 0.5;
+}
+
+/// Dispatches to the selected solver.
+template <unsigned Dim>
+Cons<Dim> numericalFlux(RiemannKind Kind, const Cons<Dim> &Ql,
+                        const Cons<Dim> &Qr, const Gas &G, unsigned Axis) {
+  switch (Kind) {
+  case RiemannKind::Rusanov:
+    return rusanovFlux(Ql, Qr, G, Axis);
+  case RiemannKind::Hll:
+    return hllFlux(Ql, Qr, G, Axis);
+  case RiemannKind::Hllc:
+    return hllcFlux(Ql, Qr, G, Axis);
+  case RiemannKind::Roe:
+    return roeFlux(Ql, Qr, G, Axis);
+  }
+  return rusanovFlux(Ql, Qr, G, Axis);
+}
+
+} // namespace sacfd
+
+#endif // SACFD_NUMERICS_RIEMANNSOLVERS_H

@@ -1,0 +1,60 @@
+//===- numerics/TimeIntegrators.cpp - SSP Runge-Kutta schemes ------------===//
+
+#include "numerics/TimeIntegrators.h"
+
+#include "support/StrUtil.h"
+
+using namespace sacfd;
+
+const char *sacfd::timeIntegratorKindName(TimeIntegratorKind Kind) {
+  switch (Kind) {
+  case TimeIntegratorKind::ForwardEuler:
+    return "rk1";
+  case TimeIntegratorKind::SspRk2:
+    return "rk2";
+  case TimeIntegratorKind::SspRk3:
+    return "rk3";
+  }
+  return "unknown";
+}
+
+std::optional<TimeIntegratorKind>
+sacfd::parseTimeIntegratorKind(std::string_view Text) {
+  std::string_view Name = trim(Text);
+  if (equalsLower(Name, "rk1") || equalsLower(Name, "euler"))
+    return TimeIntegratorKind::ForwardEuler;
+  if (equalsLower(Name, "rk2"))
+    return TimeIntegratorKind::SspRk2;
+  if (equalsLower(Name, "rk3"))
+    return TimeIntegratorKind::SspRk3;
+  return std::nullopt;
+}
+
+static const SspStage Rk1Stages[] = {
+    {0.0, 1.0},
+};
+static const SspStage Rk2Stages[] = {
+    {0.0, 1.0},
+    {0.5, 0.5},
+};
+static const SspStage Rk3Stages[] = {
+    {0.0, 1.0},
+    {0.75, 0.25},
+    {1.0 / 3.0, 2.0 / 3.0},
+};
+
+std::span<const SspStage> sacfd::sspStages(TimeIntegratorKind Kind) {
+  switch (Kind) {
+  case TimeIntegratorKind::ForwardEuler:
+    return Rk1Stages;
+  case TimeIntegratorKind::SspRk2:
+    return Rk2Stages;
+  case TimeIntegratorKind::SspRk3:
+    return Rk3Stages;
+  }
+  return Rk1Stages;
+}
+
+unsigned sacfd::timeIntegratorOrder(TimeIntegratorKind Kind) {
+  return static_cast<unsigned>(sspStages(Kind).size());
+}

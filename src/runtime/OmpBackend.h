@@ -1,0 +1,42 @@
+//===- runtime/OmpBackend.h - Real OpenMP execution -------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The literal mechanism of the paper's Fortran runs: OpenMP.
+///
+/// "As the Fortran compiler uses OpenMP for parallelization ..." — this
+/// backend hands each parallelFor to a real `#pragma omp parallel`
+/// region, so the model comparison (ForkJoinBackend's literal
+/// fork-join vs SpinBarrierPool's persistent spin pool) can be
+/// cross-checked against an industrial runtime.  Modern libgomp keeps
+/// its team alive between regions, so OpenMP's measured dispatch cost
+/// typically lands between the two models — see the E1 extra experiment.
+///
+/// Built only when the toolchain provides OpenMP (SACFD_HAVE_OPENMP);
+/// openMpAvailable() reports availability at runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_RUNTIME_OMPBACKEND_H
+#define SACFD_RUNTIME_OMPBACKEND_H
+
+#include "runtime/Backend.h"
+
+#include <memory>
+
+namespace sacfd {
+
+/// \returns true when this build carries the OpenMP backend.
+bool openMpAvailable();
+
+/// Creates an OpenMP-backed Backend with \p Threads workers, or nullptr
+/// when the build has no OpenMP support.
+std::unique_ptr<Backend> createOmpBackend(unsigned Threads);
+
+} // namespace sacfd
+
+#endif // SACFD_RUNTIME_OMPBACKEND_H

@@ -1,0 +1,40 @@
+//===- runtime/ParallelRegion.h - Nested-region detection ------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-local tracking of "am I inside a parallel region?".
+///
+/// Backends use this to serialize nested parallelFor calls: a with-loop
+/// body that itself evaluates an array expression must not recursively
+/// spawn or re-enter the worker pool.  This mirrors the paper's setup,
+/// where only one level of parallelism is active (OMP_NESTED merely being
+/// set to TRUE did not change behavior on their workload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_RUNTIME_PARALLELREGION_H
+#define SACFD_RUNTIME_PARALLELREGION_H
+
+namespace sacfd {
+
+/// \returns true when the calling thread is executing inside a
+/// Backend::parallelFor body.
+bool inParallelRegion();
+
+/// RAII marker: the current thread is executing a parallel-region body.
+class ParallelRegionGuard {
+public:
+  ParallelRegionGuard();
+  ~ParallelRegionGuard();
+
+  ParallelRegionGuard(const ParallelRegionGuard &) = delete;
+  ParallelRegionGuard &operator=(const ParallelRegionGuard &) = delete;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_RUNTIME_PARALLELREGION_H

@@ -1,0 +1,102 @@
+//===- runtime/Schedule.cpp - Loop iteration scheduling policies ---------===//
+
+#include "runtime/Schedule.h"
+
+#include "support/Error.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sacfd;
+
+std::optional<Schedule> Schedule::parse(std::string_view Text) {
+  std::vector<std::string> Parts = split(trim(Text), ',');
+  if (Parts.empty() || Parts.size() > 2)
+    return std::nullopt;
+
+  Schedule Sched;
+  std::string_view Name = trim(Parts[0]);
+  if (equalsLower(Name, "static"))
+    Sched.K = Parts.size() == 2 ? Kind::StaticChunk : Kind::StaticBlock;
+  else if (equalsLower(Name, "dynamic"))
+    Sched.K = Kind::Dynamic;
+  else
+    return std::nullopt;
+
+  if (Parts.size() == 2) {
+    std::optional<long long> Chunk = parseInt(Parts[1]);
+    if (!Chunk || *Chunk <= 0)
+      return std::nullopt;
+    Sched.ChunkSize = static_cast<size_t>(*Chunk);
+  }
+  return Sched;
+}
+
+std::string Schedule::str() const {
+  std::string Name;
+  switch (K) {
+  case Kind::StaticBlock:
+    return "static";
+  case Kind::StaticChunk:
+    Name = "static";
+    break;
+  case Kind::Dynamic:
+    Name = "dynamic";
+    break;
+  }
+  if (ChunkSize != 0)
+    Name += "," + std::to_string(ChunkSize);
+  return Name;
+}
+
+size_t Schedule::resolvedChunk(size_t N, unsigned Workers) const {
+  assert(Workers > 0 && "worker count must be positive");
+  if (ChunkSize != 0)
+    return ChunkSize;
+  switch (K) {
+  case Kind::StaticBlock:
+    // One block per worker, rounded up.
+    return (N + Workers - 1) / Workers;
+  case Kind::StaticChunk:
+  case Kind::Dynamic:
+    // Mirror common OpenMP practice: enough chunks for some load balance
+    // without flooding the dispatch path.
+    return std::max<size_t>(1, N / (8 * static_cast<size_t>(Workers)));
+  }
+  sacfdUnreachable("covered switch");
+}
+
+std::vector<std::vector<IterationChunk>>
+sacfd::staticPartition(size_t N, unsigned Workers, const Schedule &Sched) {
+  assert(Sched.K != Schedule::Kind::Dynamic &&
+         "dynamic schedules have no static partition");
+  assert(Workers > 0 && "worker count must be positive");
+
+  std::vector<std::vector<IterationChunk>> Plan(Workers);
+  if (N == 0)
+    return Plan;
+
+  if (Sched.K == Schedule::Kind::StaticBlock) {
+    // Spread the remainder over the leading workers so block sizes differ
+    // by at most one iteration.
+    size_t Base = N / Workers;
+    size_t Extra = N % Workers;
+    size_t Begin = 0;
+    for (unsigned W = 0; W < Workers; ++W) {
+      size_t Len = Base + (W < Extra ? 1 : 0);
+      if (Len > 0)
+        Plan[W].push_back({Begin, Begin + Len});
+      Begin += Len;
+    }
+    return Plan;
+  }
+
+  size_t Chunk = Sched.resolvedChunk(N, Workers);
+  unsigned W = 0;
+  for (size_t Begin = 0; Begin < N; Begin += Chunk) {
+    Plan[W].push_back({Begin, std::min(Begin + Chunk, N)});
+    W = (W + 1) % Workers;
+  }
+  return Plan;
+}

@@ -1,0 +1,76 @@
+//===- runtime/Schedule.h - Loop iteration scheduling policies -*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iteration-space partitioning policies for the parallel backends.
+///
+/// The paper's Fortran runs were tuned through OMP_SCHEDULE (STATIC won);
+/// Schedule reproduces that knob for the fork-join backend so the A2
+/// ablation can measure static vs dynamic chunking the way the authors did.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_RUNTIME_SCHEDULE_H
+#define SACFD_RUNTIME_SCHEDULE_H
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sacfd {
+
+/// How a [Begin, End) iteration range is carved into worker chunks.
+struct Schedule {
+  enum class Kind {
+    /// One contiguous block per worker (OpenMP `static` without chunk).
+    StaticBlock,
+    /// Fixed-size chunks dealt round-robin (OpenMP `static,chunk`).
+    StaticChunk,
+    /// Workers grab chunks from a shared counter (OpenMP `dynamic`).
+    Dynamic,
+  };
+
+  Kind K = Kind::StaticBlock;
+  /// Chunk size for StaticChunk/Dynamic; 0 selects an automatic size.
+  size_t ChunkSize = 0;
+
+  static Schedule staticBlock() { return {Kind::StaticBlock, 0}; }
+  static Schedule staticChunk(size_t Chunk) {
+    return {Kind::StaticChunk, Chunk};
+  }
+  static Schedule dynamic(size_t Chunk = 0) { return {Kind::Dynamic, Chunk}; }
+
+  /// Parses "static", "static,N", "dynamic", "dynamic,N" (the OMP_SCHEDULE
+  /// grammar).  \returns nullopt on malformed input.
+  static std::optional<Schedule> parse(std::string_view Text);
+
+  /// \returns a human-readable form, e.g. "static" or "dynamic,16".
+  std::string str() const;
+
+  /// Chunk size actually used for an \p N-iteration loop on \p Workers
+  /// workers (resolves the automatic size).
+  size_t resolvedChunk(size_t N, unsigned Workers) const;
+};
+
+/// A contiguous sub-range of a parallel loop assigned to one worker visit.
+struct IterationChunk {
+  size_t Begin;
+  size_t End;
+};
+
+/// Computes the static partition of [0, N) for \p Workers workers under
+/// \p Sched.  Entry I holds the chunks worker I must execute, in order.
+/// Dynamic schedules have no static partition; calling this with one is a
+/// programmatic error.
+std::vector<std::vector<IterationChunk>>
+staticPartition(size_t N, unsigned Workers, const Schedule &Sched);
+
+} // namespace sacfd
+
+#endif // SACFD_RUNTIME_SCHEDULE_H

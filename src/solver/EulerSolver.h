@@ -1,0 +1,133 @@
+//===- solver/EulerSolver.h - Solver engine interface ----------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common driver for the two solver engines under comparison.
+///
+/// ArraySolver (the SaC port) and FusedSolver (the Fortran original) are
+/// two implementations of the same numerical method; both derive from
+/// EulerSolver, which owns the field, the clock and the step loop.  The
+/// engines implement computeDt() (the GetDT kernel) and stepWithDt() (one
+/// full multi-stage time step).  For identical scheme settings the two
+/// engines produce bit-identical fields — the executable form of the
+/// paper's claim that the SaC code is a faithful port.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_EULERSOLVER_H
+#define SACFD_SOLVER_EULERSOLVER_H
+
+#include "array/NDArray.h"
+#include "runtime/Backend.h"
+#include "solver/Problem.h"
+#include "solver/SchemeConfig.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sacfd {
+
+/// Abstract Euler solver: owns the field and the time loop; engines
+/// supply the per-step numerics.
+template <unsigned Dim> class EulerSolver {
+public:
+  EulerSolver(Problem<Dim> Prob, SchemeConfig Scheme, Backend &Exec)
+      : Prob(std::move(Prob)), Scheme(Scheme), Exec(Exec),
+        U(this->Prob.Domain.storageShape()) {
+    assert(this->Prob.Domain.ghost() >= ghostCells(Scheme.Recon) &&
+           "grid ghost layers insufficient for the reconstruction");
+    initializeField();
+  }
+  virtual ~EulerSolver() = default;
+
+  EulerSolver(const EulerSolver &) = delete;
+  EulerSolver &operator=(const EulerSolver &) = delete;
+
+  const Problem<Dim> &problem() const { return Prob; }
+  const SchemeConfig &scheme() const { return Scheme; }
+  Backend &backend() { return Exec; }
+
+  double time() const { return Time; }
+  unsigned stepCount() const { return Steps; }
+
+  /// The full field including ghost cells (shape == storageShape()).
+  const NDArray<Cons<Dim>> &field() const { return U; }
+  NDArray<Cons<Dim>> &field() { return U; }
+
+  /// Primitive state of interior cell \p Interior.
+  Prim<Dim> primitiveAt(const Index &Interior) const {
+    return toPrim(U.at(Prob.Domain.toStorage(Interior)), Prob.G);
+  }
+
+  /// CFL-limited time step of the current field (the GetDT kernel).
+  virtual double computeDt() = 0;
+
+  /// Advances one step with the CFL time step.  \returns the dt taken.
+  double advance() {
+    double Dt = computeDt();
+    stepWithDt(Dt);
+    Time += Dt;
+    ++Steps;
+    return Dt;
+  }
+
+  /// Advances exactly \p N steps (the paper's fixed-step benchmark loop).
+  void advanceSteps(unsigned N) {
+    for (unsigned I = 0; I < N; ++I)
+      advance();
+  }
+
+  /// Advances until \p EndTime, clamping the final step onto it.
+  void advanceTo(double EndTime) {
+    while (Time < EndTime) {
+      double Dt = std::min(computeDt(), EndTime - Time);
+      stepWithDt(Dt);
+      Time += Dt;
+      ++Steps;
+    }
+  }
+
+  /// Engine name for reports ("array" / "fused").
+  virtual const char *engineName() const = 0;
+
+  /// Overwrites the solver clock; checkpoint-restore hook (the field is
+  /// restored through the mutable field() accessor).
+  void restoreClock(double NewTime, unsigned NewSteps) {
+    Time = NewTime;
+    Steps = NewSteps;
+  }
+
+protected:
+  /// One full multi-stage step with the given dt.
+  virtual void stepWithDt(double Dt) = 0;
+
+  void initializeField() {
+    const Grid<Dim> &G = Prob.Domain;
+    Shape Interior = G.interiorShape();
+    Index Iv = Interior.delinearize(0);
+    if (Interior.count() > 0) {
+      do {
+        std::array<double, Dim> X;
+        for (unsigned A = 0; A < Dim; ++A)
+          X[A] = G.cellCenter(A, Iv.Coord[A]);
+        U.at(G.toStorage(Iv)) = toCons(Prob.InitialState(X), Prob.G);
+      } while (Interior.increment(Iv));
+    }
+    applyBoundaries(U, G, Prob.Boundary, Exec);
+  }
+
+  Problem<Dim> Prob;
+  SchemeConfig Scheme;
+  Backend &Exec;
+  NDArray<Cons<Dim>> U;
+  double Time = 0.0;
+  unsigned Steps = 0;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_EULERSOLVER_H

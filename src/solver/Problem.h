@@ -1,0 +1,43 @@
+//===- solver/Problem.h - Workload description -----------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A self-contained simulation setup: grid, gas, boundary conditions and
+/// initial state.  Concrete instances (Sod tube, the two-channel shock
+/// interaction, ...) live in Problems.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_PROBLEM_H
+#define SACFD_SOLVER_PROBLEM_H
+
+#include "euler/Gas.h"
+#include "euler/State.h"
+#include "solver/BoundaryConditions.h"
+#include "solver/Grid.h"
+
+#include <array>
+#include <functional>
+#include <string>
+
+namespace sacfd {
+
+/// A complete workload the solvers can be pointed at.
+template <unsigned Dim> struct Problem {
+  std::string Name;
+  Grid<Dim> Domain;
+  BoundarySpec<Dim> Boundary;
+  Gas G;
+  /// Initial primitive state as a function of the cell-center position.
+  std::function<Prim<Dim>(const std::array<double, Dim> &)> InitialState;
+  /// The physically interesting duration (benchmarks may override).
+  double EndTime = 1.0;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_PROBLEM_H

@@ -1,0 +1,68 @@
+//===- solver/SchemeConfig.h - Numerical scheme selection ------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The knobs of the three-stage Godunov pipeline, bundled.
+///
+/// Two presets mirror the paper's two configurations:
+///   - figureScheme(): WENO3 + HLLC + RK3 (the flow-field computations of
+///     Figs. 1 and 3 use the 3rd-order WENO reconstruction);
+///   - benchmarkScheme(): PC1 + RK3 ("the third order Runge-Kutta TVD
+///     method and first order piecewise constant reconstruction",
+///     Section 5 — the Fig. 4 measurement configuration).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_SCHEMECONFIG_H
+#define SACFD_SOLVER_SCHEMECONFIG_H
+
+#include "numerics/Limiters.h"
+#include "numerics/Reconstruction.h"
+#include "numerics/RiemannSolvers.h"
+#include "numerics/TimeIntegrators.h"
+
+#include <string>
+
+namespace sacfd {
+
+/// Full numerical-scheme selection for one solver run.
+struct SchemeConfig {
+  ReconstructionKind Recon = ReconstructionKind::Weno3;
+  LimiterKind Limiter = LimiterKind::MinMod;
+  ReconstructVariables Vars = ReconstructVariables::Characteristic;
+  RiemannKind Riemann = RiemannKind::Hllc;
+  TimeIntegratorKind Integrator = TimeIntegratorKind::SspRk3;
+  /// CFL number for the GetDT step (DT = CFL / EVmax).
+  double Cfl = 0.5;
+
+  /// The paper's flow-figure configuration.
+  static SchemeConfig figureScheme() { return SchemeConfig(); }
+
+  /// The paper's Fig. 4 wall-clock benchmark configuration.
+  static SchemeConfig benchmarkScheme() {
+    SchemeConfig C;
+    C.Recon = ReconstructionKind::PiecewiseConstant;
+    C.Integrator = TimeIntegratorKind::SspRk3;
+    return C;
+  }
+
+  /// One-line description for reports, e.g. "weno3/minmod/hllc/rk3".
+  std::string str() const {
+    std::string S = reconstructionKindName(Recon);
+    S += "/";
+    S += limiterKindName(Limiter);
+    S += "/";
+    S += riemannKindName(Riemann);
+    S += "/";
+    S += timeIntegratorKindName(Integrator);
+    return S;
+  }
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_SCHEMECONFIG_H

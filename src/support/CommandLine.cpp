@@ -1,0 +1,178 @@
+//===- support/CommandLine.cpp - Declarative flag parsing ----------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/Error.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+using namespace sacfd;
+
+std::string CommandLine::Option::defaultText() const {
+  char Buf[64];
+  switch (Kind) {
+  case OptionKind::Flag:
+    return *static_cast<bool *>(Target) ? "true" : "false";
+  case OptionKind::Int:
+    std::snprintf(Buf, sizeof(Buf), "%d", *static_cast<int *>(Target));
+    return Buf;
+  case OptionKind::Unsigned:
+    std::snprintf(Buf, sizeof(Buf), "%u", *static_cast<unsigned *>(Target));
+    return Buf;
+  case OptionKind::Double:
+    std::snprintf(Buf, sizeof(Buf), "%g", *static_cast<double *>(Target));
+    return Buf;
+  case OptionKind::String:
+    return *static_cast<std::string *>(Target);
+  }
+  sacfdUnreachable("covered switch");
+}
+
+void CommandLine::addFlag(std::string Name, bool &Target, std::string Help) {
+  assert(!findOption(Name) && "duplicate option name");
+  Options.push_back(
+      {std::move(Name), std::move(Help), OptionKind::Flag, &Target});
+}
+
+void CommandLine::addInt(std::string Name, int &Target, std::string Help) {
+  assert(!findOption(Name) && "duplicate option name");
+  Options.push_back(
+      {std::move(Name), std::move(Help), OptionKind::Int, &Target});
+}
+
+void CommandLine::addUnsigned(std::string Name, unsigned &Target,
+                              std::string Help) {
+  assert(!findOption(Name) && "duplicate option name");
+  Options.push_back(
+      {std::move(Name), std::move(Help), OptionKind::Unsigned, &Target});
+}
+
+void CommandLine::addDouble(std::string Name, double &Target,
+                            std::string Help) {
+  assert(!findOption(Name) && "duplicate option name");
+  Options.push_back(
+      {std::move(Name), std::move(Help), OptionKind::Double, &Target});
+}
+
+void CommandLine::addString(std::string Name, std::string &Target,
+                            std::string Help) {
+  assert(!findOption(Name) && "duplicate option name");
+  Options.push_back(
+      {std::move(Name), std::move(Help), OptionKind::String, &Target});
+}
+
+CommandLine::Option *CommandLine::findOption(std::string_view Name) {
+  for (Option &Opt : Options)
+    if (Opt.Name == Name)
+      return &Opt;
+  return nullptr;
+}
+
+bool CommandLine::applyValue(Option &Opt, std::string_view Value) {
+  switch (Opt.Kind) {
+  case OptionKind::Flag: {
+    if (equalsLower(Value, "true") || Value == "1") {
+      *static_cast<bool *>(Opt.Target) = true;
+      return true;
+    }
+    if (equalsLower(Value, "false") || Value == "0") {
+      *static_cast<bool *>(Opt.Target) = false;
+      return true;
+    }
+    return false;
+  }
+  case OptionKind::Int: {
+    std::optional<long long> V = parseInt(Value);
+    if (!V || *V < std::numeric_limits<int>::min() ||
+        *V > std::numeric_limits<int>::max())
+      return false;
+    *static_cast<int *>(Opt.Target) = static_cast<int>(*V);
+    return true;
+  }
+  case OptionKind::Unsigned: {
+    std::optional<long long> V = parseInt(Value);
+    if (!V || *V < 0 || *V > std::numeric_limits<unsigned>::max())
+      return false;
+    *static_cast<unsigned *>(Opt.Target) = static_cast<unsigned>(*V);
+    return true;
+  }
+  case OptionKind::Double: {
+    std::optional<double> V = parseDouble(Value);
+    if (!V)
+      return false;
+    *static_cast<double *>(Opt.Target) = *V;
+    return true;
+  }
+  case OptionKind::String:
+    *static_cast<std::string *>(Opt.Target) = std::string(Value);
+    return true;
+  }
+  sacfdUnreachable("covered switch");
+}
+
+bool CommandLine::parse(int Argc, const char *const *Argv) {
+  SawHelp = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string_view Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      SawHelp = true;
+      printHelp();
+      return false;
+    }
+    if (Arg.substr(0, 2) != "--") {
+      std::fprintf(stderr, "%s: unexpected positional argument '%s'\n",
+                   Program.c_str(), Argv[I]);
+      return false;
+    }
+    Arg.remove_prefix(2);
+
+    std::string_view Name = Arg;
+    std::string_view Inline;
+    bool HasInline = false;
+    if (size_t Eq = Arg.find('='); Eq != std::string_view::npos) {
+      Name = Arg.substr(0, Eq);
+      Inline = Arg.substr(Eq + 1);
+      HasInline = true;
+    }
+
+    Option *Opt = findOption(Name);
+    if (!Opt) {
+      std::fprintf(stderr, "%s: unknown option '--%.*s'\n", Program.c_str(),
+                   static_cast<int>(Name.size()), Name.data());
+      return false;
+    }
+
+    std::string_view Value;
+    if (HasInline) {
+      Value = Inline;
+    } else if (Opt->Kind == OptionKind::Flag) {
+      Value = "true";
+    } else {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "%s: option '--%s' expects a value\n",
+                     Program.c_str(), Opt->Name.c_str());
+        return false;
+      }
+      Value = Argv[++I];
+    }
+
+    if (!applyValue(*Opt, Value)) {
+      std::fprintf(stderr, "%s: bad value '%.*s' for option '--%s'\n",
+                   Program.c_str(), static_cast<int>(Value.size()),
+                   Value.data(), Opt->Name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void CommandLine::printHelp() const {
+  std::printf("%s - %s\n\nOptions:\n", Program.c_str(), About.c_str());
+  for (const Option &Opt : Options)
+    std::printf("  --%-18s %s (default: %s)\n", Opt.Name.c_str(),
+                Opt.Help.c_str(), Opt.defaultText().c_str());
+  std::printf("  --%-18s %s\n", "help", "print this message");
+}

@@ -1,0 +1,36 @@
+//===- support/Env.cpp - Environment variable helpers --------------------===//
+
+#include "support/Env.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+#include <thread>
+
+using namespace sacfd;
+
+std::optional<std::string> sacfd::getEnvString(const char *Name) {
+  const char *Value = std::getenv(Name);
+  if (!Value)
+    return std::nullopt;
+  return std::string(Value);
+}
+
+std::optional<long long> sacfd::getEnvInt(const char *Name) {
+  std::optional<std::string> Value = getEnvString(Name);
+  if (!Value)
+    return std::nullopt;
+  return parseInt(*Value);
+}
+
+unsigned sacfd::hardwareThreadCount() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N == 0 ? 1 : N;
+}
+
+unsigned sacfd::defaultThreadCount() {
+  if (std::optional<long long> N = getEnvInt("SACFD_THREADS"))
+    if (*N > 0)
+      return static_cast<unsigned>(*N);
+  return hardwareThreadCount();
+}

@@ -1,0 +1,41 @@
+//===- support/Env.h - Environment variable helpers ------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Typed access to environment variables.
+///
+/// The paper tunes the Fortran runtime through OMP_SCHEDULE / OMP_NESTED /
+/// OMP_DYNAMIC; SacFD mirrors that with SACFD_SCHEDULE, SACFD_THREADS and
+/// SACFD_SPIN so the fork-join backend can be steered the same way without
+/// recompiling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_ENV_H
+#define SACFD_SUPPORT_ENV_H
+
+#include <optional>
+#include <string>
+
+namespace sacfd {
+
+/// \returns the raw value of \p Name, or nullopt when unset.
+std::optional<std::string> getEnvString(const char *Name);
+
+/// \returns \p Name parsed as integer, or nullopt when unset/malformed.
+std::optional<long long> getEnvInt(const char *Name);
+
+/// \returns the number of hardware threads, at least 1.
+unsigned hardwareThreadCount();
+
+/// \returns the default worker count: SACFD_THREADS when set and positive,
+/// otherwise hardwareThreadCount().
+unsigned defaultThreadCount();
+
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_ENV_H

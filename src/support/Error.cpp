@@ -1,0 +1,22 @@
+//===- support/Error.cpp - Fatal errors and unreachable markers ----------===//
+
+#include "support/Error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace sacfd;
+
+void sacfd::reportUnreachable(const char *Msg, const char *File,
+                              unsigned Line) {
+  std::fprintf(stderr, "sacfd fatal: unreachable executed at %s:%u: %s\n",
+               File, Line, Msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+void sacfd::reportFatalError(const char *Msg) {
+  std::fprintf(stderr, "sacfd error: %s\n", Msg);
+  std::fflush(stderr);
+  std::exit(1);
+}

@@ -1,0 +1,43 @@
+//===- support/Error.h - Fatal errors and unreachable markers --*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic-error plumbing for the whole library.
+///
+/// SacFD follows the LLVM error-handling split: invariant violations abort
+/// via assert/sacfdUnreachable, while environment errors (missing files,
+/// malformed flags) are reported through return values.  The library never
+/// throws.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_ERROR_H
+#define SACFD_SUPPORT_ERROR_H
+
+namespace sacfd {
+
+/// Prints \p Msg with source location to stderr and aborts.
+///
+/// Used for control-flow points that are unconditionally bugs when reached.
+/// Unlike assert, this also fires in release builds, so invariants that
+/// guard memory safety stay enforced.
+[[noreturn]] void reportUnreachable(const char *Msg, const char *File,
+                                    unsigned Line);
+
+/// Prints a fatal usage/environment error and exits with a nonzero status.
+///
+/// Reserved for tool-level code (benches, examples); library code reports
+/// recoverable failures through its return types instead.
+[[noreturn]] void reportFatalError(const char *Msg);
+
+} // namespace sacfd
+
+/// Marks a point in the program that can never be executed.
+#define sacfdUnreachable(MSG)                                                  \
+  ::sacfd::reportUnreachable(MSG, __FILE__, __LINE__)
+
+#endif // SACFD_SUPPORT_ERROR_H

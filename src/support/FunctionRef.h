@@ -1,0 +1,61 @@
+//===- support/FunctionRef.h - Non-owning callable reference ---*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A non-owning reference to a callable, modeled on llvm::function_ref.
+///
+/// FunctionRef is to std::function what std::string_view is to std::string:
+/// it never allocates and is cheap to pass by value, which matters on the
+/// parallel-dispatch hot path where every with-loop body crosses the
+/// Backend::parallelFor boundary.  It must not outlive the callable it was
+/// constructed from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_FUNCTIONREF_H
+#define SACFD_SUPPORT_FUNCTIONREF_H
+
+#include <type_traits>
+#include <utility>
+
+namespace sacfd {
+
+template <typename Fn> class FunctionRef;
+
+/// Non-owning, trivially copyable reference to any callable with the given
+/// signature.
+template <typename Ret, typename... Params> class FunctionRef<Ret(Params...)> {
+public:
+  FunctionRef() = default;
+
+  template <typename Callable,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<Callable>, FunctionRef>>>
+  FunctionRef(Callable &&Fn)
+      : Callee(reinterpret_cast<void *>(&Fn)),
+        Thunk(&invoke<std::remove_reference_t<Callable>>) {}
+
+  Ret operator()(Params... Args) const {
+    return Thunk(Callee, std::forward<Params>(Args)...);
+  }
+
+  explicit operator bool() const { return Thunk != nullptr; }
+
+private:
+  template <typename Callable>
+  static Ret invoke(void *Fn, Params... Args) {
+    return (*reinterpret_cast<Callable *>(Fn))(
+        std::forward<Params>(Args)...);
+  }
+
+  void *Callee = nullptr;
+  Ret (*Thunk)(void *, Params...) = nullptr;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_FUNCTIONREF_H

@@ -1,0 +1,82 @@
+//===- support/StrUtil.cpp - Small string helpers -------------------------===//
+
+#include "support/StrUtil.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+
+using namespace sacfd;
+
+static bool isSpaceChar(char C) {
+  return std::isspace(static_cast<unsigned char>(C)) != 0;
+}
+
+std::string_view sacfd::trim(std::string_view S) {
+  while (!S.empty() && isSpaceChar(S.front()))
+    S.remove_prefix(1);
+  while (!S.empty() && isSpaceChar(S.back()))
+    S.remove_suffix(1);
+  return S;
+}
+
+std::vector<std::string> sacfd::split(std::string_view S, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Begin = 0;
+  while (true) {
+    size_t End = S.find(Sep, Begin);
+    if (End == std::string_view::npos) {
+      Parts.emplace_back(S.substr(Begin));
+      return Parts;
+    }
+    Parts.emplace_back(S.substr(Begin, End - Begin));
+    Begin = End + 1;
+  }
+}
+
+std::optional<long long> sacfd::parseInt(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  long long Value = std::strtoll(Buf.c_str(), &End, 10);
+  if (errno == ERANGE || End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::optional<double> sacfd::parseDouble(std::string_view S) {
+  S = trim(S);
+  if (S.empty())
+    return std::nullopt;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  double Value = std::strtod(Buf.c_str(), &End);
+  if (errno == ERANGE || End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return Value;
+}
+
+bool sacfd::equalsLower(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0, E = A.size(); I != E; ++I) {
+    char CA = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(A[I])));
+    char CB = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(B[I])));
+    if (CA != CB)
+      return false;
+  }
+  return true;
+}
+
+std::string sacfd::toLower(std::string_view S) {
+  std::string Out(S);
+  for (char &C : Out)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return Out;
+}

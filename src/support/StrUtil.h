@@ -1,0 +1,45 @@
+//===- support/StrUtil.h - Small string helpers ----------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String parsing helpers shared by the CLI parser and env-var handling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_STRUTIL_H
+#define SACFD_SUPPORT_STRUTIL_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sacfd {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view S);
+
+/// Splits \p S on \p Sep; empty fields are preserved.
+std::vector<std::string> split(std::string_view S, char Sep);
+
+/// Parses a whole string as a signed integer.
+/// \returns std::nullopt on any trailing garbage, overflow, or empty input.
+std::optional<long long> parseInt(std::string_view S);
+
+/// Parses a whole string as a double (accepts the usual strtod forms).
+/// \returns std::nullopt on trailing garbage or empty input.
+std::optional<double> parseDouble(std::string_view S);
+
+/// Case-insensitive equality for ASCII strings.
+bool equalsLower(std::string_view A, std::string_view B);
+
+/// Lower-cases ASCII characters of \p S.
+std::string toLower(std::string_view S);
+
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_STRUTIL_H

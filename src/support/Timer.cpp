@@ -1,0 +1,36 @@
+//===- support/Timer.cpp - Wall-clock timing utilities -------------------===//
+
+#include "support/Timer.h"
+
+#include <algorithm>
+
+using namespace sacfd;
+
+double TimingSamples::min() const {
+  if (Samples.empty())
+    return 0.0;
+  return *std::min_element(Samples.begin(), Samples.end());
+}
+
+double TimingSamples::max() const {
+  if (Samples.empty())
+    return 0.0;
+  return *std::max_element(Samples.begin(), Samples.end());
+}
+
+double TimingSamples::mean() const {
+  if (Samples.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double S : Samples)
+    Sum += S;
+  return Sum / static_cast<double>(Samples.size());
+}
+
+double TimingSamples::median() const {
+  if (Samples.empty())
+    return 0.0;
+  std::vector<double> Sorted = Samples;
+  std::sort(Sorted.begin(), Sorted.end());
+  return Sorted[(Sorted.size() - 1) / 2];
+}

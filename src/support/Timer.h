@@ -1,0 +1,67 @@
+//===- support/Timer.h - Wall-clock timing utilities -----------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timing for the benchmark harness.
+///
+/// The paper reports wall-clock seconds of a fixed-step simulation (Fig. 4);
+/// WallTimer is the primitive behind every measurement in bench/, and
+/// TimingSamples aggregates repeated runs into the statistics the harness
+/// prints (min is the headline number, median/mean expose noise).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_TIMER_H
+#define SACFD_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <vector>
+
+namespace sacfd {
+
+/// Measures elapsed wall-clock time from construction or the last restart.
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Resets the reference point to now.
+  void restart() { Start = Clock::now(); }
+
+  /// \returns seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Collects repeated timing samples and summarizes them.
+class TimingSamples {
+public:
+  void add(double Seconds) { Samples.push_back(Seconds); }
+
+  bool empty() const { return Samples.empty(); }
+  unsigned count() const { return static_cast<unsigned>(Samples.size()); }
+
+  /// \returns the smallest sample; 0 when empty.
+  double min() const;
+  /// \returns the largest sample; 0 when empty.
+  double max() const;
+  /// \returns the arithmetic mean; 0 when empty.
+  double mean() const;
+  /// \returns the median (lower-middle for even counts); 0 when empty.
+  double median() const;
+
+private:
+  std::vector<double> Samples;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_TIMER_H

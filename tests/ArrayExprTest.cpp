@@ -1,0 +1,214 @@
+//===- tests/ArrayExprTest.cpp - Lazy expression semantics ----------------===//
+
+#include "array/Expr.h"
+#include "array/NDArray.h"
+#include "array/WithLoop.h"
+#include "runtime/SerialBackend.h"
+
+#include <gtest/gtest.h>
+
+using namespace sacfd;
+
+namespace {
+
+NDArray<double> iota(size_t N) {
+  NDArray<double> A(Shape{N});
+  for (size_t I = 0; I < N; ++I)
+    A[I] = static_cast<double>(I);
+  return A;
+}
+
+SerialBackend Exec;
+
+} // namespace
+
+TEST(NDArrayTest, ConstructionAndAccess) {
+  NDArray<double> A(Shape{2, 3});
+  EXPECT_EQ(A.rank(), 2u);
+  EXPECT_EQ(A.size(), 6u);
+  for (size_t I = 0; I < A.size(); ++I)
+    EXPECT_EQ(A[I], 0.0) << "value-initialized";
+  A.at(1, 2) = 7.5;
+  EXPECT_EQ(A[5], 7.5);
+  A.fill(3.0);
+  EXPECT_EQ(A.at(0, 0), 3.0);
+  EXPECT_EQ(A.at(1, 2), 3.0);
+}
+
+TEST(NDArrayTest, FillConstructorAndReshape) {
+  NDArray<int> A(Shape{4}, 9);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(A[I], 9);
+  A.reshapeDiscard(Shape{2, 2});
+  EXPECT_EQ(A.shape(), Shape({2, 2}));
+  EXPECT_EQ(A[0], 0) << "reshapeDiscard value-initializes";
+}
+
+TEST(ExprTest, ElementwiseBinaryOnArrays) {
+  NDArray<double> A = iota(5);
+  NDArray<double> B = iota(5);
+  NDArray<double> Out = materialize(toExpr(A) + toExpr(B), Exec);
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Out[I], 2.0 * static_cast<double>(I));
+}
+
+TEST(ExprTest, MixedArrayExprOperands) {
+  NDArray<double> A = iota(4);
+  // (A + A) * A - A : single fused pass.
+  auto Ex = (toExpr(A) + toExpr(A)) * toExpr(A) - toExpr(A);
+  NDArray<double> Out = materialize(Ex, Exec);
+  for (size_t I = 0; I < 4; ++I) {
+    double V = static_cast<double>(I);
+    EXPECT_EQ(Out[I], (V + V) * V - V);
+  }
+}
+
+TEST(ExprTest, ScalarBroadcastBothSides) {
+  NDArray<double> A = iota(4);
+  NDArray<double> R = materialize(toExpr(A) * 2.0 + 1.0, Exec);
+  NDArray<double> L = materialize(10.0 - toExpr(A), Exec);
+  for (size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(R[I], 2.0 * static_cast<double>(I) + 1.0);
+    EXPECT_EQ(L[I], 10.0 - static_cast<double>(I));
+  }
+}
+
+TEST(ExprTest, UnaryTransformsAndNegation) {
+  NDArray<double> A(Shape{3});
+  A[0] = -4.0;
+  A[1] = 9.0;
+  A[2] = -16.0;
+  NDArray<double> Abs = materialize(fabsE(A), Exec);
+  EXPECT_EQ(Abs[0], 4.0);
+  EXPECT_EQ(Abs[2], 16.0);
+  NDArray<double> Root = materialize(sqrtE(fabsE(A)), Exec);
+  EXPECT_DOUBLE_EQ(Root[0], 2.0);
+  EXPECT_DOUBLE_EQ(Root[1], 3.0);
+  EXPECT_DOUBLE_EQ(Root[2], 4.0);
+  NDArray<double> Neg = materialize(-toExpr(A), Exec);
+  EXPECT_EQ(Neg[0], 4.0);
+  EXPECT_EQ(Neg[1], -9.0);
+}
+
+//===----------------------------------------------------------------------===//
+// drop / take — SaC semantics
+//===----------------------------------------------------------------------===//
+
+TEST(CropTest, DropFromFront) {
+  NDArray<double> A = iota(6);
+  auto Ex = drop(Index{2}, A);
+  ASSERT_EQ(Ex.shape(), Shape({4}));
+  NDArray<double> Out = materialize(Ex, Exec);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Out[I], static_cast<double>(I + 2));
+}
+
+TEST(CropTest, DropFromBackWithNegativeOffset) {
+  NDArray<double> A = iota(6);
+  NDArray<double> Out = materialize(drop(Index{-2}, A), Exec);
+  ASSERT_EQ(Out.shape(), Shape({4}));
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Out[I], static_cast<double>(I));
+}
+
+TEST(CropTest, TakeFrontAndBack) {
+  NDArray<double> A = iota(6);
+  NDArray<double> Front = materialize(take(Index{3}, A), Exec);
+  ASSERT_EQ(Front.shape(), Shape({3}));
+  EXPECT_EQ(Front[0], 0.0);
+  EXPECT_EQ(Front[2], 2.0);
+
+  NDArray<double> Back = materialize(take(Index{-3}, A), Exec);
+  ASSERT_EQ(Back.shape(), Shape({3}));
+  EXPECT_EQ(Back[0], 3.0);
+  EXPECT_EQ(Back[2], 5.0);
+}
+
+TEST(CropTest, TwoDimensionalDrop) {
+  NDArray<double> A(Shape{4, 5});
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] = static_cast<double>(I);
+  // Drop first row and last two columns.
+  auto Ex = drop(Index{1, -2}, A);
+  ASSERT_EQ(Ex.shape(), Shape({3, 3}));
+  NDArray<double> Out = materialize(Ex, Exec);
+  EXPECT_EQ(Out.at(0, 0), A.at(1, 0));
+  EXPECT_EQ(Out.at(2, 2), A.at(3, 2));
+}
+
+TEST(CropTest, PaperDfDxNoBoundary) {
+  // The paper's dfDxNoBoundary in full:
+  //   return (drop([1], dqc) - drop([-1], dqc)) / delta;
+  NDArray<double> Dqc = iota(8);
+  for (size_t I = 0; I < 8; ++I)
+    Dqc[I] = Dqc[I] * Dqc[I]; // f(x) = x^2, so df = 2x+1
+  double Delta = 1.0;
+  auto DfDx = (drop(Index{1}, Dqc) - drop(Index{-1}, Dqc)) / Delta;
+  ASSERT_EQ(DfDx.shape(), Shape({7}));
+  NDArray<double> Out = materialize(DfDx, Exec);
+  for (size_t I = 0; I < 7; ++I)
+    EXPECT_DOUBLE_EQ(Out[I], 2.0 * static_cast<double>(I) + 1.0);
+}
+
+TEST(CropTest, DropEverythingGivesEmpty) {
+  NDArray<double> A = iota(3);
+  auto Ex = drop(Index{3}, A);
+  EXPECT_EQ(Ex.shape().count(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Set notation
+//===----------------------------------------------------------------------===//
+
+TEST(MapExprTest, PaperTransposeExample) {
+  // { [i,j] -> matrix[j,i] } from Section 2.
+  NDArray<double> M(Shape{2, 3});
+  for (size_t I = 0; I < M.size(); ++I)
+    M[I] = static_cast<double>(I);
+  auto Transposed = mapIndex(Shape{3, 2}, [&M](const Index &Iv) {
+    return M.at(Iv[1], Iv[0]);
+  });
+  NDArray<double> Out = materialize(Transposed, Exec);
+  for (std::ptrdiff_t I = 0; I < 3; ++I)
+    for (std::ptrdiff_t J = 0; J < 2; ++J)
+      EXPECT_EQ(Out.at(I, J), M.at(J, I));
+}
+
+TEST(MapExprTest, ComposesWithElementwiseOperators) {
+  auto Sq = mapIndex(Shape{5}, [](const Index &Iv) {
+    return static_cast<double>(Iv[0] * Iv[0]);
+  });
+  NDArray<double> Out = materialize(Sq + Sq, Exec);
+  for (size_t I = 0; I < 5; ++I)
+    EXPECT_EQ(Out[I], 2.0 * static_cast<double>(I * I));
+}
+
+//===----------------------------------------------------------------------===//
+// Struct element types (the paper's fluid_cv)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct Vec2 {
+  double X = 0, Y = 0;
+  friend Vec2 operator+(Vec2 A, Vec2 B) { return {A.X + B.X, A.Y + B.Y}; }
+  friend Vec2 operator-(Vec2 A, Vec2 B) { return {A.X - B.X, A.Y - B.Y}; }
+  friend Vec2 operator/(Vec2 A, double S) { return {A.X / S, A.Y / S}; }
+};
+
+} // namespace
+
+TEST(ExprTest, UserDefinedCellTypes) {
+  NDArray<Vec2> A(Shape{4});
+  for (size_t I = 0; I < 4; ++I)
+    A[I] = {static_cast<double>(I), static_cast<double>(2 * I)};
+  // Central difference on a struct-valued field, exactly like fluid_cv.
+  auto Ex = (drop(Index{1}, A) - drop(Index{-1}, A)) / 2.0;
+  NDArray<Vec2> Out = materialize(Ex, Exec);
+  ASSERT_EQ(Out.shape(), Shape({3}));
+  // Adjacent difference of a linear ramp: X steps by 1, Y by 2; halved.
+  for (size_t I = 0; I < 3; ++I) {
+    EXPECT_DOUBLE_EQ(Out[I].X, 0.5);
+    EXPECT_DOUBLE_EQ(Out[I].Y, 1.0);
+  }
+}

@@ -1,0 +1,123 @@
+//===- tests/ArrayRank3Test.cpp - Rank-3 array layer tests -----------------===//
+//
+// The array substrate must be rank-generic up to MaxRank; these tests pin
+// rank-3 with-loops, crops, reductions and struct-element folds (the
+// foundations the 3D solver instantiation stands on).
+//
+//===----------------------------------------------------------------------===//
+
+#include "array/Reductions.h"
+#include "array/WithLoop.h"
+#include "euler/State.h"
+#include "runtime/Runtime.h"
+#include "runtime/SerialBackend.h"
+
+#include <gtest/gtest.h>
+
+using namespace sacfd;
+
+namespace {
+
+SerialBackend Exec;
+
+NDArray<double> rank3Iota(size_t A, size_t B, size_t C) {
+  NDArray<double> Out(Shape{A, B, C});
+  for (size_t I = 0; I < Out.size(); ++I)
+    Out[I] = static_cast<double>(I);
+  return Out;
+}
+
+} // namespace
+
+TEST(ArrayRank3, WithLoopOverThreeAxes) {
+  NDArray<double> Out = withLoop(Shape{3, 4, 5}, Exec, [](const Index &Iv) {
+    return static_cast<double>(Iv[0] * 100 + Iv[1] * 10 + Iv[2]);
+  });
+  EXPECT_EQ(Out.at(Index{0, 0, 0}), 0.0);
+  EXPECT_EQ(Out.at(Index{2, 3, 4}), 234.0);
+  EXPECT_EQ(Out.at(Index{1, 2, 3}), 123.0);
+}
+
+TEST(ArrayRank3, CropOnEveryAxis) {
+  NDArray<double> A = rank3Iota(4, 4, 4);
+  auto Ex = drop(Index{1, -1, 2}, A);
+  ASSERT_EQ(Ex.shape(), Shape({3, 3, 2}));
+  NDArray<double> Out = materialize(Ex, Exec);
+  // Element (0,0,0) of the view = A(1,0,2).
+  EXPECT_EQ(Out.at(Index{0, 0, 0}), A.at(Index{1, 0, 2}));
+  EXPECT_EQ(Out.at(Index{2, 2, 1}), A.at(Index{3, 2, 3}));
+}
+
+TEST(ArrayRank3, TakeComposesWithDrop) {
+  NDArray<double> A = rank3Iota(5, 5, 5);
+  // Interior box: drop one layer from every side.
+  auto Inner = drop(Index{-1, -1, -1}, drop(Index{1, 1, 1}, A));
+  ASSERT_EQ(Inner.shape(), Shape({3, 3, 3}));
+  NDArray<double> Out = materialize(Inner, Exec);
+  EXPECT_EQ(Out.at(Index{0, 0, 0}), A.at(Index{1, 1, 1}));
+  EXPECT_EQ(Out.at(Index{2, 2, 2}), A.at(Index{3, 3, 3}));
+}
+
+TEST(ArrayRank3, ReductionsOverFullBox) {
+  NDArray<double> A = rank3Iota(4, 3, 2);
+  double N = static_cast<double>(A.size());
+  EXPECT_DOUBLE_EQ(sum(A, Exec), N * (N - 1.0) / 2.0);
+  EXPECT_EQ(maxval(A, Exec), N - 1.0);
+  EXPECT_EQ(minval(A, Exec), 0.0);
+}
+
+TEST(ArrayRank3, FoldOverConsStates) {
+  // The fold carrier can be a struct: summing conservative states is the
+  // conservation diagnostic's inner loop.
+  Gas G;
+  NDArray<Cons<3>> Field(Shape{2, 2, 2});
+  for (size_t I = 0; I < Field.size(); ++I) {
+    Prim<3> W;
+    W.Rho = 1.0 + static_cast<double>(I);
+    W.Vel = {1.0, 0.0, -1.0};
+    W.P = 1.0;
+    Field[I] = toCons(W, G);
+  }
+  Cons<3> Total = fold(
+      Field, Cons<3>{},
+      [](const Cons<3> &A, const Cons<3> &B) { return A + B; }, Exec);
+  // Sum of rho over 8 cells: 1+2+...+8 = 36.
+  EXPECT_DOUBLE_EQ(Total.Rho, 36.0);
+  EXPECT_DOUBLE_EQ(Total.Mom[0], 36.0);
+  EXPECT_DOUBLE_EQ(Total.Mom[2], -36.0);
+}
+
+TEST(ArrayRank3, ElementwiseSelfAssignIsSafe) {
+  // assignInto reading only the written element's own position is legal
+  // (pure element-wise update in place).
+  NDArray<double> A = rank3Iota(3, 3, 3);
+  assignInto(A, toExpr(A) * 2.0 + 1.0, Exec);
+  EXPECT_EQ(A.at(Index{0, 0, 0}), 1.0);
+  EXPECT_EQ(A.at(Index{2, 2, 2}), 2.0 * 26.0 + 1.0);
+}
+
+TEST(ArrayRank3, BackendsAgreeOnRank3WithLoop) {
+  auto Body = [](const Index &Iv) {
+    return static_cast<double>(Iv[0] * Iv[1] + Iv[2]);
+  };
+  NDArray<double> Ref = withLoop(Shape{6, 5, 4}, Exec, Body);
+  for (BackendKind K : {BackendKind::SpinPool, BackendKind::ForkJoin}) {
+    auto B = createBackend(K, 3);
+    NDArray<double> Got = withLoop(Shape{6, 5, 4}, *B, Body);
+    ASSERT_EQ(Got.shape(), Ref.shape());
+    for (size_t I = 0; I < Ref.size(); ++I)
+      ASSERT_EQ(Got[I], Ref[I]) << backendKindName(K) << " elem " << I;
+  }
+}
+
+TEST(ArrayRank3, MapIndexTransposePermutesAxes) {
+  NDArray<double> A = rank3Iota(2, 3, 4);
+  auto Permuted = mapIndex(Shape{4, 2, 3}, [&A](const Index &Iv) {
+    return A.at(Index{Iv[1], Iv[2], Iv[0]});
+  });
+  NDArray<double> Out = materialize(Permuted, Exec);
+  for (std::ptrdiff_t I = 0; I < 2; ++I)
+    for (std::ptrdiff_t J = 0; J < 3; ++J)
+      for (std::ptrdiff_t K = 0; K < 4; ++K)
+        EXPECT_EQ(Out.at(Index{K, I, J}), A.at(Index{I, J, K}));
+}

@@ -1,0 +1,245 @@
+//===- tests/BoundaryTest.cpp - Ghost-cell boundary condition tests -------===//
+
+#include "runtime/Runtime.h"
+#include "runtime/SerialBackend.h"
+#include "solver/BoundaryConditions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sacfd;
+
+namespace {
+
+Gas G;
+
+Cons<1> cons1(double Rho, double U, double P) {
+  Prim<1> W;
+  W.Rho = Rho;
+  W.Vel = {U};
+  W.P = P;
+  return toCons(W, G);
+}
+
+Cons<2> cons2(double Rho, double U, double V, double P) {
+  Prim<2> W;
+  W.Rho = Rho;
+  W.Vel = {U, V};
+  W.P = P;
+  return toCons(W, G);
+}
+
+/// 1D field on a 4-cell grid with 2 ghosts; interior cells get distinct
+/// states indexed 0..3.
+struct Field1D {
+  Grid<1> Gr{{4}, {0.0}, {1.0}, 2};
+  NDArray<Cons<1>> U{Gr.storageShape()};
+
+  Field1D() {
+    for (std::ptrdiff_t I = 0; I < 4; ++I)
+      U.at(Gr.toStorage(Index{I})) =
+          cons1(1.0 + static_cast<double>(I), 0.5, 2.0);
+  }
+};
+
+} // namespace
+
+TEST(Boundary1D, TransmissiveCopiesEdgeCell) {
+  Field1D F;
+  SerialBackend Exec;
+  applyBoundaries(F.U, F.Gr, BoundarySpec<1>::uniform(BcKind::Transmissive),
+                  Exec);
+  // Low ghosts (storage 0,1) copy interior cell 0 (storage 2).
+  EXPECT_TRUE(F.U.at(Index{0}) == F.U.at(Index{2}));
+  EXPECT_TRUE(F.U.at(Index{1}) == F.U.at(Index{2}));
+  // High ghosts copy interior cell 3 (storage 5).
+  EXPECT_TRUE(F.U.at(Index{6}) == F.U.at(Index{5}));
+  EXPECT_TRUE(F.U.at(Index{7}) == F.U.at(Index{5}));
+}
+
+TEST(Boundary1D, ReflectiveMirrorsAndNegatesNormalMomentum) {
+  Field1D F;
+  SerialBackend Exec;
+  applyBoundaries(F.U, F.Gr, BoundarySpec<1>::uniform(BcKind::Reflective),
+                  Exec);
+  // Layer 1 (storage 1) mirrors interior cell 0 (storage 2); layer 2
+  // (storage 0) mirrors interior cell 1 (storage 3).
+  EXPECT_EQ(F.U.at(Index{1}).Rho, F.U.at(Index{2}).Rho);
+  EXPECT_EQ(F.U.at(Index{1}).Mom[0], -F.U.at(Index{2}).Mom[0]);
+  EXPECT_EQ(F.U.at(Index{1}).E, F.U.at(Index{2}).E);
+  EXPECT_EQ(F.U.at(Index{0}).Rho, F.U.at(Index{3}).Rho);
+  EXPECT_EQ(F.U.at(Index{0}).Mom[0], -F.U.at(Index{3}).Mom[0]);
+  // High side.
+  EXPECT_EQ(F.U.at(Index{6}).Rho, F.U.at(Index{5}).Rho);
+  EXPECT_EQ(F.U.at(Index{6}).Mom[0], -F.U.at(Index{5}).Mom[0]);
+  EXPECT_EQ(F.U.at(Index{7}).Rho, F.U.at(Index{4}).Rho);
+}
+
+TEST(Boundary1D, InflowWritesFrozenState) {
+  Field1D F;
+  SerialBackend Exec;
+  Cons<1> Frozen = cons1(9.0, 3.0, 7.0);
+  BoundarySpec<1> Spec = BoundarySpec<1>::uniform(BcKind::Transmissive);
+  BcSegment<1> In;
+  In.Kind = BcKind::Inflow;
+  In.InflowState = Frozen;
+  Spec.setSide(boundarySide(0, false), In);
+  applyBoundaries(F.U, F.Gr, Spec, Exec);
+  EXPECT_TRUE(F.U.at(Index{0}) == Frozen);
+  EXPECT_TRUE(F.U.at(Index{1}) == Frozen);
+  // High side still transmissive.
+  EXPECT_TRUE(F.U.at(Index{7}) == F.U.at(Index{5}));
+}
+
+TEST(Boundary1D, PeriodicWrapsBothEnds) {
+  Field1D F;
+  SerialBackend Exec;
+  applyBoundaries(F.U, F.Gr, BoundarySpec<1>::uniform(BcKind::Periodic),
+                  Exec);
+  // Interior cells 0..3 live at storage 2..5.  Low ghost layer 1
+  // (storage 1) copies interior N-1 (storage 5); layer 2 copies N-2.
+  EXPECT_TRUE(F.U.at(Index{1}) == F.U.at(Index{5}));
+  EXPECT_TRUE(F.U.at(Index{0}) == F.U.at(Index{4}));
+  // High ghost layer 1 (storage 6) copies interior 0 (storage 2).
+  EXPECT_TRUE(F.U.at(Index{6}) == F.U.at(Index{2}));
+  EXPECT_TRUE(F.U.at(Index{7}) == F.U.at(Index{3}));
+}
+
+//===----------------------------------------------------------------------===//
+// 2D: segmented sides and corners
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// 6x6 grid on [0,1]^2 with 2 ghosts, interior marked by position.
+struct Field2D {
+  Grid<2> Gr{{6, 6}, {0.0, 0.0}, {1.0, 1.0}, 2};
+  NDArray<Cons<2>> U{Gr.storageShape()};
+
+  Field2D() {
+    for (std::ptrdiff_t I = 0; I < 6; ++I)
+      for (std::ptrdiff_t J = 0; J < 6; ++J)
+        U.at(Gr.toStorage(Index{I, J})) =
+            cons2(1.0 + 0.1 * static_cast<double>(I) +
+                      0.01 * static_cast<double>(J),
+                  0.3, -0.2, 1.5);
+  }
+};
+
+} // namespace
+
+TEST(Boundary2D, AllGhostCellsGetDefinedValues) {
+  Field2D F;
+  SerialBackend Exec;
+  // Poison the ghosts, then check every storage cell is rewritten or
+  // interior.
+  Shape St = F.Gr.storageShape();
+  Index Iv = St.delinearize(0);
+  do {
+    bool Interior = Iv[0] >= 2 && Iv[0] < 8 && Iv[1] >= 2 && Iv[1] < 8;
+    if (!Interior)
+      F.U.at(Iv) = cons2(std::nan(""), 0, 0, 1);
+  } while (St.increment(Iv));
+
+  applyBoundaries(F.U, F.Gr, BoundarySpec<2>::uniform(BcKind::Transmissive),
+                  Exec);
+
+  Iv = St.delinearize(0);
+  do {
+    EXPECT_TRUE(std::isfinite(F.U.at(Iv).Rho))
+        << "ghost (" << Iv[0] << "," << Iv[1] << ") left undefined";
+  } while (St.increment(Iv));
+}
+
+TEST(Boundary2D, ReflectiveWallNegatesOnlyNormalComponent) {
+  Field2D F;
+  SerialBackend Exec;
+  applyBoundaries(F.U, F.Gr, BoundarySpec<2>::uniform(BcKind::Reflective),
+                  Exec);
+  // Left wall (axis 0 low): ghost (1, j) mirrors interior (2, j).
+  for (std::ptrdiff_t J = 2; J < 8; ++J) {
+    const Cons<2> &Ghost = F.U.at(Index{1, J});
+    const Cons<2> &Src = F.U.at(Index{2, J});
+    EXPECT_EQ(Ghost.Rho, Src.Rho);
+    EXPECT_EQ(Ghost.Mom[0], -Src.Mom[0]) << "normal flipped";
+    EXPECT_EQ(Ghost.Mom[1], Src.Mom[1]) << "tangential kept";
+    EXPECT_EQ(Ghost.E, Src.E);
+  }
+  // Bottom wall (axis 1 low): ghost (i, 1) mirrors interior (i, 2).
+  for (std::ptrdiff_t I = 2; I < 8; ++I) {
+    const Cons<2> &Ghost = F.U.at(Index{I, 1});
+    const Cons<2> &Src = F.U.at(Index{I, 2});
+    EXPECT_EQ(Ghost.Mom[0], Src.Mom[0]);
+    EXPECT_EQ(Ghost.Mom[1], -Src.Mom[1]);
+  }
+}
+
+TEST(Boundary2D, SegmentedSideSelectsByTangentialCoordinate) {
+  // The paper's left boundary: inflow for y < 0.5, wall above.
+  Field2D F;
+  SerialBackend Exec;
+  Cons<2> Jet = cons2(2.0, 3.0, 0.0, 4.5);
+
+  BoundarySpec<2> Spec = BoundarySpec<2>::uniform(BcKind::Transmissive);
+  BcSegment<2> Exit;
+  Exit.Kind = BcKind::Inflow;
+  Exit.InflowState = Jet;
+  Exit.TangentialLo = 0.0;
+  Exit.TangentialHi = 0.5;
+  BcSegment<2> Wall;
+  Wall.Kind = BcKind::Reflective;
+  Wall.TangentialLo = 0.5;
+  Wall.TangentialHi = std::numeric_limits<double>::infinity();
+  Spec.Side[boundarySide(0, false)] = {Exit, Wall};
+
+  applyBoundaries(F.U, F.Gr, Spec, Exec);
+
+  // Interior y cells 0..2 have centers < 0.5 (dx = 1/6): inflow.
+  for (std::ptrdiff_t J = 2; J < 5; ++J) {
+    EXPECT_TRUE(F.U.at(Index{1, J}) == Jet) << "j=" << J;
+    EXPECT_TRUE(F.U.at(Index{0, J}) == Jet) << "j=" << J;
+  }
+  // Interior y cells 3..5 (centers > 0.5): reflective wall.
+  for (std::ptrdiff_t J = 5; J < 8; ++J) {
+    const Cons<2> &Ghost = F.U.at(Index{1, J});
+    const Cons<2> &Src = F.U.at(Index{2, J});
+    EXPECT_EQ(Ghost.Mom[0], -Src.Mom[0]) << "j=" << J;
+    EXPECT_EQ(Ghost.Rho, Src.Rho) << "j=" << J;
+  }
+}
+
+TEST(Boundary2D, IdenticalAcrossBackends) {
+  SerialBackend Serial;
+  auto Pool = createBackend(BackendKind::SpinPool, 4);
+  auto Fork = createBackend(BackendKind::ForkJoin, 3);
+
+  Field2D A, B, C;
+  BoundarySpec<2> Spec = BoundarySpec<2>::uniform(BcKind::Reflective);
+  applyBoundaries(A.U, A.Gr, Spec, Serial);
+  applyBoundaries(B.U, B.Gr, Spec, *Pool);
+  applyBoundaries(C.U, C.Gr, Spec, *Fork);
+
+  for (size_t I = 0; I < A.U.size(); ++I) {
+    EXPECT_TRUE(A.U[I] == B.U[I]) << "cell " << I;
+    EXPECT_TRUE(A.U[I] == C.U[I]) << "cell " << I;
+  }
+}
+
+TEST(BoundarySpec, SegmentLookupClampsOutOfRange) {
+  BoundarySpec<2> Spec;
+  BcSegment<2> A, B;
+  A.Kind = BcKind::Inflow;
+  A.TangentialLo = 0.0;
+  A.TangentialHi = 0.5;
+  B.Kind = BcKind::Reflective;
+  B.TangentialLo = 0.5;
+  B.TangentialHi = 1.0;
+  Spec.Side[0] = {A, B};
+
+  EXPECT_EQ(Spec.segmentAt(0, 0.25).Kind, BcKind::Inflow);
+  EXPECT_EQ(Spec.segmentAt(0, 0.75).Kind, BcKind::Reflective);
+  // Corner-ghost coordinates outside [0, 1) clamp to nearest segment.
+  EXPECT_EQ(Spec.segmentAt(0, -0.1).Kind, BcKind::Inflow);
+  EXPECT_EQ(Spec.segmentAt(0, 1.2).Kind, BcKind::Reflective);
+}

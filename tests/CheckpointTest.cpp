@@ -1,0 +1,163 @@
+//===- tests/CheckpointTest.cpp - Save/restart correctness ----------------===//
+
+#include "io/Checkpoint.h"
+#include "runtime/SerialBackend.h"
+#include "solver/ArraySolver.h"
+#include "solver/Diagnostics.h"
+#include "solver/FusedSolver.h"
+#include "solver/Problems.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+using namespace sacfd;
+
+namespace {
+
+SerialBackend Exec;
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+} // namespace
+
+TEST(Checkpoint, RoundTripPreservesEverything) {
+  ArraySolver<1> S(sodProblem(64), SchemeConfig::figureScheme(), Exec);
+  S.advanceSteps(7);
+  std::string Path = tempPath("roundtrip.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, S));
+
+  ArraySolver<1> Fresh(sodProblem(64), SchemeConfig::figureScheme(), Exec);
+  ASSERT_TRUE(loadCheckpoint(Path, Fresh));
+  EXPECT_DOUBLE_EQ(Fresh.time(), S.time());
+  EXPECT_EQ(Fresh.stepCount(), S.stepCount());
+  EXPECT_EQ(maxFieldDifference(S, Fresh), 0.0);
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, RestartContinuesBitIdentically) {
+  // run A: 20 uninterrupted steps.  run B: 10 steps, checkpoint, restore
+  // into a fresh solver, 10 more.  Fields must agree bitwise.
+  SchemeConfig C = SchemeConfig::figureScheme();
+  ArraySolver<1> A(sodProblem(96), C, Exec);
+  A.advanceSteps(20);
+
+  ArraySolver<1> B1(sodProblem(96), C, Exec);
+  B1.advanceSteps(10);
+  std::string Path = tempPath("restart.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, B1));
+
+  ArraySolver<1> B2(sodProblem(96), C, Exec);
+  ASSERT_TRUE(loadCheckpoint(Path, B2));
+  B2.advanceSteps(10);
+
+  EXPECT_DOUBLE_EQ(A.time(), B2.time());
+  EXPECT_EQ(A.stepCount(), B2.stepCount());
+  EXPECT_EQ(maxFieldDifference(A, B2), 0.0);
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, CrossEngineRestore) {
+  // A checkpoint is engine-independent state: save from the array
+  // engine, restore into the fused engine.
+  SchemeConfig C = SchemeConfig::benchmarkScheme();
+  ArraySolver<2> A(riemann2D(12), C, Exec);
+  A.advanceSteps(4);
+  std::string Path = tempPath("crossengine.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, A));
+
+  FusedSolver<2> F(riemann2D(12), C, Exec);
+  ASSERT_TRUE(loadCheckpoint(Path, F));
+  EXPECT_EQ(maxFieldDifference(A, F), 0.0);
+
+  // And both continue identically.
+  A.advanceSteps(4);
+  F.advanceSteps(4);
+  EXPECT_EQ(maxFieldDifference(A, F), 0.0);
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, RejectsGeometryMismatch) {
+  ArraySolver<1> S(sodProblem(64), SchemeConfig::figureScheme(), Exec);
+  std::string Path = tempPath("mismatch.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, S));
+
+  ArraySolver<1> WrongCells(sodProblem(128), SchemeConfig::figureScheme(),
+                            Exec);
+  EXPECT_FALSE(loadCheckpoint(Path, WrongCells));
+
+  ArraySolver<1> WrongGhost(sodProblem(64, /*GhostLayers=*/3),
+                            SchemeConfig::figureScheme(), Exec);
+  EXPECT_FALSE(loadCheckpoint(Path, WrongGhost));
+
+  Problem<1> OtherGamma = sodProblem(64);
+  OtherGamma.G = Gas(1.67);
+  ArraySolver<1> WrongGas(OtherGamma, SchemeConfig::figureScheme(), Exec);
+  EXPECT_FALSE(loadCheckpoint(Path, WrongGas));
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, RejectsWrongRank) {
+  ArraySolver<2> S2(riemann2D(8), SchemeConfig::benchmarkScheme(), Exec);
+  std::string Path = tempPath("rank.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, S2));
+  ArraySolver<1> S1(sodProblem(8), SchemeConfig::benchmarkScheme(), Exec);
+  EXPECT_FALSE(loadCheckpoint(Path, S1));
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, RejectsTruncatedAndCorruptFiles) {
+  ArraySolver<1> S(sodProblem(32), SchemeConfig::benchmarkScheme(), Exec);
+  std::string Path = tempPath("trunc.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, S));
+
+  // Truncate the field section.
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    Bytes.resize(Bytes.size() - 16);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+  ArraySolver<1> T(sodProblem(32), SchemeConfig::benchmarkScheme(), Exec);
+  EXPECT_FALSE(loadCheckpoint(Path, T));
+
+  // Garbage magic.
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << "not a checkpoint at all";
+  }
+  EXPECT_FALSE(loadCheckpoint(Path, T));
+  EXPECT_FALSE(loadCheckpoint(tempPath("missing.ckp"), T));
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage) {
+  ArraySolver<1> S(sodProblem(16), SchemeConfig::benchmarkScheme(), Exec);
+  std::string Path = tempPath("trailing.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, S));
+  {
+    std::ofstream Out(Path, std::ios::binary | std::ios::app);
+    Out << "junk";
+  }
+  ArraySolver<1> T(sodProblem(16), SchemeConfig::benchmarkScheme(), Exec);
+  EXPECT_FALSE(loadCheckpoint(Path, T));
+  std::remove(Path.c_str());
+}
+
+TEST(Checkpoint, ThreeDimensionalRoundTrip) {
+  ArraySolver<3> S(sphericalBlast3D(6), SchemeConfig::benchmarkScheme(),
+                   Exec);
+  S.advanceSteps(2);
+  std::string Path = tempPath("rank3.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, S));
+  ArraySolver<3> T(sphericalBlast3D(6), SchemeConfig::benchmarkScheme(),
+                   Exec);
+  ASSERT_TRUE(loadCheckpoint(Path, T));
+  EXPECT_EQ(maxFieldDifference(S, T), 0.0);
+  std::remove(Path.c_str());
+}

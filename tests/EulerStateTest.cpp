@@ -1,0 +1,246 @@
+//===- tests/EulerStateTest.cpp - Gas, State, Flux unit tests -------------===//
+
+#include "euler/Flux.h"
+#include "euler/Gas.h"
+#include "euler/State.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sacfd;
+
+namespace {
+
+/// Deterministic pseudo-random physical primitive states for property
+/// sweeps.
+template <unsigned Dim> Prim<Dim> randomPrim(unsigned &Seed) {
+  auto Next = [&Seed] {
+    Seed = Seed * 1664525u + 1013904223u;
+    return static_cast<double>(Seed % 10000) / 10000.0;
+  };
+  Prim<Dim> W;
+  W.Rho = 0.05 + 2.0 * Next();
+  for (unsigned D = 0; D < Dim; ++D)
+    W.Vel[D] = 4.0 * Next() - 2.0;
+  W.P = 0.05 + 3.0 * Next();
+  return W;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Gas / EOS
+//===----------------------------------------------------------------------===//
+
+TEST(Gas, DefaultsToAir) {
+  Gas G;
+  EXPECT_DOUBLE_EQ(G.Gamma, 1.4);
+}
+
+TEST(Gas, PressureEnergyRoundTrip) {
+  Gas G;
+  double P = 0.71, Kinetic = 0.33;
+  double E = G.totalEnergy(P, Kinetic);
+  EXPECT_NEAR(G.pressure(1.0, Kinetic, E), P, 1e-15);
+}
+
+TEST(Gas, SoundSpeedOfSodStates) {
+  Gas G;
+  // Sod top state (rho=1, p=1): c = sqrt(1.4).
+  EXPECT_NEAR(G.soundSpeed(1.0, 1.0), std::sqrt(1.4), 1e-15);
+  // Sod bottom state (rho=0.125, p=0.1): c = sqrt(1.4*0.8).
+  EXPECT_NEAR(G.soundSpeed(0.125, 0.1), std::sqrt(1.4 * 0.1 / 0.125),
+              1e-15);
+}
+
+TEST(Gas, EnthalpyIdentity) {
+  // H = c^2/(gamma-1) + q^2/2 for any state.
+  Gas G;
+  Prim<2> W;
+  W.Rho = 0.7;
+  W.Vel = {1.2, -0.4};
+  W.P = 0.9;
+  double E = G.totalEnergy(W.P, W.kineticEnergyDensity());
+  double H = G.totalEnthalpy(W.Rho, W.P, E);
+  double C = G.soundSpeed(W.Rho, W.P);
+  double Q2 = W.Vel[0] * W.Vel[0] + W.Vel[1] * W.Vel[1];
+  EXPECT_NEAR(H, C * C / (G.Gamma - 1.0) + 0.5 * Q2, 1e-14);
+}
+
+//===----------------------------------------------------------------------===//
+// State conversions
+//===----------------------------------------------------------------------===//
+
+TEST(State, ConsPrimRoundTrip1D) {
+  Gas G;
+  unsigned Seed = 7;
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    Prim<1> W = randomPrim<1>(Seed);
+    Prim<1> Back = toPrim(toCons(W, G), G);
+    EXPECT_NEAR(Back.Rho, W.Rho, 1e-13 * W.Rho);
+    EXPECT_NEAR(Back.Vel[0], W.Vel[0], 1e-12);
+    EXPECT_NEAR(Back.P, W.P, 1e-12);
+  }
+}
+
+TEST(State, ConsPrimRoundTrip2D) {
+  Gas G;
+  unsigned Seed = 99;
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    Prim<2> W = randomPrim<2>(Seed);
+    Prim<2> Back = toPrim(toCons(W, G), G);
+    EXPECT_NEAR(Back.Rho, W.Rho, 1e-13 * W.Rho);
+    EXPECT_NEAR(Back.Vel[0], W.Vel[0], 1e-12);
+    EXPECT_NEAR(Back.Vel[1], W.Vel[1], 1e-12);
+    EXPECT_NEAR(Back.P, W.P, 1e-12);
+  }
+}
+
+TEST(State, ComponentAccessorsMatchFields) {
+  Cons<2> Q;
+  Q.Rho = 1.0;
+  Q.Mom = {2.0, 3.0};
+  Q.E = 4.0;
+  EXPECT_EQ(Q.comp(0), 1.0);
+  EXPECT_EQ(Q.comp(1), 2.0);
+  EXPECT_EQ(Q.comp(2), 3.0);
+  EXPECT_EQ(Q.comp(3), 4.0);
+  Q.setComp(2, -5.0);
+  EXPECT_EQ(Q.Mom[1], -5.0);
+
+  Prim<1> W;
+  W.Rho = 9.0;
+  W.Vel = {8.0};
+  W.P = 7.0;
+  EXPECT_EQ(W.comp(0), 9.0);
+  EXPECT_EQ(W.comp(1), 8.0);
+  EXPECT_EQ(W.comp(2), 7.0);
+  W.setComp(1, 1.5);
+  EXPECT_EQ(W.Vel[0], 1.5);
+}
+
+TEST(State, ConsVectorSpaceOperators) {
+  Cons<2> A, B;
+  A.Rho = 1;
+  A.Mom = {2, 3};
+  A.E = 4;
+  B.Rho = 10;
+  B.Mom = {20, 30};
+  B.E = 40;
+
+  Cons<2> Sum = A + B;
+  EXPECT_EQ(Sum.Rho, 11.0);
+  EXPECT_EQ(Sum.Mom[1], 33.0);
+  Cons<2> Diff = B - A;
+  EXPECT_EQ(Diff.E, 36.0);
+  Cons<2> Scaled = A * 2.0;
+  EXPECT_EQ(Scaled.Mom[0], 4.0);
+  Cons<2> Scaled2 = 2.0 * A;
+  EXPECT_TRUE(Scaled == Scaled2);
+  Cons<2> Div = B / 10.0;
+  EXPECT_NEAR(Div.Rho, 1.0, 1e-15);
+  A += B;
+  EXPECT_EQ(A.Rho, 11.0);
+  A -= B;
+  EXPECT_EQ(A.Rho, 1.0);
+}
+
+TEST(State, KineticEnergyDensity) {
+  Prim<2> W;
+  W.Rho = 2.0;
+  W.Vel = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(W.kineticEnergyDensity(), 0.5 * 2.0 * 25.0);
+}
+
+TEST(State, MaxWaveSpeedMatchesPaperGetDT) {
+  // EV = (|Ux|+C)/Dx + (|Uy|+C)/Dy built from per-axis maxWaveSpeed.
+  Gas G;
+  Prim<2> W;
+  W.Rho = 1.0;
+  W.Vel = {-2.0, 0.5};
+  W.P = 1.0;
+  double C = G.soundSpeed(1.0, 1.0);
+  EXPECT_DOUBLE_EQ(maxWaveSpeed(W, G, 0), 2.0 + C);
+  EXPECT_DOUBLE_EQ(maxWaveSpeed(W, G, 1), 0.5 + C);
+}
+
+//===----------------------------------------------------------------------===//
+// Physical flux
+//===----------------------------------------------------------------------===//
+
+TEST(Flux, MatchesHandComputedValues1D) {
+  Gas G;
+  Prim<1> W;
+  W.Rho = 2.0;
+  W.Vel = {3.0};
+  W.P = 5.0;
+  Cons<1> Q = toCons(W, G);
+  Cons<1> F = physicalFlux(Q, G, 0);
+  // [rho u, rho u^2 + p, u (E + p)]
+  EXPECT_NEAR(F.Rho, 6.0, 1e-13);
+  EXPECT_NEAR(F.Mom[0], 2.0 * 9.0 + 5.0, 1e-13);
+  double E = 5.0 / 0.4 + 0.5 * 2.0 * 9.0;
+  EXPECT_NEAR(F.E, 3.0 * (E + 5.0), 1e-12);
+}
+
+TEST(Flux, PrimAndConsOverloadsAgree) {
+  Gas G;
+  unsigned Seed = 31;
+  for (int Trial = 0; Trial < 100; ++Trial) {
+    Prim<2> W = randomPrim<2>(Seed);
+    Cons<2> Q = toCons(W, G);
+    for (unsigned Axis = 0; Axis < 2; ++Axis) {
+      Cons<2> Fq = physicalFlux(Q, G, Axis);
+      Cons<2> Fw = physicalFlux(W, G, Axis);
+      for (unsigned K = 0; K < 4; ++K)
+        EXPECT_NEAR(Fq.comp(K), Fw.comp(K),
+                    1e-12 * (1.0 + std::fabs(Fq.comp(K))));
+    }
+  }
+}
+
+TEST(Flux, StationaryGasFluxIsPurePressure) {
+  Gas G;
+  Prim<2> W;
+  W.Rho = 1.3;
+  W.Vel = {0.0, 0.0};
+  W.P = 0.8;
+  for (unsigned Axis = 0; Axis < 2; ++Axis) {
+    Cons<2> F = physicalFlux(W, G, Axis);
+    EXPECT_EQ(F.Rho, 0.0);
+    EXPECT_EQ(F.E, 0.0);
+    EXPECT_NEAR(F.Mom[Axis], 0.8, 1e-15);
+    EXPECT_EQ(F.Mom[1 - Axis], 0.0);
+  }
+}
+
+TEST(Flux, GalileanMassFluxShift) {
+  // Mass flux along x equals rho * u exactly.
+  Gas G;
+  unsigned Seed = 77;
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Prim<2> W = randomPrim<2>(Seed);
+    Cons<2> F = physicalFlux(W, G, 0);
+    EXPECT_NEAR(F.Rho, W.Rho * W.Vel[0], 1e-13 * (1.0 + std::fabs(F.Rho)));
+  }
+}
+
+TEST(Flux, AxisSymmetry2D) {
+  // Swapping the two axes of the state must swap the two directional
+  // fluxes (with momentum components swapped).
+  Gas G;
+  unsigned Seed = 123;
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    Prim<2> W = randomPrim<2>(Seed);
+    Prim<2> Swapped = W;
+    std::swap(Swapped.Vel[0], Swapped.Vel[1]);
+
+    Cons<2> Fx = physicalFlux(toCons(W, G), G, 0);
+    Cons<2> Gy = physicalFlux(toCons(Swapped, G), G, 1);
+    EXPECT_NEAR(Fx.Rho, Gy.Rho, 1e-12);
+    EXPECT_NEAR(Fx.Mom[0], Gy.Mom[1], 1e-12);
+    EXPECT_NEAR(Fx.Mom[1], Gy.Mom[0], 1e-12);
+    EXPECT_NEAR(Fx.E, Gy.E, 1e-12);
+  }
+}

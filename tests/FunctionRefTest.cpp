@@ -1,0 +1,71 @@
+//===- tests/FunctionRefTest.cpp - support/FunctionRef tests ---------------===//
+
+#include "support/FunctionRef.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace sacfd;
+
+namespace {
+
+int callThrough(FunctionRef<int(int)> Fn, int Arg) { return Fn(Arg); }
+
+int freeFunctionDouble(int X) { return 2 * X; }
+
+} // namespace
+
+TEST(FunctionRef, CallsLambda) {
+  int Result = callThrough([](int X) { return X + 1; }, 41);
+  EXPECT_EQ(Result, 42);
+}
+
+TEST(FunctionRef, CapturingLambdaSeesItsState) {
+  int Bias = 100;
+  auto Fn = [&Bias](int X) { return X + Bias; };
+  EXPECT_EQ(callThrough(Fn, 1), 101);
+  Bias = 200;
+  EXPECT_EQ(callThrough(Fn, 1), 201) << "reference, not a copy";
+}
+
+TEST(FunctionRef, WrapsFreeFunction) {
+  EXPECT_EQ(callThrough(freeFunctionDouble, 21), 42);
+}
+
+TEST(FunctionRef, DefaultConstructedIsFalsy) {
+  FunctionRef<void()> Empty;
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  auto Callable = [] {};
+  FunctionRef<void()> Bound = Callable;
+  EXPECT_TRUE(static_cast<bool>(Bound));
+}
+
+TEST(FunctionRef, IsCheaplyCopyable) {
+  int Count = 0;
+  auto Fn = [&Count] { ++Count; };
+  FunctionRef<void()> A = Fn;
+  FunctionRef<void()> B = A;
+  A();
+  B();
+  EXPECT_EQ(Count, 2);
+}
+
+TEST(FunctionRef, ForwardsReferencesAndReturnsValues) {
+  auto Append = [](std::string &S, const std::string &Suffix) {
+    S += Suffix;
+    return S.size();
+  };
+  FunctionRef<size_t(std::string &, const std::string &)> Fn = Append;
+  std::string S = "ab";
+  EXPECT_EQ(Fn(S, "cd"), 4u);
+  EXPECT_EQ(S, "abcd");
+}
+
+TEST(FunctionRef, MutableLambdaState) {
+  int Calls = 0;
+  auto Counter = [Calls]() mutable { return ++Calls; };
+  FunctionRef<int()> Fn = Counter;
+  EXPECT_EQ(Fn(), 1);
+  EXPECT_EQ(Fn(), 2) << "mutates the referenced lambda object";
+}

@@ -1,0 +1,57 @@
+//===- tests/GridTest.cpp - Grid geometry tests ---------------------------===//
+
+#include "solver/Grid.h"
+
+#include <gtest/gtest.h>
+
+using namespace sacfd;
+
+TEST(Grid, StorageAndInteriorShapes) {
+  Grid<2> G({400, 300}, {0.0, 0.0}, {4.0, 3.0}, 2);
+  EXPECT_EQ(G.interiorShape(), Shape({400, 300}));
+  EXPECT_EQ(G.storageShape(), Shape({404, 304}));
+  EXPECT_EQ(G.interiorCount(), 120000u);
+  EXPECT_EQ(G.ghost(), 2u);
+}
+
+TEST(Grid, CellWidths) {
+  Grid<2> G({100, 50}, {0.0, -1.0}, {2.0, 1.0}, 2);
+  EXPECT_DOUBLE_EQ(G.dx(0), 0.02);
+  EXPECT_DOUBLE_EQ(G.dx(1), 0.04);
+}
+
+TEST(Grid, CellCentersIncludeGhostExtrapolation) {
+  Grid<1> G({10}, {0.0}, {1.0}, 2);
+  EXPECT_DOUBLE_EQ(G.cellCenter(0, 0), 0.05);
+  EXPECT_DOUBLE_EQ(G.cellCenter(0, 9), 0.95);
+  // Ghost centers continue the uniform spacing outward.
+  EXPECT_DOUBLE_EQ(G.cellCenter(0, -1), -0.05);
+  EXPECT_DOUBLE_EQ(G.cellCenter(0, 10), 1.05);
+}
+
+TEST(Grid, ToStorageShiftsByGhost) {
+  Grid<2> G({8, 8}, {0.0, 0.0}, {1.0, 1.0}, 2);
+  Index S = G.toStorage(Index{0, 7});
+  EXPECT_EQ(S[0], 2);
+  EXPECT_EQ(S[1], 9);
+}
+
+TEST(Grid, SquareBuilder) {
+  Grid<2> G = Grid<2>::square(400, 400.0, 2);
+  EXPECT_EQ(G.cells(0), 400u);
+  EXPECT_EQ(G.cells(1), 400u);
+  EXPECT_DOUBLE_EQ(G.dx(0), 1.0);
+  EXPECT_DOUBLE_EQ(G.dx(1), 1.0);
+  EXPECT_DOUBLE_EQ(G.lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(G.hi(1), 400.0);
+}
+
+TEST(Grid, EqualityComparison) {
+  Grid<1> A({10}, {0.0}, {1.0}, 2);
+  Grid<1> B({10}, {0.0}, {1.0}, 2);
+  Grid<1> C({10}, {0.0}, {1.0}, 1);
+  Grid<1> D({20}, {0.0}, {1.0}, 2);
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+  EXPECT_FALSE(A == D);
+}

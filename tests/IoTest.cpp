@@ -1,0 +1,242 @@
+//===- tests/IoTest.cpp - CSV/PGM/VTK/ASCII writer tests -------------------===//
+
+#include "io/AsciiPlot.h"
+#include "io/CsvWriter.h"
+#include "io/FieldExport.h"
+#include "io/PgmWriter.h"
+#include "io/VtkWriter.h"
+#include "runtime/SerialBackend.h"
+#include "solver/ArraySolver.h"
+#include "solver/Problems.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace sacfd;
+
+namespace {
+
+/// Temp-file path helper; files are cleaned up per test.
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+std::string readAll(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CSV
+//===----------------------------------------------------------------------===//
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::string Path = tempPath("basic.csv");
+  ASSERT_TRUE(writeCsv(Path, {"a", "b"}, {{1.0, 2.5}, {3.0, -4.0}}));
+  EXPECT_EQ(readAll(Path), "a,b\n1,2.5\n3,-4\n");
+  std::remove(Path.c_str());
+}
+
+TEST(CsvWriter, FailsOnUnwritablePath) {
+  EXPECT_FALSE(writeCsv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}));
+}
+
+TEST(CsvWriter, ProfileRoundTrip) {
+  std::string Path = tempPath("profile.csv");
+  std::vector<ProfileSample> Profile = {{0.5, 1.0, 0.0, 1.0},
+                                        {1.5, 0.125, 0.0, 0.1}};
+  ASSERT_TRUE(writeProfileCsv(Path, Profile));
+  std::string Contents = readAll(Path);
+  EXPECT_NE(Contents.find("x,rho,u,p\n"), std::string::npos);
+  EXPECT_NE(Contents.find("0.5,1,0,1\n"), std::string::npos);
+  EXPECT_NE(Contents.find("1.5,0.125,0,0.1\n"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(CsvWriter, HighPrecisionValuesSurvive) {
+  std::string Path = tempPath("precision.csv");
+  double V = 0.123456789012;
+  ASSERT_TRUE(writeCsv(Path, {"v"}, {{V}}));
+  std::string Contents = readAll(Path);
+  EXPECT_NE(Contents.find("0.123456789012"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// PGM
+//===----------------------------------------------------------------------===//
+
+TEST(PgmWriter, HeaderAndPixelCount) {
+  NDArray<double> F(Shape{4, 3});
+  for (size_t I = 0; I < F.size(); ++I)
+    F[I] = static_cast<double>(I);
+  std::string Path = tempPath("field.pgm");
+  ASSERT_TRUE(writePgm(Path, F));
+  std::string Contents = readAll(Path);
+  EXPECT_EQ(Contents.substr(0, 11), "P5\n4 3\n255\n");
+  EXPECT_EQ(Contents.size(), 11u + 12u) << "4x3 pixels after the header";
+  std::remove(Path.c_str());
+}
+
+TEST(PgmWriter, NormalizesToFullRange) {
+  NDArray<double> F(Shape{2, 1});
+  F.at(0, 0) = -5.0;
+  F.at(1, 0) = 7.0;
+  std::string Path = tempPath("range.pgm");
+  ASSERT_TRUE(writePgm(Path, F));
+  std::string Contents = readAll(Path);
+  ASSERT_EQ(Contents.size(), 11u + 2u);
+  EXPECT_EQ(static_cast<unsigned char>(Contents[11]), 0u);
+  EXPECT_EQ(static_cast<unsigned char>(Contents[12]), 255u);
+  std::remove(Path.c_str());
+}
+
+TEST(PgmWriter, FixedRangeClampsOutliers) {
+  NDArray<double> F(Shape{2, 1});
+  F.at(0, 0) = -100.0;
+  F.at(1, 0) = 0.5;
+  std::string Path = tempPath("clamp.pgm");
+  ASSERT_TRUE(writePgm(Path, F, PgmRange{0.0, 1.0}));
+  std::string Contents = readAll(Path);
+  EXPECT_EQ(static_cast<unsigned char>(Contents[11]), 0u) << "clamped";
+  EXPECT_EQ(static_cast<unsigned char>(Contents[12]), 127u);
+  std::remove(Path.c_str());
+}
+
+TEST(PgmWriter, RejectsNon2DFields) {
+  NDArray<double> F1(Shape{5});
+  EXPECT_FALSE(writePgm(tempPath("bad.pgm"), F1));
+  NDArray<double> F0(Shape{0, 4});
+  EXPECT_FALSE(writePgm(tempPath("bad2.pgm"), F0));
+}
+
+TEST(PgmWriter, ConstantFieldIsMidGrayless) {
+  // Degenerate range: scale collapses to zero, all pixels identical.
+  NDArray<double> F(Shape{3, 3}, 2.0);
+  std::string Path = tempPath("const.pgm");
+  ASSERT_TRUE(writePgm(Path, F));
+  std::string Contents = readAll(Path);
+  for (size_t I = 11; I < Contents.size(); ++I)
+    EXPECT_EQ(Contents[I], Contents[11]);
+  std::remove(Path.c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// ASCII plots
+//===----------------------------------------------------------------------===//
+
+TEST(AsciiPlot, LinePlotShowsRangeAndMarks) {
+  std::vector<double> V;
+  for (int I = 0; I < 100; ++I)
+    V.push_back(static_cast<double>(I));
+  std::string Plot = asciiLinePlot(V, 40, 8);
+  EXPECT_NE(Plot.find('*'), std::string::npos);
+  EXPECT_NE(Plot.find("99"), std::string::npos) << "max annotated";
+  EXPECT_NE(Plot.find(" 0 "), std::string::npos) << "min annotated";
+}
+
+TEST(AsciiPlot, HandlesEmptyAndConstantInput) {
+  EXPECT_EQ(asciiLinePlot({}), "(empty plot)\n");
+  std::string Plot = asciiLinePlot({3.0, 3.0, 3.0}, 10, 4);
+  EXPECT_NE(Plot.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, FieldMapUsesRampExtremes) {
+  NDArray<double> F(Shape{8, 8});
+  for (size_t I = 0; I < F.size(); ++I)
+    F[I] = static_cast<double>(I);
+  std::string Map = asciiFieldMap(F, 8, 8);
+  EXPECT_NE(Map.find(' '), std::string::npos) << "low values blank";
+  EXPECT_NE(Map.find('@'), std::string::npos) << "high values solid";
+  EXPECT_EQ(asciiFieldMap(NDArray<double>(Shape{3})),
+            "(not a 2D field)\n");
+}
+
+//===----------------------------------------------------------------------===//
+// VTK + field export
+//===----------------------------------------------------------------------===//
+
+TEST(VtkWriter, EmitsWellFormedLegacyFile) {
+  SerialBackend Exec;
+  ArraySolver<2> S(uniformFlow2D(4), SchemeConfig::benchmarkScheme(),
+                   Exec);
+  std::string Path = tempPath("field.vtk");
+  ASSERT_TRUE(writeVtk(Path, S));
+  std::string Contents = readAll(Path);
+  EXPECT_NE(Contents.find("# vtk DataFile Version 3.0"),
+            std::string::npos);
+  EXPECT_NE(Contents.find("DIMENSIONS 4 4 1"), std::string::npos);
+  EXPECT_NE(Contents.find("POINT_DATA 16"), std::string::npos);
+  EXPECT_NE(Contents.find("SCALARS density double 1"), std::string::npos);
+  EXPECT_NE(Contents.find("SCALARS pressure double 1"),
+            std::string::npos);
+  EXPECT_NE(Contents.find("VECTORS velocity double"), std::string::npos);
+  std::remove(Path.c_str());
+}
+
+TEST(FieldExport, ScalarFieldMatchesPrimitiveAccess) {
+  SerialBackend Exec;
+  ArraySolver<2> S(riemann2D(8), SchemeConfig::benchmarkScheme(), Exec);
+  NDArray<double> Rho = scalarField(S, FieldQuantity::Density);
+  NDArray<double> P = scalarField(S, FieldQuantity::Pressure);
+  ASSERT_EQ(Rho.shape(), Shape({8, 8}));
+  for (std::ptrdiff_t I = 0; I < 8; ++I)
+    for (std::ptrdiff_t J = 0; J < 8; ++J) {
+      Prim<2> W = S.primitiveAt(Index{I, J});
+      EXPECT_EQ(Rho.at(I, J), W.Rho);
+      EXPECT_EQ(P.at(I, J), W.P);
+    }
+}
+
+TEST(FieldExport, MachNumberQuantity) {
+  Gas G;
+  Prim<2> W;
+  W.Rho = 1.0;
+  W.Vel = {3.0, 4.0};
+  W.P = 1.0;
+  double M = sampleQuantity(W, G, FieldQuantity::MachNumber);
+  EXPECT_NEAR(M, 5.0 / G.soundSpeed(1.0, 1.0), 1e-13);
+}
+
+TEST(FieldExport, SchlierenDarkAtSteepGradients) {
+  SerialBackend Exec;
+  ArraySolver<2> S(riemann2D(16), SchemeConfig::benchmarkScheme(), Exec);
+  NDArray<double> Sch = schlierenField(S);
+  ASSERT_EQ(Sch.shape(), Shape({16, 16}));
+  double Min = 1.0, Max = 0.0;
+  for (size_t I = 0; I < Sch.size(); ++I) {
+    EXPECT_GE(Sch[I], 0.0);
+    EXPECT_LE(Sch[I], 1.0);
+    Min = std::min(Min, Sch[I]);
+    Max = std::max(Max, Sch[I]);
+  }
+  EXPECT_LT(Min, 0.1) << "discontinuities show dark";
+  EXPECT_GT(Max, 0.9) << "smooth regions show light";
+}
+
+TEST(FieldExport, SchlierenOfUniformFieldIsUniform) {
+  SerialBackend Exec;
+  ArraySolver<2> S(uniformFlow2D(8), SchemeConfig::benchmarkScheme(),
+                   Exec);
+  NDArray<double> Sch = schlierenField(S);
+  for (size_t I = 0; I < Sch.size(); ++I)
+    EXPECT_EQ(Sch[I], 1.0);
+}
+
+TEST(FieldExport, ProfileOfReturnsOrderedSamples) {
+  SerialBackend Exec;
+  ArraySolver<1> S(sodProblem(16), SchemeConfig::benchmarkScheme(), Exec);
+  std::vector<ProfileSample> P = profileOf(S);
+  ASSERT_EQ(P.size(), 16u);
+  EXPECT_NEAR(P.front().X, 1.0 / 32.0, 1e-14);
+  EXPECT_NEAR(P.back().X, 31.0 / 32.0, 1e-14);
+  EXPECT_EQ(P.front().Rho, 1.0);
+  EXPECT_EQ(P.back().Rho, 0.125);
+}

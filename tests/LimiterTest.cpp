@@ -1,0 +1,141 @@
+//===- tests/LimiterTest.cpp - Slope limiter property tests ---------------===//
+
+#include "numerics/Limiters.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace sacfd;
+
+namespace {
+
+const LimiterKind AllLimiters[] = {LimiterKind::MinMod, LimiterKind::Superbee,
+                                   LimiterKind::VanLeer, LimiterKind::Mc};
+
+class LimiterPropertyTest : public ::testing::TestWithParam<LimiterKind> {};
+
+std::vector<std::pair<double, double>> samplePairs() {
+  std::vector<std::pair<double, double>> Pairs;
+  const double Values[] = {-3.0, -1.0, -0.25, 0.0, 0.1, 0.5, 1.0, 2.0, 7.5};
+  for (double A : Values)
+    for (double B : Values)
+      Pairs.emplace_back(A, B);
+  return Pairs;
+}
+
+} // namespace
+
+TEST_P(LimiterPropertyTest, VanishesAtExtrema) {
+  // Opposite-sign differences mark a local extremum: slope must be zero.
+  LimiterKind K = GetParam();
+  EXPECT_EQ(limitedSlope(K, 1.0, -1.0), 0.0);
+  EXPECT_EQ(limitedSlope(K, -0.5, 2.0), 0.0);
+  EXPECT_EQ(limitedSlope(K, 0.0, 1.0), 0.0);
+  EXPECT_EQ(limitedSlope(K, 1.0, 0.0), 0.0);
+  EXPECT_EQ(limitedSlope(K, 0.0, 0.0), 0.0);
+}
+
+TEST_P(LimiterPropertyTest, IsSymmetric) {
+  LimiterKind K = GetParam();
+  for (auto [A, B] : samplePairs())
+    EXPECT_DOUBLE_EQ(limitedSlope(K, A, B), limitedSlope(K, B, A))
+        << "a=" << A << " b=" << B;
+}
+
+TEST_P(LimiterPropertyTest, IsPositivelyHomogeneous) {
+  LimiterKind K = GetParam();
+  for (auto [A, B] : samplePairs())
+    for (double S : {0.5, 2.0, 10.0})
+      EXPECT_NEAR(limitedSlope(K, S * A, S * B), S * limitedSlope(K, A, B),
+                  1e-12 * (1.0 + std::fabs(A) + std::fabs(B)) * S);
+}
+
+TEST_P(LimiterPropertyTest, ReproducesUniformSlopes) {
+  // Equal differences (smooth linear data) pass through unchanged.
+  LimiterKind K = GetParam();
+  for (double S : {-2.0, -0.5, 0.25, 1.0, 3.0})
+    EXPECT_NEAR(limitedSlope(K, S, S), S, 1e-14);
+}
+
+TEST_P(LimiterPropertyTest, BoundedBetweenMinmodAndSuperbee) {
+  // The classical second-order TVD region: every limiter's magnitude lies
+  // between minmod (lower) and superbee (upper).
+  LimiterKind K = GetParam();
+  for (auto [A, B] : samplePairs()) {
+    double Phi = limitedSlope(K, A, B);
+    double Lo = minmod(A, B);
+    double Hi = superbee(A, B);
+    EXPECT_GE(std::fabs(Phi), std::fabs(Lo) - 1e-13)
+        << limiterKindName(K) << " a=" << A << " b=" << B;
+    EXPECT_LE(std::fabs(Phi), std::fabs(Hi) + 1e-13)
+        << limiterKindName(K) << " a=" << A << " b=" << B;
+    // Never flips sign relative to the input differences.
+    if (A * B > 0.0) {
+      EXPECT_GE(Phi * A, 0.0);
+    }
+  }
+}
+
+TEST_P(LimiterPropertyTest, SecondOrderTvdBound) {
+  // |phi| <= 2 min(|a|, |b|) — Sweby's TVD region upper edge.
+  LimiterKind K = GetParam();
+  for (auto [A, B] : samplePairs()) {
+    double Phi = limitedSlope(K, A, B);
+    double Bound = 2.0 * std::min(std::fabs(A), std::fabs(B));
+    EXPECT_LE(std::fabs(Phi), Bound + 1e-13)
+        << limiterKindName(K) << " a=" << A << " b=" << B;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLimiters, LimiterPropertyTest,
+                         ::testing::ValuesIn(AllLimiters),
+                         [](const ::testing::TestParamInfo<LimiterKind> &I) {
+                           return limiterKindName(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Specific limiter values
+//===----------------------------------------------------------------------===//
+
+TEST(Limiters, MinmodPicksSmallerMagnitude) {
+  EXPECT_EQ(minmod(1.0, 2.0), 1.0);
+  EXPECT_EQ(minmod(2.0, 1.0), 1.0);
+  EXPECT_EQ(minmod(-1.0, -3.0), -1.0);
+}
+
+TEST(Limiters, SuperbeeKnownValues) {
+  // r = 0.5: superbee = 2r = 1 => phi(1, 0.5)... in slope form:
+  // superbee(1, 0.5) = max(minmod(2, 0.5), minmod(1, 1)) = 1.
+  EXPECT_DOUBLE_EQ(superbee(1.0, 0.5), 1.0);
+  // a = b: passes through.
+  EXPECT_DOUBLE_EQ(superbee(2.0, 2.0), 2.0);
+  // r = 2: superbee picks 2a vs b: max(minmod(2,2), minmod(1,4)) = 2.
+  EXPECT_DOUBLE_EQ(superbee(1.0, 2.0), 2.0);
+}
+
+TEST(Limiters, VanLeerIsHarmonicMean) {
+  EXPECT_DOUBLE_EQ(vanLeer(1.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(vanLeer(1.0, 3.0), 1.5);
+  EXPECT_DOUBLE_EQ(vanLeer(-1.0, -3.0), -1.5);
+}
+
+TEST(Limiters, McCentersSmoothData) {
+  // mc(a, b) = (a+b)/2 when the central slope is within 2a, 2b.
+  EXPECT_DOUBLE_EQ(monotonizedCentral(1.0, 1.5), 1.25);
+  // Clips to 2*min when the jump is one-sided.
+  EXPECT_DOUBLE_EQ(monotonizedCentral(0.1, 10.0), 0.2);
+}
+
+TEST(Limiters, Minmod3TakesSmallest) {
+  EXPECT_EQ(minmod3(3.0, 2.0, 1.0), 1.0);
+  EXPECT_EQ(minmod3(-3.0, -2.0, -1.0), -1.0);
+  EXPECT_EQ(minmod3(1.0, -2.0, 3.0), 0.0);
+}
+
+TEST(Limiters, NameParsingRoundTrip) {
+  for (LimiterKind K : AllLimiters)
+    EXPECT_EQ(parseLimiterKind(limiterKindName(K)), K);
+  EXPECT_FALSE(parseLimiterKind("koren").has_value());
+}

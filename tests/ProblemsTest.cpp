@@ -1,0 +1,147 @@
+//===- tests/ProblemsTest.cpp - Workload factory unit tests ----------------===//
+
+#include "euler/RankineHugoniot.h"
+#include "solver/Problems.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sacfd;
+
+TEST(Problems, SodInitialStates) {
+  Problem<1> P = sodProblem(100);
+  EXPECT_EQ(P.Name, "sod");
+  EXPECT_EQ(P.Domain.cells(0), 100u);
+  Prim<1> Left = P.InitialState({0.25});
+  Prim<1> Right = P.InitialState({0.75});
+  EXPECT_EQ(Left.Rho, 1.0);
+  EXPECT_EQ(Left.P, 1.0);
+  EXPECT_EQ(Right.Rho, 0.125);
+  EXPECT_EQ(Right.P, 0.1);
+  EXPECT_DOUBLE_EQ(P.EndTime, 0.2);
+  EXPECT_EQ(P.Boundary.Side[0].front().Kind, BcKind::Transmissive);
+}
+
+TEST(Problems, BlastWavesHasReflectiveWallsAndThreeZones) {
+  Problem<1> P = blastWavesProblem(100);
+  EXPECT_EQ(P.Boundary.Side[0].front().Kind, BcKind::Reflective);
+  EXPECT_EQ(P.Boundary.Side[1].front().Kind, BcKind::Reflective);
+  EXPECT_EQ(P.InitialState({0.05}).P, 1000.0);
+  EXPECT_EQ(P.InitialState({0.5}).P, 0.01);
+  EXPECT_EQ(P.InitialState({0.95}).P, 100.0);
+}
+
+TEST(Problems, ShockInteractionBoundaryLayout) {
+  double H = 50.0, Ms = 2.2;
+  Problem<2> P = shockInteraction2D(100, Ms, H);
+  // Domain is 2h x 2h with dx = 1.
+  EXPECT_DOUBLE_EQ(P.Domain.hi(0), 2.0 * H);
+  EXPECT_DOUBLE_EQ(P.Domain.dx(0), 1.0);
+
+  // Left side: inflow below y = h, wall above.
+  const auto &Left = P.Boundary.Side[boundarySide(0, false)];
+  ASSERT_EQ(Left.size(), 2u);
+  EXPECT_EQ(Left[0].Kind, BcKind::Inflow);
+  EXPECT_EQ(Left[1].Kind, BcKind::Reflective);
+  EXPECT_DOUBLE_EQ(Left[0].TangentialHi, H);
+
+  // The inflow state is the Rankine-Hugoniot post-shock state along +x.
+  PostShockState Post = postShockState(Ms, 1.0, 1.0, P.G);
+  Prim<2> In = toPrim(Left[0].InflowState, P.G);
+  EXPECT_NEAR(In.Rho, Post.Rho, 1e-13);
+  EXPECT_NEAR(In.Vel[0], Post.U, 1e-13);
+  EXPECT_NEAR(In.Vel[1], 0.0, 1e-13);
+  EXPECT_NEAR(In.P, Post.P, 1e-13);
+
+  // Bottom mirrors it along +y; right/top are open.
+  const auto &Bottom = P.Boundary.Side[boundarySide(1, false)];
+  Prim<2> InB = toPrim(Bottom[0].InflowState, P.G);
+  EXPECT_NEAR(InB.Vel[1], Post.U, 1e-13);
+  EXPECT_EQ(P.Boundary.Side[boundarySide(0, true)].front().Kind,
+            BcKind::Transmissive);
+  EXPECT_EQ(P.Boundary.Side[boundarySide(1, true)].front().Kind,
+            BcKind::Transmissive);
+
+  // EndTime is the transit time h / (Ms c0).
+  double C0 = P.G.soundSpeed(1.0, 1.0);
+  EXPECT_NEAR(P.EndTime, H / (Ms * C0), 1e-12);
+}
+
+TEST(Problems, Riemann2DConfigurationSelection) {
+  Problem<2> C4 = riemann2D(16);
+  EXPECT_EQ(C4.Name, "riemann-2d-c4");
+  Problem<2> C6 = riemann2D(16, 2, 6);
+  EXPECT_EQ(C6.Name, "riemann-2d-c6");
+  EXPECT_DOUBLE_EQ(C6.EndTime, 0.3);
+  Problem<2> C12 = riemann2D(16, 2, 12);
+  EXPECT_EQ(C12.Name, "riemann-2d-c12");
+
+  // Config 6 is all-contacts: pressure uniform everywhere.
+  for (double X : {0.25, 0.75})
+    for (double Y : {0.25, 0.75})
+      EXPECT_DOUBLE_EQ(C6.InitialState({X, Y}).P, 1.0);
+  // Config 4 quadrants differ in pressure.
+  EXPECT_NE(C4.InitialState({0.75, 0.75}).P,
+            C4.InitialState({0.25, 0.75}).P);
+}
+
+TEST(Problems, SmoothAdvectionExactSolutionsArePeriodic) {
+  EXPECT_NEAR(smoothAdvectionDensity1D(0.3, 0.0),
+              smoothAdvectionDensity1D(1.3, 0.0), 1e-12);
+  EXPECT_NEAR(smoothAdvectionDensity1D(0.3, 1.0),
+              smoothAdvectionDensity1D(0.3, 0.0), 1e-12)
+      << "period-1 translation";
+  EXPECT_NEAR(smoothAdvectionDensity2D(0.2, 0.7, 1.0),
+              smoothAdvectionDensity2D(0.2, 0.7, 0.0), 1e-12);
+}
+
+TEST(Problems, IsentropicVortexExactFreeStreamFarField) {
+  // Far from the core the state approaches the (1,1,1,1) free stream.
+  Prim<2> Far = isentropicVortexExact(0.2, 0.2, 0.0); // core at (5,5)
+  EXPECT_NEAR(Far.Rho, 1.0, 1e-4);
+  EXPECT_NEAR(Far.Vel[0], 1.0, 1e-3);
+  EXPECT_NEAR(Far.Vel[1], 1.0, 1e-3);
+  EXPECT_NEAR(Far.P, 1.0, 1e-4);
+
+  // At the core center the velocity equals the free stream and the
+  // density dips.
+  Prim<2> Core = isentropicVortexExact(5.0, 5.0, 0.0);
+  EXPECT_NEAR(Core.Vel[0], 1.0, 1e-12);
+  EXPECT_NEAR(Core.Vel[1], 1.0, 1e-12);
+  EXPECT_LT(Core.Rho, 0.6);
+}
+
+TEST(Problems, IsentropicVortexTranslatesWithPeriodicWrap) {
+  // After t = 10 the vortex has crossed the periodic box exactly once.
+  Prim<2> A = isentropicVortexExact(3.0, 7.0, 0.0);
+  Prim<2> B = isentropicVortexExact(3.0, 7.0, 10.0);
+  EXPECT_NEAR(A.Rho, B.Rho, 1e-12);
+  EXPECT_NEAR(A.Vel[0], B.Vel[0], 1e-12);
+  EXPECT_NEAR(A.P, B.P, 1e-12);
+}
+
+TEST(Problems, SodExtruded3DGeometry) {
+  Problem<3> P = sodExtruded3D(32, 4);
+  EXPECT_EQ(P.Domain.cells(0), 32u);
+  EXPECT_EQ(P.Domain.cells(1), 4u);
+  EXPECT_EQ(P.Domain.cells(2), 4u);
+  // Cubic cells: dx = dy = dz.
+  EXPECT_NEAR(P.Domain.dx(0), P.Domain.dx(1), 1e-15);
+  EXPECT_NEAR(P.Domain.dx(0), P.Domain.dx(2), 1e-15);
+  // x-dependence only.
+  Prim<3> A = P.InitialState({0.2, 0.01, 0.09});
+  Prim<3> B = P.InitialState({0.2, 0.11, 0.02});
+  EXPECT_EQ(A.Rho, B.Rho);
+}
+
+TEST(Problems, UniformFlowsAreActuallyUniform) {
+  Problem<1> P1 = uniformFlow1D(8);
+  Problem<2> P2 = uniformFlow2D(8);
+  Problem<3> P3 = uniformFlow3D(8);
+  EXPECT_EQ(P1.InitialState({0.1}).Rho, P1.InitialState({0.9}).Rho);
+  EXPECT_EQ(P2.InitialState({0.1, 0.2}).P,
+            P2.InitialState({0.8, 0.6}).P);
+  EXPECT_EQ(P3.InitialState({0.1, 0.2, 0.3}).Vel[2],
+            P3.InitialState({0.9, 0.8, 0.7}).Vel[2]);
+}

@@ -1,0 +1,108 @@
+//===- tests/RankineHugoniotTest.cpp - Shock jump relation tests ----------===//
+
+#include "euler/RankineHugoniot.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sacfd;
+
+TEST(RankineHugoniot, UnitMachShockIsIdentity) {
+  Gas G;
+  PostShockState S = postShockState(1.0, 1.0, 1.0, G);
+  EXPECT_NEAR(S.Rho, 1.0, 1e-13);
+  EXPECT_NEAR(S.P, 1.0, 1e-13);
+  EXPECT_NEAR(S.U, 0.0, 1e-13);
+}
+
+TEST(RankineHugoniot, KnownMach2Values) {
+  // Standard normal-shock table, gamma = 1.4, Ms = 2:
+  // p2/p1 = 4.5, rho2/rho1 = 8/3.
+  Gas G;
+  PostShockState S = postShockState(2.0, 1.0, 1.0, G);
+  EXPECT_NEAR(S.P, 4.5, 1e-12);
+  EXPECT_NEAR(S.Rho, 8.0 / 3.0, 1e-12);
+  // u1 = 2 c0 (Ms^2-1) / ((gamma+1) Ms) = 2*sqrt(1.4)*3 / (2.4*2).
+  EXPECT_NEAR(S.U, 2.0 * std::sqrt(1.4) * 3.0 / (2.4 * 2.0), 1e-12);
+}
+
+TEST(RankineHugoniot, PaperMach22Configuration) {
+  // The paper's Ms = 2.2 channel shock: the post-shock flow must be
+  // supersonic so exit values stay frozen ("At this value of Ms the flow
+  // behind the shock waves is supersonic").
+  Gas G;
+  double FlowMach = postShockFlowMach(2.2, 1.0, 1.0, G);
+  EXPECT_GT(FlowMach, 1.0);
+
+  // And a slow shock must give subsonic post-shock flow.
+  EXPECT_LT(postShockFlowMach(1.2, 1.0, 1.0, G), 1.0);
+}
+
+class RankineHugoniotSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RankineHugoniotSweep, ConservationAcrossTheShock) {
+  // Property: mass, momentum and enthalpy fluxes balance in the
+  // shock-fixed frame for any Mach number.
+  Gas G;
+  double Ms = GetParam();
+  PostShockState S = postShockState(Ms, 0.7, 1.3, G);
+  JumpResiduals R = shockJumpResiduals(Ms, 0.7, 1.3, S, G);
+  EXPECT_NEAR(R.Mass, 0.0, 1e-11);
+  EXPECT_NEAR(R.Momentum, 0.0, 1e-11);
+  EXPECT_NEAR(R.Energy, 0.0, 1e-10);
+}
+
+TEST_P(RankineHugoniotSweep, CompressionAndEntropyConditions) {
+  Gas G;
+  double Ms = GetParam();
+  PostShockState S = postShockState(Ms, 1.0, 1.0, G);
+  if (Ms > 1.0) {
+    EXPECT_GT(S.P, 1.0) << "shocks compress";
+    EXPECT_GT(S.Rho, 1.0);
+    EXPECT_GT(S.U, 0.0) << "post-shock flow follows the shock";
+    // Density ratio bounded by (gamma+1)/(gamma-1) = 6 for gamma = 1.4.
+    EXPECT_LT(S.Rho, 6.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MachSweep, RankineHugoniotSweep,
+                         ::testing::Values(1.0, 1.1, 1.5, 2.0, 2.2, 3.0,
+                                           5.0, 10.0));
+
+TEST(RankineHugoniot, StrongShockDensityLimit) {
+  Gas G;
+  PostShockState S = postShockState(100.0, 1.0, 1.0, G);
+  EXPECT_NEAR(S.Rho, 6.0, 1e-2) << "rho ratio -> (g+1)/(g-1) as Ms -> inf";
+}
+
+TEST(RankineHugoniot, InflowStateVectorIs2DAxisAligned) {
+  Gas G;
+  Prim<2> Quiescent;
+  Quiescent.Rho = 1.0;
+  Quiescent.Vel = {0.0, 0.0};
+  Quiescent.P = 1.0;
+
+  Prim<2> FromLeft = postShockInflow(2.2, Quiescent, 0, G);
+  EXPECT_GT(FromLeft.Vel[0], 0.0);
+  EXPECT_EQ(FromLeft.Vel[1], 0.0);
+
+  Prim<2> FromBottom = postShockInflow(2.2, Quiescent, 1, G);
+  EXPECT_EQ(FromBottom.Vel[0], 0.0);
+  EXPECT_GT(FromBottom.Vel[1], 0.0);
+
+  // Same scalar state on both axes.
+  EXPECT_DOUBLE_EQ(FromLeft.Rho, FromBottom.Rho);
+  EXPECT_DOUBLE_EQ(FromLeft.P, FromBottom.P);
+}
+
+TEST(RankineHugoniot, ScalesWithQuiescentState) {
+  // Nondimensionalization: scaling (rho0, p0) scales (rho1, p1) by the
+  // same factors and u by sqrt(p0/rho0).
+  Gas G;
+  PostShockState A = postShockState(2.2, 1.0, 1.0, G);
+  PostShockState B = postShockState(2.2, 2.0, 8.0, G);
+  EXPECT_NEAR(B.Rho / A.Rho, 2.0, 1e-12);
+  EXPECT_NEAR(B.P / A.P, 8.0, 1e-12);
+  EXPECT_NEAR(B.U / A.U, std::sqrt(8.0 / 2.0), 1e-12);
+}

@@ -1,0 +1,142 @@
+//===- tests/ScheduleTest.cpp - runtime/Schedule unit tests ---------------===//
+
+#include "runtime/Schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+using namespace sacfd;
+
+TEST(ScheduleParse, AcceptsOmpScheduleGrammar) {
+  EXPECT_EQ(Schedule::parse("static")->K, Schedule::Kind::StaticBlock);
+  EXPECT_EQ(Schedule::parse("STATIC")->K, Schedule::Kind::StaticBlock);
+
+  Schedule SC = Schedule::parse("static,16").value();
+  EXPECT_EQ(SC.K, Schedule::Kind::StaticChunk);
+  EXPECT_EQ(SC.ChunkSize, 16u);
+
+  Schedule Dyn = Schedule::parse("dynamic").value();
+  EXPECT_EQ(Dyn.K, Schedule::Kind::Dynamic);
+  EXPECT_EQ(Dyn.ChunkSize, 0u);
+
+  Schedule DynC = Schedule::parse(" dynamic , 4 ").value();
+  EXPECT_EQ(DynC.K, Schedule::Kind::Dynamic);
+  EXPECT_EQ(DynC.ChunkSize, 4u);
+}
+
+TEST(ScheduleParse, RejectsMalformedInput) {
+  EXPECT_FALSE(Schedule::parse("guided").has_value());
+  EXPECT_FALSE(Schedule::parse("static,0").has_value());
+  EXPECT_FALSE(Schedule::parse("static,-4").has_value());
+  EXPECT_FALSE(Schedule::parse("static,4,4").has_value());
+  EXPECT_FALSE(Schedule::parse("").has_value());
+  EXPECT_FALSE(Schedule::parse("dynamic,abc").has_value());
+}
+
+TEST(ScheduleStr, RoundTripsThroughParse) {
+  for (const char *Text : {"static", "static,8", "dynamic", "dynamic,32"}) {
+    Schedule S = Schedule::parse(Text).value();
+    EXPECT_EQ(S.str(), Text);
+    Schedule Again = Schedule::parse(S.str()).value();
+    EXPECT_EQ(Again.K, S.K);
+    EXPECT_EQ(Again.ChunkSize, S.ChunkSize);
+  }
+}
+
+TEST(ScheduleChunk, ExplicitChunkWins) {
+  Schedule S = Schedule::staticChunk(7);
+  EXPECT_EQ(S.resolvedChunk(1000, 4), 7u);
+  Schedule D = Schedule::dynamic(3);
+  EXPECT_EQ(D.resolvedChunk(1000, 4), 3u);
+}
+
+TEST(ScheduleChunk, AutoChunkIsSaneForStaticBlock) {
+  Schedule S = Schedule::staticBlock();
+  EXPECT_EQ(S.resolvedChunk(100, 4), 25u);
+  EXPECT_EQ(S.resolvedChunk(101, 4), 26u);
+  EXPECT_EQ(S.resolvedChunk(3, 4), 1u);
+}
+
+TEST(ScheduleChunk, AutoChunkNeverZero) {
+  Schedule D = Schedule::dynamic();
+  EXPECT_GE(D.resolvedChunk(1, 16), 1u);
+  EXPECT_GE(D.resolvedChunk(0, 16), 1u);
+}
+
+namespace {
+
+/// Flattens a partition plan and checks it tiles [0, N) exactly once.
+void expectExactTiling(
+    const std::vector<std::vector<IterationChunk>> &Plan, size_t N) {
+  std::vector<int> Touched(N, 0);
+  for (const auto &WorkerChunks : Plan)
+    for (const IterationChunk &C : WorkerChunks) {
+      ASSERT_LE(C.Begin, C.End);
+      ASSERT_LE(C.End, N);
+      for (size_t I = C.Begin; I < C.End; ++I)
+        ++Touched[I];
+    }
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Touched[I], 1) << "iteration " << I;
+}
+
+struct PartitionCase {
+  size_t N;
+  unsigned Workers;
+};
+
+class StaticPartitionTest : public ::testing::TestWithParam<PartitionCase> {};
+
+} // namespace
+
+TEST_P(StaticPartitionTest, StaticBlockTilesExactly) {
+  auto [N, Workers] = GetParam();
+  auto Plan = staticPartition(N, Workers, Schedule::staticBlock());
+  ASSERT_EQ(Plan.size(), Workers);
+  expectExactTiling(Plan, N);
+  // Block sizes differ by at most one.
+  size_t Min = N, Max = 0;
+  for (const auto &WorkerChunks : Plan) {
+    size_t Total = 0;
+    for (const IterationChunk &C : WorkerChunks)
+      Total += C.End - C.Begin;
+    Min = std::min(Min, Total);
+    Max = std::max(Max, Total);
+  }
+  if (N >= Workers) {
+    EXPECT_LE(Max - Min, 1u);
+  }
+}
+
+TEST_P(StaticPartitionTest, StaticChunkTilesExactly) {
+  auto [N, Workers] = GetParam();
+  auto Plan = staticPartition(N, Workers, Schedule::staticChunk(3));
+  ASSERT_EQ(Plan.size(), Workers);
+  expectExactTiling(Plan, N);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StaticPartitionTest,
+    ::testing::Values(PartitionCase{0, 1}, PartitionCase{0, 4},
+                      PartitionCase{1, 1}, PartitionCase{1, 8},
+                      PartitionCase{7, 3}, PartitionCase{8, 3},
+                      PartitionCase{9, 3}, PartitionCase{100, 1},
+                      PartitionCase{100, 7}, PartitionCase{1000, 16},
+                      PartitionCase{16, 16}, PartitionCase{15, 16}));
+
+TEST(StaticPartition, RoundRobinAssignsChunksInOrder) {
+  // 10 iterations, chunk 2, 3 workers: chunks [0,2)[2,4)[4,6)[6,8)[8,10)
+  // dealt to workers 0,1,2,0,1.
+  auto Plan = staticPartition(10, 3, Schedule::staticChunk(2));
+  ASSERT_EQ(Plan[0].size(), 2u);
+  ASSERT_EQ(Plan[1].size(), 2u);
+  ASSERT_EQ(Plan[2].size(), 1u);
+  EXPECT_EQ(Plan[0][0].Begin, 0u);
+  EXPECT_EQ(Plan[0][1].Begin, 6u);
+  EXPECT_EQ(Plan[1][0].Begin, 2u);
+  EXPECT_EQ(Plan[1][1].Begin, 8u);
+  EXPECT_EQ(Plan[2][0].Begin, 4u);
+  EXPECT_EQ(Plan[2][0].End, 6u);
+}

@@ -1,0 +1,102 @@
+//===- tests/ShapeTest.cpp - array/Shape unit tests -----------------------===//
+
+#include "array/Shape.h"
+
+#include <gtest/gtest.h>
+
+using namespace sacfd;
+
+TEST(Shape, DefaultIsRankZeroScalar) {
+  Shape S;
+  EXPECT_EQ(S.rank(), 0u);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_EQ(S.str(), "[]");
+}
+
+TEST(Shape, ExtentsAndCount) {
+  Shape S{4, 5, 6};
+  EXPECT_EQ(S.rank(), 3u);
+  EXPECT_EQ(S.dim(0), 4u);
+  EXPECT_EQ(S.dim(1), 5u);
+  EXPECT_EQ(S.dim(2), 6u);
+  EXPECT_EQ(S.count(), 120u);
+  EXPECT_EQ(S.str(), "[4,5,6]");
+}
+
+TEST(Shape, UniformBuilder) {
+  Shape S = Shape::uniform(2, 400);
+  EXPECT_EQ(S.rank(), 2u);
+  EXPECT_EQ(S.dim(0), 400u);
+  EXPECT_EQ(S.dim(1), 400u);
+}
+
+TEST(Shape, EqualityComparesRankAndExtents) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+  EXPECT_NE(Shape({2}), Shape({}));
+}
+
+TEST(Shape, ContainsChecksEveryAxis) {
+  Shape S{3, 4};
+  EXPECT_TRUE(S.contains(Index{0, 0}));
+  EXPECT_TRUE(S.contains(Index{2, 3}));
+  EXPECT_FALSE(S.contains(Index{3, 0}));
+  EXPECT_FALSE(S.contains(Index{0, 4}));
+  EXPECT_FALSE(S.contains(Index{-1, 0}));
+  EXPECT_FALSE(S.contains(Index{0})); // rank mismatch
+}
+
+TEST(Shape, LinearizeIsRowMajor) {
+  Shape S{3, 4};
+  EXPECT_EQ(S.linearize(Index{0, 0}), 0u);
+  EXPECT_EQ(S.linearize(Index{0, 3}), 3u);
+  EXPECT_EQ(S.linearize(Index{1, 0}), 4u);
+  EXPECT_EQ(S.linearize(Index{2, 3}), 11u);
+}
+
+TEST(Shape, DelinearizeInvertsLinearize) {
+  Shape S{3, 5, 2};
+  for (size_t L = 0; L < S.count(); ++L) {
+    Index Ix = S.delinearize(L);
+    EXPECT_EQ(S.linearize(Ix), L);
+  }
+}
+
+TEST(Shape, IncrementWalksRowMajorOrder) {
+  Shape S{2, 3};
+  Index Ix = S.delinearize(0);
+  size_t Linear = 0;
+  do {
+    EXPECT_EQ(S.linearize(Ix), Linear);
+    ++Linear;
+  } while (S.increment(Ix));
+  EXPECT_EQ(Linear, S.count());
+}
+
+TEST(Shape, IncrementRank1) {
+  Shape S{4};
+  Index Ix{0};
+  EXPECT_TRUE(S.increment(Ix));
+  EXPECT_EQ(Ix[0], 1);
+  Ix[0] = 3;
+  EXPECT_FALSE(S.increment(Ix));
+}
+
+TEST(IndexTest, EqualityAndAccess) {
+  Index A{1, 2};
+  Index B{1, 2};
+  Index C{2, 1};
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, Index{1});
+  EXPECT_EQ(A[0], 1);
+  EXPECT_EQ(A[1], 2);
+  A[1] = 7;
+  EXPECT_EQ(A[1], 7);
+}
+
+TEST(Shape, ZeroExtentAxisGivesEmptyArray) {
+  Shape S{5, 0};
+  EXPECT_EQ(S.count(), 0u);
+}

@@ -1,0 +1,212 @@
+//===- tests/SupportTest.cpp - support/ unit tests ------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Env.h"
+#include "support/StrUtil.h"
+#include "support/Timer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace sacfd;
+
+//===----------------------------------------------------------------------===//
+// StrUtil
+//===----------------------------------------------------------------------===//
+
+TEST(StrUtil, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t\n"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" a b "), "a b");
+}
+
+TEST(StrUtil, SplitPreservesEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(StrUtil, ParseIntAcceptsWholeIntegersOnly) {
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt("-7"), -7);
+  EXPECT_EQ(parseInt(" 13 "), 13);
+  EXPECT_EQ(parseInt("0"), 0);
+  EXPECT_FALSE(parseInt("12abc").has_value());
+  EXPECT_FALSE(parseInt("").has_value());
+  EXPECT_FALSE(parseInt("  ").has_value());
+  EXPECT_FALSE(parseInt("1.5").has_value());
+  EXPECT_FALSE(parseInt("999999999999999999999999").has_value());
+}
+
+TEST(StrUtil, ParseDoubleAcceptsStrtodForms) {
+  EXPECT_DOUBLE_EQ(parseDouble("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(parseDouble("-2e3").value(), -2000.0);
+  EXPECT_DOUBLE_EQ(parseDouble("0.125").value(), 0.125);
+  EXPECT_FALSE(parseDouble("abc").has_value());
+  EXPECT_FALSE(parseDouble("1.5x").has_value());
+  EXPECT_FALSE(parseDouble("").has_value());
+}
+
+TEST(StrUtil, EqualsLowerIsCaseInsensitive) {
+  EXPECT_TRUE(equalsLower("STATIC", "static"));
+  EXPECT_TRUE(equalsLower("Dynamic", "dYnAmIc"));
+  EXPECT_FALSE(equalsLower("static", "statics"));
+  EXPECT_FALSE(equalsLower("a", "b"));
+}
+
+TEST(StrUtil, ToLowerMapsAsciiOnly) {
+  EXPECT_EQ(toLower("AbC-123"), "abc-123");
+  EXPECT_EQ(toLower(""), "");
+}
+
+//===----------------------------------------------------------------------===//
+// TimingSamples
+//===----------------------------------------------------------------------===//
+
+TEST(TimingSamples, EmptyStatsAreZero) {
+  TimingSamples S;
+  EXPECT_TRUE(S.empty());
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.min(), 0.0);
+  EXPECT_EQ(S.max(), 0.0);
+  EXPECT_EQ(S.mean(), 0.0);
+  EXPECT_EQ(S.median(), 0.0);
+}
+
+TEST(TimingSamples, StatsOverKnownSamples) {
+  TimingSamples S;
+  for (double V : {3.0, 1.0, 2.0, 5.0})
+    S.add(V);
+  EXPECT_EQ(S.count(), 4u);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 5.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.75);
+  // Lower-middle median of {1,2,3,5}.
+  EXPECT_DOUBLE_EQ(S.median(), 2.0);
+}
+
+TEST(TimingSamples, MedianOfOddCount) {
+  TimingSamples S;
+  for (double V : {9.0, 1.0, 4.0})
+    S.add(V);
+  EXPECT_DOUBLE_EQ(S.median(), 4.0);
+}
+
+TEST(WallTimer, MeasuresNonNegativeMonotonicTime) {
+  WallTimer T;
+  double A = T.seconds();
+  double B = T.seconds();
+  EXPECT_GE(A, 0.0);
+  EXPECT_GE(B, A);
+  T.restart();
+  EXPECT_GE(T.seconds(), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Env
+//===----------------------------------------------------------------------===//
+
+TEST(Env, ReadsStringAndInt) {
+  ::setenv("SACFD_TEST_VAR", "hello", 1);
+  EXPECT_EQ(getEnvString("SACFD_TEST_VAR").value(), "hello");
+  ::setenv("SACFD_TEST_VAR", "17", 1);
+  EXPECT_EQ(getEnvInt("SACFD_TEST_VAR").value(), 17);
+  ::setenv("SACFD_TEST_VAR", "junk", 1);
+  EXPECT_FALSE(getEnvInt("SACFD_TEST_VAR").has_value());
+  ::unsetenv("SACFD_TEST_VAR");
+  EXPECT_FALSE(getEnvString("SACFD_TEST_VAR").has_value());
+}
+
+TEST(Env, HardwareThreadCountIsPositive) {
+  EXPECT_GE(hardwareThreadCount(), 1u);
+}
+
+TEST(Env, DefaultThreadCountHonorsOverride) {
+  ::setenv("SACFD_THREADS", "3", 1);
+  EXPECT_EQ(defaultThreadCount(), 3u);
+  ::setenv("SACFD_THREADS", "-2", 1);
+  EXPECT_EQ(defaultThreadCount(), hardwareThreadCount());
+  ::unsetenv("SACFD_THREADS");
+  EXPECT_EQ(defaultThreadCount(), hardwareThreadCount());
+}
+
+//===----------------------------------------------------------------------===//
+// CommandLine
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ParsedOptions {
+  int Nx = 400;
+  unsigned Threads = 1;
+  double Cfl = 0.5;
+  bool Full = false;
+  std::string Scheme = "weno3";
+};
+
+bool parseWith(ParsedOptions &Opts, std::vector<const char *> Argv) {
+  CommandLine CL("test", "test tool");
+  CL.addInt("nx", Opts.Nx, "grid size");
+  CL.addUnsigned("threads", Opts.Threads, "worker count");
+  CL.addDouble("cfl", Opts.Cfl, "CFL number");
+  CL.addFlag("full", Opts.Full, "paper scale");
+  CL.addString("scheme", Opts.Scheme, "reconstruction");
+  Argv.insert(Argv.begin(), "test");
+  return CL.parse(static_cast<int>(Argv.size()), Argv.data());
+}
+
+} // namespace
+
+TEST(CommandLine, DefaultsSurviveEmptyArgv) {
+  ParsedOptions Opts;
+  EXPECT_TRUE(parseWith(Opts, {}));
+  EXPECT_EQ(Opts.Nx, 400);
+  EXPECT_EQ(Opts.Threads, 1u);
+  EXPECT_DOUBLE_EQ(Opts.Cfl, 0.5);
+  EXPECT_FALSE(Opts.Full);
+  EXPECT_EQ(Opts.Scheme, "weno3");
+}
+
+TEST(CommandLine, ParsesSeparateAndInlineValues) {
+  ParsedOptions Opts;
+  EXPECT_TRUE(parseWith(
+      Opts, {"--nx", "128", "--cfl=0.9", "--scheme", "tvd2", "--threads=4"}));
+  EXPECT_EQ(Opts.Nx, 128);
+  EXPECT_EQ(Opts.Threads, 4u);
+  EXPECT_DOUBLE_EQ(Opts.Cfl, 0.9);
+  EXPECT_EQ(Opts.Scheme, "tvd2");
+}
+
+TEST(CommandLine, BareFlagSetsTrueAndExplicitFalseWorks) {
+  ParsedOptions Opts;
+  EXPECT_TRUE(parseWith(Opts, {"--full"}));
+  EXPECT_TRUE(Opts.Full);
+
+  ParsedOptions Opts2;
+  EXPECT_TRUE(parseWith(Opts2, {"--full=false"}));
+  EXPECT_FALSE(Opts2.Full);
+}
+
+TEST(CommandLine, RejectsUnknownOptionsAndBadValues) {
+  ParsedOptions Opts;
+  EXPECT_FALSE(parseWith(Opts, {"--bogus", "1"}));
+  EXPECT_FALSE(parseWith(Opts, {"--nx", "notanint"}));
+  EXPECT_FALSE(parseWith(Opts, {"--threads", "-3"}));
+  EXPECT_FALSE(parseWith(Opts, {"--nx"}));          // missing value
+  EXPECT_FALSE(parseWith(Opts, {"positional"}));    // no positionals
+  EXPECT_FALSE(parseWith(Opts, {"--full=maybe"}));  // bad bool
+}
+
+TEST(CommandLine, HelpStopsParsing) {
+  ParsedOptions Opts;
+  CommandLine CL("test", "test tool");
+  CL.addInt("nx", Opts.Nx, "grid size");
+  const char *Argv[] = {"test", "--help"};
+  EXPECT_FALSE(CL.parse(2, Argv));
+  EXPECT_TRUE(CL.helpRequested());
+}

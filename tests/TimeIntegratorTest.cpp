@@ -1,0 +1,143 @@
+//===- tests/TimeIntegratorTest.cpp - SSP Runge-Kutta tests ---------------===//
+
+#include "numerics/TimeIntegrators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace sacfd;
+
+namespace {
+
+const TimeIntegratorKind AllIntegrators[] = {TimeIntegratorKind::ForwardEuler,
+                                             TimeIntegratorKind::SspRk2,
+                                             TimeIntegratorKind::SspRk3};
+
+/// Integrates du/dt = Rhs(u) from 0 to T with N steps of the scheme.
+template <typename Fn>
+double integrateScalar(TimeIntegratorKind Kind, double U0, double T, int N,
+                       Fn Rhs) {
+  double U = U0;
+  double Dt = T / N;
+  for (int Step = 0; Step < N; ++Step)
+    advanceSsp(Kind, U, Dt, Rhs,
+               [](double A, double Un, double B, double Stage, double Dt2,
+                  double L) { return A * Un + B * (Stage + Dt2 * L); });
+  return U;
+}
+
+/// Measured convergence order on du/dt = -u over [0, 1].
+double measuredOrder(TimeIntegratorKind Kind) {
+  auto Rhs = [](double U) { return -U; };
+  double Exact = std::exp(-1.0);
+  double ECoarse = std::fabs(integrateScalar(Kind, 1.0, 1.0, 20, Rhs) - Exact);
+  double EFine = std::fabs(integrateScalar(Kind, 1.0, 1.0, 40, Rhs) - Exact);
+  return std::log2(ECoarse / EFine);
+}
+
+class IntegratorSweep
+    : public ::testing::TestWithParam<TimeIntegratorKind> {};
+
+} // namespace
+
+TEST_P(IntegratorSweep, StageWeightsAreConvexCombinations) {
+  // SSP requirement: A_i + B_i = 1 with both nonnegative (stage 1 has
+  // A = 0, B = 1).
+  for (const SspStage &S : sspStages(GetParam())) {
+    EXPECT_GE(S.PrevWeight, 0.0);
+    EXPECT_GE(S.StageWeight, 0.0);
+    EXPECT_NEAR(S.PrevWeight + S.StageWeight, 1.0, 1e-15);
+  }
+}
+
+TEST_P(IntegratorSweep, StageCountMatchesOrder) {
+  EXPECT_EQ(sspStages(GetParam()).size(), timeIntegratorOrder(GetParam()));
+}
+
+TEST_P(IntegratorSweep, ExactForConstantInTimeRhs) {
+  // du/dt = c: every convex-combination RK integrates this exactly.
+  auto Rhs = [](double) { return 2.5; };
+  double U = integrateScalar(GetParam(), 1.0, 2.0, 7, Rhs);
+  EXPECT_NEAR(U, 1.0 + 2.5 * 2.0, 1e-12);
+}
+
+TEST_P(IntegratorSweep, MeasuredConvergenceOrder) {
+  double Order = measuredOrder(GetParam());
+  double Formal = static_cast<double>(timeIntegratorOrder(GetParam()));
+  EXPECT_GT(Order, Formal - 0.25);
+  EXPECT_LT(Order, Formal + 0.75);
+}
+
+TEST_P(IntegratorSweep, StableOnLinearProblemAtCflOne) {
+  // du/dt = -u with dt = 1 is within every SSP method's absolute
+  // stability region; iterates must decay monotonically in magnitude.
+  double U = 1.0;
+  auto Rhs = [](double V) { return -V; };
+  for (int Step = 0; Step < 50; ++Step) {
+    double Prev = U;
+    advanceSsp(GetParam(), U, 1.0, Rhs,
+               [](double A, double Un, double B, double Stage, double Dt,
+                  double L) { return A * Un + B * (Stage + Dt * L); });
+    EXPECT_LE(std::fabs(U), std::fabs(Prev) + 1e-15);
+  }
+  EXPECT_LT(std::fabs(U), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIntegrators, IntegratorSweep, ::testing::ValuesIn(AllIntegrators),
+    [](const ::testing::TestParamInfo<TimeIntegratorKind> &I) {
+      return timeIntegratorKindName(I.param);
+    });
+
+TEST(TimeIntegrators, Rk3MatchesShuOsherTable) {
+  auto Stages = sspStages(TimeIntegratorKind::SspRk3);
+  ASSERT_EQ(Stages.size(), 3u);
+  EXPECT_DOUBLE_EQ(Stages[0].PrevWeight, 0.0);
+  EXPECT_DOUBLE_EQ(Stages[0].StageWeight, 1.0);
+  EXPECT_DOUBLE_EQ(Stages[1].PrevWeight, 0.75);
+  EXPECT_DOUBLE_EQ(Stages[1].StageWeight, 0.25);
+  EXPECT_NEAR(Stages[2].PrevWeight, 1.0 / 3.0, 1e-15);
+  EXPECT_NEAR(Stages[2].StageWeight, 2.0 / 3.0, 1e-15);
+}
+
+TEST(TimeIntegrators, NameParsingRoundTrip) {
+  for (TimeIntegratorKind K : AllIntegrators)
+    EXPECT_EQ(parseTimeIntegratorKind(timeIntegratorKindName(K)), K);
+  EXPECT_EQ(parseTimeIntegratorKind("euler"),
+            TimeIntegratorKind::ForwardEuler);
+  EXPECT_FALSE(parseTimeIntegratorKind("rk4").has_value());
+}
+
+TEST(TimeIntegrators, NonlinearOscillatorEnergyErrorShrinksWithOrder) {
+  // Integrate u'' = -u as a 2-state system wrapped in a struct; the
+  // energy drift after one period should fall sharply with order.
+  struct Phase {
+    double Q, P;
+  };
+  auto Rhs = [](Phase S) { return Phase{S.P, -S.Q}; };
+  auto Combine = [](double A, Phase Un, double B, Phase Stage, double Dt,
+                    Phase L) {
+    return Phase{A * Un.Q + B * (Stage.Q + Dt * L.Q),
+                 A * Un.P + B * (Stage.P + Dt * L.P)};
+  };
+
+  // Position error after one full period vs the exact solution cos(t).
+  auto PositionError = [&](TimeIntegratorKind K) {
+    Phase S{1.0, 0.0};
+    int N = 400;
+    double Dt = 2.0 * M_PI / N;
+    for (int Step = 0; Step < N; ++Step)
+      advanceSsp(K, S, Dt, Rhs, Combine);
+    return std::fabs(S.Q - 1.0);
+  };
+
+  double E1 = PositionError(TimeIntegratorKind::ForwardEuler);
+  double E2 = PositionError(TimeIntegratorKind::SspRk2);
+  double E3 = PositionError(TimeIntegratorKind::SspRk3);
+  // Forward Euler's amplitude blows up (error O(dt) global); RK2's
+  // amplification factor happens to be fourth-order accurate in amplitude
+  // on this linear problem, so only strict ordering is asserted there.
+  EXPECT_GT(E1, 100.0 * E2);
+  EXPECT_GT(E2, E3);
+}
