@@ -12,35 +12,47 @@
 //===----------------------------------------------------------------------===//
 
 #include "io/AsciiPlot.h"
+#include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
 #include "runtime/Runtime.h"
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
+#include "solver/GuardOptions.h"
 #include "solver/Problems.h"
+#include "solver/StepGuard.h"
 #include "support/CommandLine.h"
 #include "support/Env.h"
 #include "support/Timer.h"
 
 #include <cstdio>
+#include <optional>
 
 using namespace sacfd;
 
 int main(int Argc, const char **Argv) {
   int Cells = 400;
+  double Cfl = 0.0; // 0 keeps the figure scheme's default
   bool Csv = false;
   bool Full = false; // accepted for harness uniformity; default IS full
+  GuardCliOptions Guard;
 
   CommandLine CL("fig1_sod_tube",
                  "FIG1: three-snapshot Sod tube density series with "
                  "errors vs the exact solution");
   CL.addInt("cells", Cells, "grid cells");
+  CL.addDouble("cfl", Cfl, "override the CFL number (0 keeps the default)");
   CL.addFlag("csv", Csv, "also write fig1_t*.csv profiles");
   CL.addFlag("full", Full, "no-op (the default already runs paper scale)");
+  Guard.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
 
+  SchemeConfig Scheme = SchemeConfig::figureScheme();
+  if (Cfl > 0.0)
+    Scheme.Cfl = Cfl;
+
   std::printf("# FIG1: Sod shock tube, N=%d, scheme %s\n", Cells,
-              SchemeConfig::figureScheme().str().c_str());
+              Scheme.str().c_str());
 
   Prim<1> L, R;
   L.Rho = 1.0;
@@ -51,8 +63,18 @@ int main(int Argc, const char **Argv) {
   R.P = 0.1;
 
   auto Exec = createBackend(BackendKind::SpinPool, defaultThreadCount());
-  ArraySolver<1> Solver(sodProblem(static_cast<size_t>(Cells)),
-                        SchemeConfig::figureScheme(), *Exec);
+  ArraySolver<1> Solver(sodProblem(static_cast<size_t>(Cells)), Scheme,
+                        *Exec);
+  std::optional<StepGuard<1>> SG;
+  if (Guard.Enabled) {
+    SG.emplace(Solver, Guard.config());
+    Guard.armFaults(*SG);
+    if (!Guard.CheckpointPath.empty())
+      SG->setEmergencyCheckpoint(Guard.CheckpointPath,
+                                 [&Solver](const std::string &P) {
+                                   return saveCheckpoint(P, Solver);
+                                 });
+  }
 
   WallTimer Timer;
   const double SnapshotTimes[] = {0.05, 0.125, 0.2};
@@ -60,20 +82,37 @@ int main(int Argc, const char **Argv) {
               "L1(u)", "L1(p)", "min(rho)");
 
   for (double T : SnapshotTimes) {
-    Solver.advanceTo(T);
+    if (SG) {
+      if (!SG->advanceTo(T))
+        break;
+    } else {
+      Solver.advanceTo(T);
+    }
     RiemannErrors E = riemannL1Error(Solver, L, R, 0.5);
     FieldHealth<1> H = fieldHealth(Solver);
     std::printf("%10.3f %8u %12.5f %12.5f %12.5f %12.5f\n", Solver.time(),
                 Solver.stepCount(), E.Rho, E.U, E.P, H.MinDensity);
+  }
+  if (SG) {
+    std::printf("# %s\n", SG->summary().c_str());
+    for (const BreakdownReport &Rep : SG->reports())
+      std::printf("#   %s\n", Rep.str().c_str());
   }
 
   // Re-run for the visual series (fresh solver per frame keeps the plot
   // logic trivial and the run is cheap).
   std::printf("\n# density snapshots (the paper's three frames):\n");
   for (double T : SnapshotTimes) {
-    ArraySolver<1> Frame(sodProblem(static_cast<size_t>(Cells)),
-                         SchemeConfig::figureScheme(), *Exec);
-    Frame.advanceTo(T);
+    ArraySolver<1> Frame(sodProblem(static_cast<size_t>(Cells)), Scheme,
+                         *Exec);
+    if (Guard.Enabled) {
+      StepGuard<1> FrameGuard(Frame, Guard.config());
+      if (!FrameGuard.advanceTo(T))
+        std::printf("# frame t=%.3f: %s\n", T,
+                    FrameGuard.summary().c_str());
+    } else {
+      Frame.advanceTo(T);
+    }
     std::vector<ProfileSample> Profile = profileOf(Frame);
     std::vector<double> Density;
     for (const ProfileSample &S : Profile)
@@ -89,5 +128,5 @@ int main(int Argc, const char **Argv) {
     }
   }
   std::printf("# FIG1 total wall time %.2fs\n", Timer.seconds());
-  return 0;
+  return (SG && SG->failed()) ? 1 : 0;
 }

@@ -1,0 +1,105 @@
+//===- bench/guard_overhead.cpp - Step-guard cost measurement -------------===//
+//
+// Quantifies what the breakdown guard costs on a healthy run and what a
+// recovery cycle costs when the solver does break.  Three measurements
+// on the 2D interaction workload:
+//
+//   unguarded        plain advanceSteps, the baseline
+//   guarded every=K  health scan after each K-step window (K = 1,2,4,8)
+//   recovery         guarded run with a persistent mid-run fault that
+//                    forces the full retry + floor cycle
+//
+// The scan is a single parallel reduction over the interior, so the
+// healthy-path overhead should shrink roughly like 1/K with cadence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "solver/ArraySolver.h"
+#include "solver/Problems.h"
+#include "solver/StepGuard.h"
+#include "support/CommandLine.h"
+#include "support/Env.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+
+using namespace sacfd;
+
+int main(int Argc, const char **Argv) {
+  int Cells = 160;
+  unsigned Steps = 60;
+  unsigned Threads = defaultThreadCount();
+  bool Full = false;
+
+  CommandLine CL("guard_overhead",
+                 "cost of the step guard: healthy-path scan overhead "
+                 "per cadence and the price of a recovery cycle");
+  CL.addInt("cells", Cells, "2D grid cells per axis");
+  CL.addUnsigned("steps", Steps, "solver steps per measurement");
+  CL.addUnsigned("threads", Threads, "worker threads");
+  CL.addFlag("full", Full, "larger grid and more steps");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+  if (Full) {
+    Cells = 320;
+    Steps = 120;
+  }
+
+  auto Exec = createBackend(BackendKind::SpinPool, Threads);
+  Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), 2.2,
+                                       static_cast<double>(Cells) / 2.0);
+  SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
+
+  std::printf("# guard_overhead: %dx%d, %u steps, backend %s(%u)\n", Cells,
+              Cells, Steps, Exec->name(), Exec->workerCount());
+  std::printf("%-24s %10s %12s %10s\n", "configuration", "wall[s]",
+              "steps/s", "vs base");
+
+  // Baseline: no guard at all.  Cost is compared per step actually
+  // taken, because guarded runs round the step count up to whole
+  // windows.
+  double BasePerStep;
+  {
+    ArraySolver<2> S(Prob, Scheme, *Exec);
+    WallTimer T;
+    S.advanceSteps(Steps);
+    double Sec = T.seconds();
+    BasePerStep = Sec / S.stepCount();
+    std::printf("%-24s %10.4f %12.1f %10s\n", "unguarded", Sec,
+                S.stepCount() / Sec, "1.00x");
+  }
+
+  // Healthy-path overhead at several scan cadences.
+  for (unsigned Every : {1u, 2u, 4u, 8u}) {
+    ArraySolver<2> S(Prob, Scheme, *Exec);
+    GuardConfig Cfg;
+    Cfg.Every = Every;
+    StepGuard<2> Guard(S, Cfg);
+    WallTimer T;
+    Guard.advanceSteps(Steps);
+    double Sec = T.seconds();
+    char Label[32];
+    std::snprintf(Label, sizeof(Label), "guarded every=%u", Every);
+    std::printf("%-24s %10.4f %12.1f %9.2fx\n", Label, Sec,
+                S.stepCount() / Sec,
+                (Sec / S.stepCount()) / BasePerStep);
+  }
+
+  // Recovery: a persistent fault halfway through forces the guard all
+  // the way down the retry ladder and into the floor stage.
+  {
+    ArraySolver<2> S(Prob, Scheme, *Exec);
+    StepGuard<2> Guard(S, GuardConfig{});
+    Guard.injectFaultSpread(/*AfterStep=*/Steps / 2, /*CellCount=*/4,
+                            /*Persistent=*/true);
+    WallTimer T;
+    Guard.advanceSteps(Steps);
+    double Sec = T.seconds();
+    std::printf("%-24s %10.4f %12.1f %9.2fx\n", "recovery (1 breakdown)",
+                Sec, S.stepCount() / Sec,
+                (Sec / S.stepCount()) / BasePerStep);
+    std::printf("# recovery detail: %s\n", Guard.summary().c_str());
+  }
+  return 0;
+}

@@ -13,6 +13,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "io/AsciiPlot.h"
+#include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
 #include "io/FieldExport.h"
 #include "io/PgmWriter.h"
@@ -21,8 +22,10 @@
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
 #include "solver/FusedSolver.h"
+#include "solver/GuardOptions.h"
 #include "solver/Problems.h"
 #include "solver/RunRecorder.h"
+#include "solver/StepGuard.h"
 #include "support/CommandLine.h"
 #include "support/Env.h"
 #include "support/Error.h"
@@ -30,6 +33,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 using namespace sacfd;
@@ -45,6 +49,7 @@ int main(int Argc, const char **Argv) {
   std::string BackendName = "spin-pool";
   std::string EngineName = "array";
   bool NoFiles = false;
+  GuardCliOptions Guard;
 
   CommandLine CL("shock_interaction_2d",
                  "two-channel unsteady shock interaction (paper Fig. 2/3)");
@@ -62,6 +67,7 @@ int main(int Argc, const char **Argv) {
                "write per-step diagnostics (dt, conservation, "
                "positivity) to this CSV file");
   CL.addFlag("no-files", NoFiles, "skip PGM/VTK output");
+  Guard.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Cells < 8 || Frames < 1)
@@ -99,12 +105,35 @@ int main(int Argc, const char **Argv) {
 
   WallTimer Timer;
   RunRecorder<2> Recorder(/*Stride=*/5);
+  std::optional<StepGuard<2>> SG;
+  if (Guard.Enabled) {
+    SG.emplace(Solver, Guard.config());
+    Guard.armFaults(*SG);
+    if (!Guard.CheckpointPath.empty())
+      SG->setEmergencyCheckpoint(Guard.CheckpointPath,
+                                 [&Solver](const std::string &P) {
+                                   return saveCheckpoint(P, Solver);
+                                 });
+  }
+  bool GuardFailed = false;
   for (int Frame = 1; Frame <= Frames; ++Frame) {
-    if (HistoryPath.empty())
-      Solver.advanceTo(EndTime * Frame / Frames);
-    else
-      while (Solver.time() < EndTime * Frame / Frames)
+    double FrameEnd = EndTime * Frame / Frames;
+    if (SG) {
+      if (HistoryPath.empty()) {
+        GuardFailed = !SG->advanceTo(FrameEnd);
+      } else {
+        while (Solver.time() < FrameEnd && !SG->failed())
+          Recorder.advanceAndRecord(*SG);
+        GuardFailed = SG->failed();
+      }
+    } else if (HistoryPath.empty()) {
+      Solver.advanceTo(FrameEnd);
+    } else {
+      while (Solver.time() < FrameEnd)
         Recorder.advanceAndRecord(Solver);
+    }
+    if (GuardFailed)
+      break;
 
     FieldHealth<2> H = fieldHealth(Solver);
     if (!H.AllFinite)
@@ -128,6 +157,12 @@ int main(int Argc, const char **Argv) {
     }
   }
 
+  if (SG) {
+    std::printf("\n%s\n", SG->summary().c_str());
+    for (const BreakdownReport &R : SG->reports())
+      std::printf("  %s\n", R.str().c_str());
+  }
+
   std::printf("\nfinal density field (Fig. 3 analogue):\n%s",
               asciiFieldMap(scalarField(Solver, FieldQuantity::Density))
                   .c_str());
@@ -143,5 +178,5 @@ int main(int Argc, const char **Argv) {
                 Recorder.samples().size(), HistoryPath.c_str(),
                 Recorder.minDensitySeen());
   }
-  return 0;
+  return GuardFailed ? 1 : 0;
 }

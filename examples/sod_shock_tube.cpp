@@ -9,6 +9,7 @@
 //   ./examples/sod_shock_tube --recon tvd2 --limiter superbee
 //   ./examples/sod_shock_tube --engine fused --backend fortran --threads 4
 //   ./examples/sod_shock_tube --cells 2000 --csv sod.csv
+//   ./examples/sod_shock_tube --cfl 10 --guard --guard-checkpoint em.ckpt
 //
 //===----------------------------------------------------------------------===//
 
@@ -19,7 +20,9 @@
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
 #include "solver/FusedSolver.h"
+#include "solver/GuardOptions.h"
 #include "solver/Problems.h"
+#include "solver/StepGuard.h"
 #include "support/CommandLine.h"
 #include "support/Env.h"
 #include "support/Error.h"
@@ -45,6 +48,7 @@ int main(int Argc, const char **Argv) {
   std::string SavePath;
   std::string LoadPath;
   bool Quiet = false;
+  GuardCliOptions Guard;
 
   CommandLine CL("sod_shock_tube",
                  "Sod shock tube (paper Fig. 1) with a configurable "
@@ -63,6 +67,7 @@ int main(int Argc, const char **Argv) {
   CL.addString("save", SavePath, "write a checkpoint at the end");
   CL.addString("load", LoadPath, "restore a checkpoint before running");
   CL.addFlag("quiet", Quiet, "suppress the ASCII plot");
+  Guard.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
 
@@ -110,7 +115,22 @@ int main(int Argc, const char **Argv) {
   }
 
   WallTimer Timer;
-  Solver->advanceTo(EndTime);
+  bool GuardFailed = false;
+  if (Guard.Enabled) {
+    StepGuard<1> SG(*Solver, Guard.config());
+    Guard.armFaults(SG);
+    if (!Guard.CheckpointPath.empty())
+      SG.setEmergencyCheckpoint(Guard.CheckpointPath,
+                                [&Solver](const std::string &P) {
+                                  return saveCheckpoint(P, *Solver);
+                                });
+    GuardFailed = !SG.advanceTo(EndTime);
+    std::printf("%s\n", SG.summary().c_str());
+    for (const BreakdownReport &R : SG.reports())
+      std::printf("  %s\n", R.str().c_str());
+  } else {
+    Solver->advanceTo(EndTime);
+  }
   double Seconds = Timer.seconds();
 
   if (!SavePath.empty()) {
@@ -153,5 +173,5 @@ int main(int Argc, const char **Argv) {
       reportFatalError("cannot write CSV output file");
     std::printf("profile written to %s\n", CsvPath.c_str());
   }
-  return 0;
+  return GuardFailed ? 1 : 0;
 }

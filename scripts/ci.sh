@@ -1,0 +1,19 @@
+#!/bin/sh
+# Local mirror of the CI matrix: build and run the full test suite in
+# Debug and in Release (-DNDEBUG).  The guard subsystem must detect and
+# recover from breakdowns in both, so neither configuration is optional.
+#
+# Usage: scripts/ci.sh [jobs]
+set -eu
+
+JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
+cd "$(dirname "$0")/.."
+
+for TYPE in Debug Release; do
+  BUILD="build-ci-$TYPE"
+  echo "== $TYPE =="
+  cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE="$TYPE"
+  cmake --build "$BUILD" -j "$JOBS"
+  (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+done
+echo "== CI matrix passed =="

@@ -47,8 +47,11 @@ template <unsigned Dim> struct FaceAverage {
 template <unsigned Dim>
 FaceAverage<Dim> roeAverage(const Prim<Dim> &L, const Prim<Dim> &R,
                             const Gas &G) {
-  assert(L.Rho > 0.0 && R.Rho > 0.0 && "non-positive density");
-  double Wl = std::sqrt(L.Rho), Wr = std::sqrt(R.Rho);
+  // Containment clamps (identity on physical inputs): transiently
+  // unphysical mid-step states must not abort Debug runs — the step
+  // guard detects them between steps.
+  double Wl = std::sqrt(std::max(L.Rho, 0.0));
+  double Wr = std::sqrt(std::max(R.Rho, 0.0));
   double Inv = 1.0 / (Wl + Wr);
 
   FaceAverage<Dim> A;
@@ -63,9 +66,10 @@ FaceAverage<Dim> roeAverage(const Prim<Dim> &L, const Prim<Dim> &R,
   double Hr = G.totalEnthalpy(R.Rho, R.P, Er);
   A.H = (Wl * Hl + Wr * Hr) * Inv;
 
+  // A hyperbolicity loss (C2 <= 0) clamps to c = 0 instead of asserting;
+  // sqrt of the raw value would be the silent-NaN path in Release.
   double C2 = (G.Gamma - 1.0) * (A.H - 0.5 * Q2);
-  assert(C2 > 0.0 && "Roe average lost hyperbolicity");
-  A.C = std::sqrt(C2);
+  A.C = std::sqrt(std::max(C2, 0.0));
   return A;
 }
 

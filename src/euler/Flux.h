@@ -31,8 +31,9 @@ namespace sacfd {
 template <unsigned Dim>
 Cons<Dim> physicalFlux(const Cons<Dim> &Q, const Gas &G, unsigned Axis) {
   assert(Axis < Dim && "axis out of range");
-  assert(Q.Rho > 0.0 && "non-positive density");
 
+  // Total on unphysical states (rho <= 0 propagates non-finite
+  // components); the step guard's health scan is the detection layer.
   double Un = Q.Mom[Axis] / Q.Rho;
   double Kinetic = 0.0;
   for (unsigned D = 0; D < Dim; ++D)

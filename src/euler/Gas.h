@@ -12,13 +12,22 @@
 /// gamma = 1.4 for air.  Gas bundles gamma with the derived thermodynamic
 /// helpers every layer above needs.
 ///
+/// Breakdown containment: the EOS helpers are total functions.  Earlier
+/// revisions guarded unphysical inputs with asserts only, so a negative
+/// pressure aborted Debug runs and silently produced NaN in Release
+/// builds.  Unstable schemes *do* produce transiently unphysical states
+/// mid-step, so the helpers now clamp instead: detection belongs to the
+/// field health scan (solver/StepGuard.h), which observes the stored
+/// states between steps.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SACFD_EULER_GAS_H
 #define SACFD_EULER_GAS_H
 
-#include <cassert>
+#include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace sacfd {
 
@@ -45,17 +54,30 @@ struct Gas {
   }
 
   /// Speed of sound c = sqrt(gamma p / rho).
+  ///
+  /// Unphysical inputs are contained rather than asserted: negative
+  /// pressure clamps to c = 0 and non-positive density returns +inf (an
+  /// infinite signal speed collapses the CFL step).  Both outcomes keep
+  /// downstream arithmetic NaN-free so the health scan, not undefined
+  /// behavior, decides what happens to a broken state.  Physical inputs
+  /// are evaluated bit-identically to the plain formula.
   double soundSpeed(double Rho, double P) const {
-    assert(Rho > 0.0 && "non-positive density");
-    assert(P >= 0.0 && "negative pressure");
-    return std::sqrt(Gamma * P / Rho);
+    if (!(Rho > 0.0))
+      return std::numeric_limits<double>::infinity();
+    return std::sqrt(Gamma * std::max(P, 0.0) / Rho);
   }
 
-  /// Specific total enthalpy H = (E + p) / rho.
+  /// Specific total enthalpy H = (E + p) / rho.  Non-positive density
+  /// propagates inf/NaN for the health scan to catch (no Release/Debug
+  /// divergence).
   double totalEnthalpy(double Rho, double P,
                        double TotalEnergyDensity) const {
-    assert(Rho > 0.0 && "non-positive density");
     return (TotalEnergyDensity + P) / Rho;
+  }
+
+  /// True when (rho, p) is a physically admissible thermodynamic state.
+  static bool physicalState(double Rho, double P) {
+    return std::isfinite(Rho) && std::isfinite(P) && Rho > 0.0 && P >= 0.0;
   }
 };
 

@@ -26,6 +26,7 @@
 
 #include <array>
 #include <cassert>
+#include <cmath>
 #include <cstddef>
 
 namespace sacfd {
@@ -149,8 +150,13 @@ template <unsigned Dim> Cons<Dim> toCons(const Prim<Dim> &W, const Gas &G) {
 }
 
 /// Conservative -> primitive (inverts Eq. 2 via Eq. 3).
+///
+/// Total function: a non-positive density yields non-finite velocity /
+/// pressure components instead of aborting (Debug) or being undefined
+/// (Release).  Callers that must not see such states check
+/// isPhysicalState() first; the solver-level detector is the health scan
+/// in solver/StepGuard.h.
 template <unsigned Dim> Prim<Dim> toPrim(const Cons<Dim> &Q, const Gas &G) {
-  assert(Q.Rho > 0.0 && "non-positive density");
   Prim<Dim> W;
   W.Rho = Q.Rho;
   double Kinetic = 0.0;
@@ -160,6 +166,23 @@ template <unsigned Dim> Prim<Dim> toPrim(const Cons<Dim> &Q, const Gas &G) {
   }
   W.P = G.pressure(Q.Rho, 0.5 * Kinetic, Q.E);
   return W;
+}
+
+/// True when the conserved state is finite with positive density and
+/// non-negative pressure — the admissible set the schemes assume.  The
+/// step guard scans for violations between steps.
+template <unsigned Dim>
+bool isPhysicalState(const Cons<Dim> &Q, const Gas &G) {
+  for (unsigned K = 0; K < NumVars<Dim>; ++K)
+    if (!std::isfinite(Q.comp(K)))
+      return false;
+  if (!(Q.Rho > 0.0))
+    return false;
+  double Mom2 = 0.0;
+  for (unsigned D = 0; D < Dim; ++D)
+    Mom2 += Q.Mom[D] * Q.Mom[D];
+  return Gas::physicalState(Q.Rho,
+                            G.pressure(Q.Rho, 0.5 * Mom2 / Q.Rho, Q.E));
 }
 
 /// Fastest signal speed |u_axis| + c of a cell; the building block of the

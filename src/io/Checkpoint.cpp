@@ -2,10 +2,12 @@
 
 #include "io/Checkpoint.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <vector>
 
 using namespace sacfd;
 
@@ -105,15 +107,20 @@ bool sacfd::loadCheckpoint(const std::string &Path, EulerSolver<Dim> &S) {
   if (!headerMatches(H, S))
     return false;
 
+  // Stage the payload: a truncated file must not partially overwrite the
+  // live field — a failed load leaves the solver bit-identical.
   NDArray<Cons<Dim>> &U = S.field();
   size_t Count = U.size();
-  if (std::fread(U.data(), sizeof(Cons<Dim>), Count, File.get()) != Count)
+  std::vector<Cons<Dim>> Staged(Count);
+  if (std::fread(Staged.data(), sizeof(Cons<Dim>), Count, File.get()) !=
+      Count)
     return false;
   // Reject trailing garbage (truncated-next-section corruption).
   char Extra;
   if (std::fread(&Extra, 1, 1, File.get()) == 1)
     return false;
 
+  std::copy(Staged.begin(), Staged.end(), U.data());
   S.restoreClock(H.Time, H.Steps);
   return true;
 }

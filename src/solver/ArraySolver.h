@@ -78,13 +78,13 @@ public:
 
     if (Mode == ArrayEvalMode::Fused)
       // One fused pass: the set-notation expression feeds maxval directly.
-      return this->Scheme.Cfl /
-             maxval(mapIndex(Interior, EvAt), this->Exec);
+      return this->Scheme.dtFromMaxEigen(
+          maxval(mapIndex(Interior, EvAt), this->Exec));
 
     // Materialized: ev is an explicit temporary array, like unoptimized
     // SaC would allocate for the set notation before reducing it.
     NDArray<double> Ev = withLoop(Interior, this->Exec, EvAt);
-    return this->Scheme.Cfl / maxval(Ev, this->Exec);
+    return this->Scheme.dtFromMaxEigen(maxval(Ev, this->Exec));
   }
 
 protected:

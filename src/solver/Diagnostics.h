@@ -80,8 +80,13 @@ FieldHealth<Dim> fieldHealth(const EulerSolver<Dim> &Solver) {
     for (unsigned K = 0; K < NumVars<Dim>; ++K)
       if (!std::isfinite(Q.comp(K)))
         H.AllFinite = false;
-    if (!H.AllFinite)
+    if (!H.AllFinite) {
+      // The scan stops at the first bad cell; the partial minima would be
+      // misleading ("min density 1.0" over a NaN field), so report NaN.
+      H.MinDensity = std::numeric_limits<double>::quiet_NaN();
+      H.MinPressure = std::numeric_limits<double>::quiet_NaN();
       return H;
+    }
     Prim<Dim> W = toPrim(Q, Gas_);
     H.MinDensity = std::min(H.MinDensity, W.Rho);
     H.MinPressure = std::min(H.MinPressure, W.P);

@@ -75,6 +75,15 @@ public:
     return Dt;
   }
 
+  /// Advances one step with a caller-chosen dt (the step-guard retry loop
+  /// drives this with scaled/clamped steps).  \returns the dt taken.
+  double advanceWithDt(double Dt) {
+    stepWithDt(Dt);
+    Time += Dt;
+    ++Steps;
+    return Dt;
+  }
+
   /// Advances exactly \p N steps (the paper's fixed-step benchmark loop).
   void advanceSteps(unsigned N) {
     for (unsigned I = 0; I < N; ++I)

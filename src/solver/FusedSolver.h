@@ -93,7 +93,7 @@ public:
     double EvMax = 0.0;
     for (double R : RowMax)
       EvMax = std::max(EvMax, R);
-    return this->Scheme.Cfl / EvMax;
+    return this->Scheme.dtFromMaxEigen(EvMax);
   }
 
 protected:

@@ -1,0 +1,90 @@
+//===- solver/GuardOptions.h - Step-guard CLI wiring -----------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared command-line surface of the step guard, so every example and
+/// bench exposes the same flags:
+///
+///   --guard              enable the guard
+///   --guard-every N      steps per health-scan window
+///   --guard-retries K    dt-halving retries per window
+///   --density-floor X    positivity floor for rho
+///   --pressure-floor X   positivity floor for p
+///   --guard-no-floor     disable the floor stage (fail instead of clamp)
+///   --guard-checkpoint P emergency checkpoint path on terminal failure
+///   --poison-step S      fault injection: trigger after step S (0 = off)
+///   --poison-cells N     fault injection: poison N spread interior cells
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_GUARDOPTIONS_H
+#define SACFD_SOLVER_GUARDOPTIONS_H
+
+#include "solver/StepGuard.h"
+#include "support/CommandLine.h"
+
+#include <string>
+
+namespace sacfd {
+
+/// The guard flags a CLI tool binds and forwards into a StepGuard.
+struct GuardCliOptions {
+  bool Enabled = false;
+  unsigned Every = 1;
+  unsigned Retries = 4;
+  double DensityFloor = 1.0e-10;
+  double PressureFloor = 1.0e-10;
+  bool NoFloor = false;
+  std::string CheckpointPath;
+  unsigned PoisonStep = 0;
+  unsigned PoisonCells = 0;
+
+  /// Binds all guard flags onto \p CL.
+  void registerWith(CommandLine &CL) {
+    CL.addFlag("guard", Enabled, "enable the step guard");
+    CL.addUnsigned("guard-every", Every,
+                   "steps per guard health-scan window");
+    CL.addUnsigned("guard-retries", Retries,
+                   "dt-halving retries per window");
+    CL.addDouble("density-floor", DensityFloor,
+                 "positivity floor for density");
+    CL.addDouble("pressure-floor", PressureFloor,
+                 "positivity floor for pressure");
+    CL.addFlag("guard-no-floor", NoFloor,
+               "disable floor recovery (fail instead of clamp)");
+    CL.addString("guard-checkpoint", CheckpointPath,
+                 "emergency checkpoint path on guard failure");
+    CL.addUnsigned("poison-step", PoisonStep,
+                   "fault injection: poison cells after this step (0=off)");
+    CL.addUnsigned("poison-cells", PoisonCells,
+                   "fault injection: number of interior cells to poison");
+  }
+
+  /// Translates the parsed flags into a GuardConfig.
+  GuardConfig config() const {
+    GuardConfig C;
+    C.Every = Every;
+    C.MaxRetries = Retries;
+    C.DensityFloor = DensityFloor;
+    C.PressureFloor = PressureFloor;
+    C.AllowFloor = !NoFloor;
+    return C;
+  }
+
+  /// Arms the --poison-step/--poison-cells fault on \p Guard (no-op when
+  /// disabled).  The injected fault is persistent: it re-fires on every
+  /// rollback replay, exercising the floor/failure paths.
+  template <unsigned Dim> void armFaults(StepGuard<Dim> &Guard) const {
+    if (PoisonStep > 0 && PoisonCells > 0)
+      Guard.injectFaultSpread(PoisonStep, PoisonCells,
+                              /*Persistent=*/true);
+  }
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_GUARDOPTIONS_H

@@ -18,6 +18,7 @@
 #define SACFD_SOLVER_RUNRECORDER_H
 
 #include "solver/Diagnostics.h"
+#include "solver/StepGuard.h"
 
 #include <string>
 #include <vector>
@@ -52,6 +53,32 @@ public:
   void advanceSteps(EulerSolver<Dim> &Solver, unsigned Steps) {
     for (unsigned I = 0; I < Steps; ++I)
       advanceAndRecord(Solver);
+  }
+
+  /// Guarded variant: advances one scan window through \p Guard, records
+  /// if due, and mirrors any new breakdown reports into breakdowns().
+  /// \returns the dt of the window's first accepted step (0 once the
+  /// guard has failed — no further progress is possible).
+  double advanceAndRecord(StepGuard<Dim> &Guard) {
+    GuardStepResult R = Guard.advanceWindow();
+    const std::vector<BreakdownReport> &All = Guard.reports();
+    for (; SeenReports < All.size(); ++SeenReports)
+      Breakdowns.push_back(All[SeenReports]);
+    if (R.Action != GuardAction::Failed &&
+        Guard.solver().stepCount() % Stride == 0)
+      record(Guard.solver(), Guard.solver().time() - R.Dt, R.Dt);
+    return R.Action == GuardAction::Failed ? 0.0 : R.Dt;
+  }
+
+  /// Breakdown reports mirrored from the guarded run.
+  const std::vector<BreakdownReport> &breakdowns() const {
+    return Breakdowns;
+  }
+
+  /// Appends an externally produced breakdown report (tools that drive
+  /// the guard themselves but want the recorder to own the run record).
+  void noteBreakdown(BreakdownReport Report) {
+    Breakdowns.push_back(std::move(Report));
   }
 
   const std::vector<RunSample<Dim>> &samples() const { return Samples; }
@@ -125,6 +152,8 @@ private:
 
   unsigned Stride;
   std::vector<RunSample<Dim>> Samples;
+  std::vector<BreakdownReport> Breakdowns;
+  size_t SeenReports = 0;
 };
 
 } // namespace sacfd

@@ -25,6 +25,8 @@
 #include "numerics/RiemannSolvers.h"
 #include "numerics/TimeIntegrators.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace sacfd {
@@ -38,6 +40,22 @@ struct SchemeConfig {
   TimeIntegratorKind Integrator = TimeIntegratorKind::SspRk3;
   /// CFL number for the GetDT step (DT = CFL / EVmax).
   double Cfl = 0.5;
+  /// Hard upper bound on any single time step.  A quiescent
+  /// zero-sound-speed field has EVmax = 0 and CFL / EVmax would be inf; a
+  /// broken field can make EVmax NaN or inf.  Clamping keeps every step
+  /// loop finite.
+  double MaxDt = 1.0e9;
+
+  /// Converts the GetDT max eigenvalue into the step size, clamped into
+  /// (0, MaxDt].  Both engines route their reduction result through this
+  /// so the clamping policy (and engine bit-equivalence) lives in one
+  /// place: EVmax <= 0, NaN or inf all return MaxDt instead of an
+  /// inf/NaN/zero step.
+  double dtFromMaxEigen(double EvMax) const {
+    if (!(EvMax > 0.0) || !std::isfinite(EvMax))
+      return MaxDt;
+    return std::min(Cfl / EvMax, MaxDt);
+  }
 
   /// The paper's flow-figure configuration.
   static SchemeConfig figureScheme() { return SchemeConfig(); }

@@ -93,8 +93,10 @@ bool CommandLine::applyValue(Option &Opt, std::string_view Value) {
     return true;
   }
   case OptionKind::Unsigned: {
-    std::optional<long long> V = parseInt(Value);
-    if (!V || *V < 0 || *V > std::numeric_limits<unsigned>::max())
+    // parseUnsigned rejects a leading sign outright — strtoull would
+    // wrap "-3" to a huge positive value instead of failing.
+    std::optional<unsigned long long> V = parseUnsigned(Value);
+    if (!V || *V > std::numeric_limits<unsigned>::max())
       return false;
     *static_cast<unsigned *>(Opt.Target) = static_cast<unsigned>(*V);
     return true;

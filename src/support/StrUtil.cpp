@@ -47,6 +47,19 @@ std::optional<long long> sacfd::parseInt(std::string_view S) {
   return Value;
 }
 
+std::optional<unsigned long long> sacfd::parseUnsigned(std::string_view S) {
+  S = trim(S);
+  if (S.empty() || S.front() == '-' || S.front() == '+')
+    return std::nullopt;
+  std::string Buf(S);
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Buf.c_str(), &End, 10);
+  if (errno == ERANGE || End != Buf.c_str() + Buf.size())
+    return std::nullopt;
+  return Value;
+}
+
 std::optional<double> sacfd::parseDouble(std::string_view S) {
   S = trim(S);
   if (S.empty())

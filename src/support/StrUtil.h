@@ -30,6 +30,12 @@ std::vector<std::string> split(std::string_view S, char Sep);
 /// \returns std::nullopt on any trailing garbage, overflow, or empty input.
 std::optional<long long> parseInt(std::string_view S);
 
+/// Parses a whole string as a non-negative integer.  Unlike raw strtoull
+/// — which silently wraps "-3" to 2^64 - 3 — any leading '-' is rejected.
+/// \returns std::nullopt on a sign, trailing garbage, overflow, or empty
+/// input.
+std::optional<unsigned long long> parseUnsigned(std::string_view S);
+
 /// Parses a whole string as a double (accepts the usual strtod forms).
 /// \returns std::nullopt on trailing garbage or empty input.
 std::optional<double> parseDouble(std::string_view S);

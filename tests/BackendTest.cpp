@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "runtime/BlockReduce.h"
 #include "runtime/ForkJoinBackend.h"
 #include "runtime/OmpBackend.h"
 #include "runtime/ParallelRegion.h"
@@ -198,6 +199,66 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<BackendCase> &Info) {
       return Info.param.label();
     });
+
+//===----------------------------------------------------------------------===//
+// blockReduce: deterministic block reduction on top of parallelFor
+//===----------------------------------------------------------------------===//
+
+TEST_P(BackendContractTest, BlockReduceSumsExactly) {
+  auto B = makeBackend();
+  constexpr size_t N = 10007;
+  long Sum = blockReduce(
+      N, *B, 0L,
+      [](size_t Lo, size_t Hi) {
+        long S = 0;
+        for (size_t I = Lo; I < Hi; ++I)
+          S += static_cast<long>(I);
+        return S;
+      },
+      [](long A, long Bv) { return A + Bv; });
+  EXPECT_EQ(Sum, static_cast<long>(N) * (static_cast<long>(N) - 1) / 2);
+}
+
+TEST_P(BackendContractTest, BlockReduceEmptyRangeReturnsIdentity) {
+  auto B = makeBackend();
+  int R = blockReduce(
+      0, *B, 42, [](size_t, size_t) { return 0; },
+      [](int, int) { return 0; });
+  EXPECT_EQ(R, 42);
+}
+
+TEST_P(BackendContractTest, BlockReduceMergesInBlockOrder) {
+  // A non-commutative merge (string concatenation of block sub-ranges)
+  // exposes the merge order: it must be ascending block order, identical
+  // across repeated runs — the determinism the health scan relies on.
+  auto B = makeBackend();
+  auto Run = [&B]() {
+    return blockReduce(
+        100, *B, std::string(),
+        [](size_t Lo, size_t Hi) {
+          return "[" + std::to_string(Lo) + "," + std::to_string(Hi) + ")";
+        },
+        [](std::string A, std::string Bv) { return A + Bv; });
+  };
+  std::string First = Run();
+  EXPECT_EQ(First.find("[0,"), 0u) << "block 0 must come first: " << First;
+  for (int I = 0; I < 5; ++I)
+    EXPECT_EQ(Run(), First);
+}
+
+TEST_P(BackendContractTest, BlockReduceFewerItemsThanWorkers) {
+  auto B = makeBackend();
+  long Sum = blockReduce(
+      3, *B, 0L,
+      [](size_t Lo, size_t Hi) {
+        long S = 0;
+        for (size_t I = Lo; I < Hi; ++I)
+          S += static_cast<long>(I) + 1;
+        return S;
+      },
+      [](long A, long Bv) { return A + Bv; });
+  EXPECT_EQ(Sum, 6L);
+}
 
 //===----------------------------------------------------------------------===//
 // Backend-specific behavior

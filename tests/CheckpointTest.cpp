@@ -136,6 +136,46 @@ TEST(Checkpoint, RejectsTruncatedAndCorruptFiles) {
   std::remove(Path.c_str());
 }
 
+TEST(Checkpoint, FailedTruncatedLoadPreservesField) {
+  // Regression: the loader used to fread straight into the live field, so
+  // a truncated payload partially overwrote it before the failure was
+  // detected.  A failed load must leave the solver bit-identical.
+  ArraySolver<1> Source(sodProblem(32), SchemeConfig::benchmarkScheme(),
+                        Exec);
+  Source.advanceSteps(5);
+  std::string Path = tempPath("truncpreserve.ckp");
+  ASSERT_TRUE(saveCheckpoint(Path, Source));
+  {
+    std::ifstream In(Path, std::ios::binary);
+    std::string Bytes((std::istreambuf_iterator<char>(In)),
+                      std::istreambuf_iterator<char>());
+    // Keep the header and half the payload.
+    Bytes.resize(Bytes.size() / 2);
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  }
+
+  ArraySolver<1> T(sodProblem(32), SchemeConfig::benchmarkScheme(), Exec);
+  T.advanceSteps(2);
+  ArraySolver<1> Reference(sodProblem(32), SchemeConfig::benchmarkScheme(),
+                           Exec);
+  Reference.advanceSteps(2);
+
+  EXPECT_FALSE(loadCheckpoint(Path, T));
+  EXPECT_EQ(maxFieldDifference(T, Reference), 0.0)
+      << "failed load must not touch the field";
+  EXPECT_DOUBLE_EQ(T.time(), Reference.time());
+  EXPECT_EQ(T.stepCount(), Reference.stepCount());
+
+  // And the intact reference checkpoint still loads after the failure.
+  std::string Good = tempPath("truncpreserve_good.ckp");
+  ASSERT_TRUE(saveCheckpoint(Good, Source));
+  ASSERT_TRUE(loadCheckpoint(Good, T));
+  EXPECT_EQ(maxFieldDifference(T, Source), 0.0);
+  std::remove(Path.c_str());
+  std::remove(Good.c_str());
+}
+
 TEST(Checkpoint, RejectsTrailingGarbage) {
   ArraySolver<1> S(sodProblem(16), SchemeConfig::benchmarkScheme(), Exec);
   std::string Path = tempPath("trailing.ckp");

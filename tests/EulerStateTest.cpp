@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace sacfd;
 
@@ -66,6 +67,80 @@ TEST(Gas, EnthalpyIdentity) {
   double C = G.soundSpeed(W.Rho, W.P);
   double Q2 = W.Vel[0] * W.Vel[0] + W.Vel[1] * W.Vel[1];
   EXPECT_NEAR(H, C * C / (G.Gamma - 1.0) + 0.5 * Q2, 1e-14);
+}
+
+//===----------------------------------------------------------------------===//
+// Breakdown containment: the EOS helpers are total functions
+//===----------------------------------------------------------------------===//
+
+TEST(Gas, SoundSpeedContainsUnphysicalInputs) {
+  Gas G;
+  // Non-positive density: infinite signal speed, not NaN or an abort.
+  EXPECT_TRUE(std::isinf(G.soundSpeed(0.0, 1.0)));
+  EXPECT_TRUE(std::isinf(G.soundSpeed(-0.5, 1.0)));
+  EXPECT_TRUE(std::isinf(
+      G.soundSpeed(std::numeric_limits<double>::quiet_NaN(), 1.0)));
+  // Negative pressure clamps to c = 0.
+  EXPECT_EQ(G.soundSpeed(1.0, -0.3), 0.0);
+  // Physical inputs are untouched by the containment path.
+  EXPECT_EQ(G.soundSpeed(2.0, 0.8), std::sqrt(1.4 * 0.8 / 2.0));
+}
+
+TEST(Gas, PhysicalStatePredicate) {
+  EXPECT_TRUE(Gas::physicalState(1.0, 0.5));
+  EXPECT_TRUE(Gas::physicalState(1.0, 0.0)) << "vacuum pressure is legal";
+  EXPECT_FALSE(Gas::physicalState(0.0, 0.5));
+  EXPECT_FALSE(Gas::physicalState(-1.0, 0.5));
+  EXPECT_FALSE(Gas::physicalState(1.0, -0.1));
+  double Nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(Gas::physicalState(Nan, 0.5));
+  EXPECT_FALSE(Gas::physicalState(1.0, Nan));
+  double Inf = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(Gas::physicalState(Inf, 0.5));
+}
+
+TEST(State, ToPrimIsTotalOnUnphysicalStates) {
+  // toPrim on rho <= 0 must produce observable non-finite components (for
+  // the health scan) instead of aborting Debug builds.
+  Gas G;
+  Cons<1> Q;
+  Q.Rho = 0.0;
+  Q.Mom = {1.0};
+  Q.E = 1.0;
+  Prim<1> W = toPrim(Q, G);
+  EXPECT_FALSE(std::isfinite(W.Vel[0]));
+  EXPECT_FALSE(isPhysicalState(Q, G));
+
+  Q.Rho = -1.0;
+  W = toPrim(Q, G);
+  EXPECT_EQ(W.Rho, -1.0);
+  EXPECT_FALSE(isPhysicalState(Q, G));
+}
+
+TEST(State, IsPhysicalStateMatchesAdmissibleSet) {
+  Gas G;
+  Cons<1> Good = toCons(Prim<1>{1.0, {0.5}, 0.7}, G);
+  EXPECT_TRUE(isPhysicalState(Good, G));
+
+  Cons<1> NegativePressure = Good;
+  NegativePressure.E = 0.0; // E below kinetic energy -> p < 0
+  EXPECT_FALSE(isPhysicalState(NegativePressure, G));
+
+  Cons<1> NanMomentum = Good;
+  NanMomentum.Mom[0] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(isPhysicalState(NanMomentum, G));
+}
+
+TEST(Flux, TotalOnUnphysicalStates) {
+  // The cons-form flux must not abort on a transiently unphysical state;
+  // it propagates non-finite components for the scan to catch.
+  Gas G;
+  Cons<1> Q;
+  Q.Rho = 0.0;
+  Q.Mom = {1.0};
+  Q.E = 1.0;
+  Cons<1> F = physicalFlux(Q, G, 0);
+  EXPECT_FALSE(std::isfinite(F.Mom[0]));
 }
 
 //===----------------------------------------------------------------------===//

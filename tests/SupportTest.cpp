@@ -43,6 +43,24 @@ TEST(StrUtil, ParseIntAcceptsWholeIntegersOnly) {
   EXPECT_FALSE(parseInt("999999999999999999999999").has_value());
 }
 
+TEST(StrUtil, ParseUnsignedRejectsSignsAndWraps) {
+  EXPECT_EQ(parseUnsigned("42"), 42ull);
+  EXPECT_EQ(parseUnsigned("0"), 0ull);
+  EXPECT_EQ(parseUnsigned(" 13 "), 13ull);
+  EXPECT_EQ(parseUnsigned("18446744073709551615"),
+            18446744073709551615ull); // ULLONG_MAX is representable
+  // Raw strtoull would wrap "-3" to 2^64 - 3; the sign must be rejected.
+  EXPECT_FALSE(parseUnsigned("-3").has_value());
+  EXPECT_FALSE(parseUnsigned("-0").has_value());
+  EXPECT_FALSE(parseUnsigned("+5").has_value());
+  EXPECT_FALSE(parseUnsigned(" -3 ").has_value());
+  EXPECT_FALSE(parseUnsigned("").has_value());
+  EXPECT_FALSE(parseUnsigned("12abc").has_value());
+  EXPECT_FALSE(parseUnsigned("1.5").has_value());
+  // One past ULLONG_MAX overflows.
+  EXPECT_FALSE(parseUnsigned("18446744073709551616").has_value());
+}
+
 TEST(StrUtil, ParseDoubleAcceptsStrtodForms) {
   EXPECT_DOUBLE_EQ(parseDouble("1.5").value(), 1.5);
   EXPECT_DOUBLE_EQ(parseDouble("-2e3").value(), -2000.0);
@@ -200,6 +218,30 @@ TEST(CommandLine, RejectsUnknownOptionsAndBadValues) {
   EXPECT_FALSE(parseWith(Opts, {"--nx"}));          // missing value
   EXPECT_FALSE(parseWith(Opts, {"positional"}));    // no positionals
   EXPECT_FALSE(parseWith(Opts, {"--full=maybe"}));  // bad bool
+}
+
+TEST(CommandLine, UnsignedRejectsEveryNegativeSyntax) {
+  // --opt -3 must be rejected as documented, in all accepted spellings,
+  // and must not wrap to a huge positive value.
+  for (std::vector<const char *> Argv :
+       {std::vector<const char *>{"--threads", "-3"},
+        std::vector<const char *>{"--threads=-3"},
+        std::vector<const char *>{"--threads", "-1"},
+        std::vector<const char *>{"--threads=-0"}}) {
+    ParsedOptions Opts;
+    EXPECT_FALSE(parseWith(Opts, Argv));
+    EXPECT_EQ(Opts.Threads, 1u) << "rejected value must not be applied";
+  }
+}
+
+TEST(CommandLine, UnsignedRangeBoundaries) {
+  ParsedOptions Opts;
+  EXPECT_TRUE(parseWith(Opts, {"--threads", "4294967295"})); // UINT_MAX
+  EXPECT_EQ(Opts.Threads, 4294967295u);
+  // UINT_MAX + 1 and far-out-of-range values are rejected, not truncated.
+  EXPECT_FALSE(parseWith(Opts, {"--threads", "4294967296"}));
+  EXPECT_FALSE(parseWith(Opts, {"--threads", "99999999999999999999"}));
+  EXPECT_EQ(Opts.Threads, 4294967295u);
 }
 
 TEST(CommandLine, HelpStopsParsing) {
