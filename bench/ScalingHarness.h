@@ -21,13 +21,16 @@
 #ifndef SACFD_BENCH_SCALINGHARNESS_H
 #define SACFD_BENCH_SCALINGHARNESS_H
 
+#include "io/TelemetryExport.h"
 #include "runtime/Runtime.h"
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
 #include "solver/FusedSolver.h"
 #include "solver/Problems.h"
+#include "solver/StepGuard.h"
 #include "support/Env.h"
 #include "support/Timer.h"
+#include "telemetry/TelemetryOptions.h"
 
 #include <cstdio>
 #include <memory>
@@ -42,6 +45,14 @@ struct ScalingOptions {
   unsigned Steps;      ///< fixed time steps (paper: 1000)
   unsigned Repeats;    ///< timing repetitions, min is reported
   std::vector<unsigned> ThreadCounts;
+  /// Wrap every run in a StepGuard (default policy).  Healthy runs stay
+  /// bit-identical; the scan cost becomes part of the measurement.
+  bool Guarded = false;
+  /// Restrict the sweep to one model ("sac" or "fortran"; empty = both).
+  /// With --telemetry this keeps the solver-stage spans single-engine.
+  std::string Model;
+  /// Telemetry report: --telemetry path + --telemetry-every stride.
+  TelemetryCliOptions Telemetry;
 };
 
 /// One configuration's measurement.
@@ -75,7 +86,12 @@ inline double runOneScalingConfig(const ScalingOptions &Opt, bool SacModel,
       Solver = std::make_unique<FusedSolver<2>>(Prob, Scheme, *Exec);
 
     WallTimer Timer;
-    Solver->advanceSteps(Opt.Steps);
+    if (Opt.Guarded) {
+      StepGuard<2> Guard(*Solver, GuardConfig{});
+      Guard.advanceSteps(Opt.Steps);
+    } else {
+      Solver->advanceSteps(Opt.Steps);
+    }
     Samples.add(Timer.seconds());
 
     if (RegionsPerStep)
@@ -92,9 +108,11 @@ inline double runOneScalingConfig(const ScalingOptions &Opt, bool SacModel,
 
 /// Runs the full sweep and prints the Fig. 4 table.
 inline int runScalingExperiment(const ScalingOptions &Opt) {
+  Opt.Telemetry.apply();
   std::printf("# %s: wall clock of a %u-step simulation on a %zux%zu "
-              "grid (RK3 + piecewise-constant reconstruction)\n",
-              Opt.ExperimentId, Opt.Steps, Opt.Cells, Opt.Cells);
+              "grid (RK3 + piecewise-constant reconstruction)%s\n",
+              Opt.ExperimentId, Opt.Steps, Opt.Cells, Opt.Cells,
+              Opt.Guarded ? ", step-guarded" : "");
   std::printf("# models: sac = array solver on persistent spin pool; "
               "fortran = fused solver on per-loop fork-join\n");
   std::printf("# host hardware threads: %u (thread counts beyond this "
@@ -106,7 +124,14 @@ inline int runScalingExperiment(const ScalingOptions &Opt) {
   double FortranBase = 0.0;
   std::vector<ScalingRow> Rows;
   double RegionsPerStep[2] = {0.0, 0.0};
-  for (bool SacModel : {false, true})
+  if (!Opt.Model.empty() && Opt.Model != "sac" && Opt.Model != "fortran") {
+    std::fprintf(stderr, "error: unknown model '%s' (sac or fortran)\n",
+                 Opt.Model.c_str());
+    return 1;
+  }
+  for (bool SacModel : {false, true}) {
+    if (!Opt.Model.empty() && Opt.Model != (SacModel ? "sac" : "fortran"))
+      continue;
     for (unsigned T : Opt.ThreadCounts) {
       double Seconds = runOneScalingConfig(Opt, SacModel, T,
                                            &RegionsPerStep[SacModel]);
@@ -114,6 +139,7 @@ inline int runScalingExperiment(const ScalingOptions &Opt) {
       if (!SacModel && T == Opt.ThreadCounts.front())
         FortranBase = Seconds;
     }
+  }
   std::printf("# parallel regions per time step: fortran %.1f, sac %.1f "
               "(each pays one dispatch; the models differ in its cost)\n",
               RegionsPerStep[0], RegionsPerStep[1]);
@@ -122,6 +148,29 @@ inline int runScalingExperiment(const ScalingOptions &Opt) {
     std::printf("%-8s %8u %12.3f %14.2f\n", Row.Model.c_str(), Row.Threads,
                 Row.Seconds,
                 FortranBase > 0.0 ? Row.Seconds / FortranBase : 0.0);
+
+  if (Opt.Telemetry.enabled()) {
+    // One report for the whole sweep: a T=1 entry contributes the
+    // region.serial spans, the sac legs region.spin_pool, the fortran
+    // legs region.fork_join.
+    std::string ThreadList;
+    for (unsigned T : Opt.ThreadCounts)
+      ThreadList += (ThreadList.empty() ? "" : ",") + std::to_string(T);
+    TelemetryMeta Meta = {
+        {"program", Opt.ExperimentId},
+        {"cells", std::to_string(Opt.Cells)},
+        {"steps", std::to_string(Opt.Steps)},
+        {"threads", ThreadList},
+        {"guard", Opt.Guarded ? "on" : "off"},
+    };
+    if (!writeTelemetryJson(Opt.Telemetry.Path, telemetry::snapshot(),
+                            Meta)) {
+      std::fprintf(stderr, "error: cannot write telemetry JSON to %s\n",
+                   Opt.Telemetry.Path.c_str());
+      return 1;
+    }
+    std::printf("# telemetry written to %s\n", Opt.Telemetry.Path.c_str());
+  }
   return 0;
 }
 

@@ -14,6 +14,7 @@
 #include "io/AsciiPlot.h"
 #include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
+#include "io/TelemetryExport.h"
 #include "runtime/Runtime.h"
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
@@ -23,6 +24,7 @@
 #include "support/CommandLine.h"
 #include "support/Env.h"
 #include "support/Timer.h"
+#include "telemetry/TelemetryOptions.h"
 
 #include <cstdio>
 #include <optional>
@@ -35,6 +37,7 @@ int main(int Argc, const char **Argv) {
   bool Csv = false;
   bool Full = false; // accepted for harness uniformity; default IS full
   GuardCliOptions Guard;
+  TelemetryCliOptions Telem;
 
   CommandLine CL("fig1_sod_tube",
                  "FIG1: three-snapshot Sod tube density series with "
@@ -44,8 +47,10 @@ int main(int Argc, const char **Argv) {
   CL.addFlag("csv", Csv, "also write fig1_t*.csv profiles");
   CL.addFlag("full", Full, "no-op (the default already runs paper scale)");
   Guard.registerWith(CL);
+  Telem.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
+  Telem.apply();
 
   SchemeConfig Scheme = SchemeConfig::figureScheme();
   if (Cfl > 0.0)
@@ -128,5 +133,21 @@ int main(int Argc, const char **Argv) {
     }
   }
   std::printf("# FIG1 total wall time %.2fs\n", Timer.seconds());
+
+  if (Telem.enabled()) {
+    TelemetryMeta Meta = {
+        {"program", "fig1_sod_tube"},
+        {"cells", std::to_string(Cells)},
+        {"scheme", Scheme.str()},
+        {"backend", Exec->name()},
+        {"workers", std::to_string(Exec->workerCount())},
+        {"guard", Guard.Enabled ? "on" : "off"},
+    };
+    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta)) {
+      std::fprintf(stderr, "error: cannot write telemetry JSON\n");
+      return 1;
+    }
+    std::printf("# telemetry written to %s\n", Telem.Path.c_str());
+  }
   return (SG && SG->failed()) ? 1 : 0;
 }

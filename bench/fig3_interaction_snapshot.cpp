@@ -21,6 +21,7 @@
 #include "io/AsciiPlot.h"
 #include "io/FieldExport.h"
 #include "io/PgmWriter.h"
+#include "io/TelemetryExport.h"
 #include "runtime/Runtime.h"
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
@@ -28,6 +29,7 @@
 #include "support/CommandLine.h"
 #include "support/Env.h"
 #include "support/Timer.h"
+#include "telemetry/TelemetryOptions.h"
 
 #include <cmath>
 #include <cstdio>
@@ -64,6 +66,7 @@ int main(int Argc, const char **Argv) {
   int Cells = 128;
   double Ms = 2.2;
   bool NoFiles = false;
+  TelemetryCliOptions Telem;
 
   CommandLine CL("fig3_interaction_snapshot",
                  "FIG2/3: two-channel shock interaction snapshot with "
@@ -72,10 +75,12 @@ int main(int Argc, const char **Argv) {
   CL.addInt("cells", Cells, "grid cells per axis (scaled default)");
   CL.addDouble("ms", Ms, "shock Mach number");
   CL.addFlag("no-files", NoFiles, "skip PGM output");
+  Telem.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Full)
     Cells = 400;
+  Telem.apply();
 
   double H = static_cast<double>(Cells) / 2.0; // dx = 1, h = Cells/2
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), Ms, H);
@@ -134,5 +139,21 @@ int main(int Argc, const char **Argv) {
   std::printf("\n# density map (Fig. 3 analogue):\n%s",
               asciiFieldMap(scalarField(Solver, FieldQuantity::Density))
                   .c_str());
+
+  if (Telem.enabled()) {
+    TelemetryMeta Meta = {
+        {"program", "fig3_interaction_snapshot"},
+        {"cells", std::to_string(Cells)},
+        {"ms", std::to_string(Ms)},
+        {"scheme", Scheme.str()},
+        {"backend", Exec->name()},
+        {"workers", std::to_string(Exec->workerCount())},
+    };
+    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta)) {
+      std::fprintf(stderr, "error: cannot write telemetry JSON\n");
+      return 1;
+    }
+    std::printf("# telemetry written to %s\n", Telem.Path.c_str());
+  }
   return Health.AllFinite ? 0 : 1;
 }

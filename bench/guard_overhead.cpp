@@ -26,10 +26,28 @@
 
 using namespace sacfd;
 
+namespace {
+
+/// Median-of-Iters per-step seconds of one configuration.  \p Run gets a
+/// fresh solver each iteration and returns the step count it took.
+template <typename RunFn>
+double measurePerStep(unsigned Iters, RunFn &&Run) {
+  TimingSamples PerStep;
+  for (unsigned I = 0; I < Iters; ++I) {
+    WallTimer T;
+    unsigned Steps = Run();
+    PerStep.add(T.seconds() / Steps);
+  }
+  return PerStep.median();
+}
+
+} // namespace
+
 int main(int Argc, const char **Argv) {
   int Cells = 160;
   unsigned Steps = 60;
   unsigned Threads = defaultThreadCount();
+  unsigned Iters = 3;
   bool Full = false;
 
   CommandLine CL("guard_overhead",
@@ -38,6 +56,8 @@ int main(int Argc, const char **Argv) {
   CL.addInt("cells", Cells, "2D grid cells per axis");
   CL.addUnsigned("steps", Steps, "solver steps per measurement");
   CL.addUnsigned("threads", Threads, "worker threads");
+  CL.addUnsigned("iters", Iters,
+                 "timing repetitions per configuration (median wins)");
   CL.addFlag("full", Full, "larger grid and more steps");
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
@@ -45,61 +65,64 @@ int main(int Argc, const char **Argv) {
     Cells = 320;
     Steps = 120;
   }
+  if (Iters == 0)
+    Iters = 1;
 
   auto Exec = createBackend(BackendKind::SpinPool, Threads);
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), 2.2,
                                        static_cast<double>(Cells) / 2.0);
   SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
 
-  std::printf("# guard_overhead: %dx%d, %u steps, backend %s(%u)\n", Cells,
-              Cells, Steps, Exec->name(), Exec->workerCount());
-  std::printf("%-24s %10s %12s %10s\n", "configuration", "wall[s]",
+  std::printf("# guard_overhead: %dx%d, %u steps, backend %s(%u), "
+              "median of %u\n",
+              Cells, Cells, Steps, Exec->name(), Exec->workerCount(),
+              Iters);
+  std::printf("%-24s %12s %12s %10s\n", "configuration", "step[ms]",
               "steps/s", "vs base");
 
   // Baseline: no guard at all.  Cost is compared per step actually
   // taken, because guarded runs round the step count up to whole
   // windows.
-  double BasePerStep;
-  {
+  double BasePerStep = measurePerStep(Iters, [&] {
     ArraySolver<2> S(Prob, Scheme, *Exec);
-    WallTimer T;
     S.advanceSteps(Steps);
-    double Sec = T.seconds();
-    BasePerStep = Sec / S.stepCount();
-    std::printf("%-24s %10.4f %12.1f %10s\n", "unguarded", Sec,
-                S.stepCount() / Sec, "1.00x");
-  }
+    return S.stepCount();
+  });
+  std::printf("%-24s %12.4f %12.1f %10s\n", "unguarded",
+              BasePerStep * 1e3, 1.0 / BasePerStep, "1.00x");
 
   // Healthy-path overhead at several scan cadences.
   for (unsigned Every : {1u, 2u, 4u, 8u}) {
-    ArraySolver<2> S(Prob, Scheme, *Exec);
-    GuardConfig Cfg;
-    Cfg.Every = Every;
-    StepGuard<2> Guard(S, Cfg);
-    WallTimer T;
-    Guard.advanceSteps(Steps);
-    double Sec = T.seconds();
+    double PerStep = measurePerStep(Iters, [&] {
+      ArraySolver<2> S(Prob, Scheme, *Exec);
+      GuardConfig Cfg;
+      Cfg.Every = Every;
+      StepGuard<2> Guard(S, Cfg);
+      Guard.advanceSteps(Steps);
+      return S.stepCount();
+    });
     char Label[32];
     std::snprintf(Label, sizeof(Label), "guarded every=%u", Every);
-    std::printf("%-24s %10.4f %12.1f %9.2fx\n", Label, Sec,
-                S.stepCount() / Sec,
-                (Sec / S.stepCount()) / BasePerStep);
+    std::printf("%-24s %12.4f %12.1f %9.2fx\n", Label, PerStep * 1e3,
+                1.0 / PerStep, PerStep / BasePerStep);
   }
 
   // Recovery: a persistent fault halfway through forces the guard all
   // the way down the retry ladder and into the floor stage.
   {
-    ArraySolver<2> S(Prob, Scheme, *Exec);
-    StepGuard<2> Guard(S, GuardConfig{});
-    Guard.injectFaultSpread(/*AfterStep=*/Steps / 2, /*CellCount=*/4,
-                            /*Persistent=*/true);
-    WallTimer T;
-    Guard.advanceSteps(Steps);
-    double Sec = T.seconds();
-    std::printf("%-24s %10.4f %12.1f %9.2fx\n", "recovery (1 breakdown)",
-                Sec, S.stepCount() / Sec,
-                (Sec / S.stepCount()) / BasePerStep);
-    std::printf("# recovery detail: %s\n", Guard.summary().c_str());
+    std::string Detail;
+    double PerStep = measurePerStep(Iters, [&] {
+      ArraySolver<2> S(Prob, Scheme, *Exec);
+      StepGuard<2> Guard(S, GuardConfig{});
+      Guard.injectFaultSpread(/*AfterStep=*/Steps / 2, /*CellCount=*/4,
+                              /*Persistent=*/true);
+      Guard.advanceSteps(Steps);
+      Detail = Guard.summary();
+      return S.stepCount();
+    });
+    std::printf("%-24s %12.4f %12.1f %9.2fx\n", "recovery (1 breakdown)",
+                PerStep * 1e3, 1.0 / PerStep, PerStep / BasePerStep);
+    std::printf("# recovery detail: %s\n", Detail.c_str());
   }
   return 0;
 }

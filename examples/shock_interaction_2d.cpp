@@ -17,6 +17,7 @@
 #include "io/CsvWriter.h"
 #include "io/FieldExport.h"
 #include "io/PgmWriter.h"
+#include "io/TelemetryExport.h"
 #include "io/VtkWriter.h"
 #include "runtime/Runtime.h"
 #include "solver/ArraySolver.h"
@@ -30,6 +31,7 @@
 #include "support/Env.h"
 #include "support/Error.h"
 #include "support/Timer.h"
+#include "telemetry/TelemetryOptions.h"
 
 #include <cstdio>
 #include <memory>
@@ -50,6 +52,7 @@ int main(int Argc, const char **Argv) {
   std::string EngineName = "array";
   bool NoFiles = false;
   GuardCliOptions Guard;
+  TelemetryCliOptions Telem;
 
   CommandLine CL("shock_interaction_2d",
                  "two-channel unsteady shock interaction (paper Fig. 2/3)");
@@ -68,10 +71,12 @@ int main(int Argc, const char **Argv) {
                "positivity) to this CSV file");
   CL.addFlag("no-files", NoFiles, "skip PGM/VTK output");
   Guard.registerWith(CL);
+  Telem.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Cells < 8 || Frames < 1)
     reportFatalError("need --cells >= 8 and --frames >= 1");
+  Telem.apply();
 
   auto Kind = parseBackendKind(BackendName);
   if (!Kind)
@@ -177,6 +182,22 @@ int main(int Argc, const char **Argv) {
                 "%.4f\n",
                 Recorder.samples().size(), HistoryPath.c_str(),
                 Recorder.minDensitySeen());
+  }
+
+  if (Telem.enabled()) {
+    TelemetryMeta Meta = {
+        {"program", "shock_interaction_2d"},
+        {"cells", std::to_string(Cells)},
+        {"ms", std::to_string(Ms)},
+        {"scheme", Scheme.str()},
+        {"engine", Solver.engineName()},
+        {"backend", Exec->name()},
+        {"workers", std::to_string(Exec->workerCount())},
+        {"guard", Guard.Enabled ? "on" : "off"},
+    };
+    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta))
+      reportFatalError("cannot write telemetry JSON file");
+    std::printf("telemetry written to %s\n", Telem.Path.c_str());
   }
   return GuardFailed ? 1 : 0;
 }

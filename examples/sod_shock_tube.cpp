@@ -16,6 +16,7 @@
 #include "io/AsciiPlot.h"
 #include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
+#include "io/TelemetryExport.h"
 #include "runtime/Runtime.h"
 #include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
@@ -24,6 +25,7 @@
 #include "solver/Problems.h"
 #include "solver/StepGuard.h"
 #include "support/CommandLine.h"
+#include "telemetry/TelemetryOptions.h"
 #include "support/Env.h"
 #include "support/Error.h"
 #include "support/Timer.h"
@@ -49,6 +51,7 @@ int main(int Argc, const char **Argv) {
   std::string LoadPath;
   bool Quiet = false;
   GuardCliOptions Guard;
+  TelemetryCliOptions Telem;
 
   CommandLine CL("sod_shock_tube",
                  "Sod shock tube (paper Fig. 1) with a configurable "
@@ -68,8 +71,10 @@ int main(int Argc, const char **Argv) {
   CL.addString("load", LoadPath, "restore a checkpoint before running");
   CL.addFlag("quiet", Quiet, "suppress the ASCII plot");
   Guard.registerWith(CL);
+  Telem.registerWith(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
+  Telem.apply();
 
   SchemeConfig Scheme;
   Scheme.Cfl = Cfl;
@@ -172,6 +177,21 @@ int main(int Argc, const char **Argv) {
     if (!writeProfileCsv(CsvPath, Profile))
       reportFatalError("cannot write CSV output file");
     std::printf("profile written to %s\n", CsvPath.c_str());
+  }
+
+  if (Telem.enabled()) {
+    TelemetryMeta Meta = {
+        {"program", "sod_shock_tube"},
+        {"cells", std::to_string(Cells)},
+        {"scheme", Scheme.str()},
+        {"engine", Solver->engineName()},
+        {"backend", Exec->name()},
+        {"workers", std::to_string(Exec->workerCount())},
+        {"guard", Guard.Enabled ? "on" : "off"},
+    };
+    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta))
+      reportFatalError("cannot write telemetry JSON file");
+    std::printf("telemetry written to %s\n", Telem.Path.c_str());
   }
   return GuardFailed ? 1 : 0;
 }

@@ -1,0 +1,142 @@
+//===- io/TelemetryExport.cpp - Metrics report serialization --------------===//
+
+#include "io/TelemetryExport.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+using namespace sacfd;
+
+namespace {
+
+/// JSON string escaping (control characters, quotes, backslashes).
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+/// Round-trip double formatting (shortest %.17g is good enough here; the
+/// determinism tests compare in-process values, the JSON is for humans
+/// and post-processing).
+std::string fmtDouble(double V) {
+  // JSON has no NaN/Infinity literal; a gauge sampled off a poisoned
+  // field (e.g. a step-guard retry window) becomes null.
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  return Buf;
+}
+
+} // namespace
+
+bool sacfd::writeTelemetryJson(const std::string &Path,
+                               const telemetry::MetricsReport &Report,
+                               const TelemetryMeta &Meta) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+
+  Out << "{\n  \"schema\": \"sacfd-telemetry-1\",\n";
+
+  Out << "  \"run\": {";
+  for (size_t I = 0; I < Meta.size(); ++I) {
+    if (I)
+      Out << ", ";
+    Out << "\"" << jsonEscape(Meta[I].first) << "\": \""
+        << jsonEscape(Meta[I].second) << "\"";
+  }
+  Out << "},\n";
+
+  Out << "  \"spans\": [";
+  for (size_t I = 0; I < Report.Spans.size(); ++I) {
+    const telemetry::SpanStats &S = Report.Spans[I];
+    Out << (I ? ",\n    " : "\n    ");
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\"name\": \"%s\", \"count\": %" PRIu64
+                  ", \"total_ns\": %" PRIu64 ", \"min_ns\": %" PRIu64
+                  ", \"max_ns\": %" PRIu64 ", \"mean_ns\": %.6g}",
+                  jsonEscape(S.Name).c_str(), S.Count, S.TotalNs, S.MinNs,
+                  S.MaxNs, S.meanNs());
+    Out << Buf;
+  }
+  Out << (Report.Spans.empty() ? "],\n" : "\n  ],\n");
+
+  Out << "  \"counters\": [";
+  for (size_t I = 0; I < Report.Counters.size(); ++I) {
+    const telemetry::CounterTotal &C = Report.Counters[I];
+    Out << (I ? ",\n    " : "\n    ");
+    Out << "{\"name\": \"" << jsonEscape(C.Name) << "\", \"total\": "
+        << C.Total << "}";
+  }
+  Out << (Report.Counters.empty() ? "],\n" : "\n  ],\n");
+
+  Out << "  \"gauges\": [";
+  for (size_t I = 0; I < Report.Gauges.size(); ++I) {
+    const telemetry::GaugeSeries &G = Report.Gauges[I];
+    Out << (I ? ",\n    " : "\n    ");
+    Out << "{\"name\": \"" << jsonEscape(G.Name) << "\", \"samples\": [";
+    for (size_t J = 0; J < G.Samples.size(); ++J) {
+      if (J)
+        Out << ", ";
+      Out << "{\"step\": " << G.Samples[J].Step << ", \"value\": "
+          << fmtDouble(G.Samples[J].Value) << "}";
+    }
+    Out << "]}";
+  }
+  Out << (Report.Gauges.empty() ? "]\n" : "\n  ]\n");
+
+  Out << "}\n";
+  return static_cast<bool>(Out);
+}
+
+bool sacfd::writeTelemetryCsv(const std::string &Path,
+                              const telemetry::MetricsReport &Report) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+
+  Out << "kind,name,count,total_ns,min_ns,max_ns,step,value\n";
+  for (const telemetry::SpanStats &S : Report.Spans)
+    Out << "span," << S.Name << "," << S.Count << "," << S.TotalNs << ","
+        << S.MinNs << "," << S.MaxNs << ",,\n";
+  for (const telemetry::CounterTotal &C : Report.Counters)
+    Out << "counter," << C.Name << "," << C.Total << ",,,,,\n";
+  for (const telemetry::GaugeSeries &G : Report.Gauges)
+    for (const telemetry::GaugeSample &S : G.Samples)
+      Out << "gauge," << G.Name << ",,,,," << S.Step << ","
+          << fmtDouble(S.Value) << "\n";
+  return static_cast<bool>(Out);
+}

@@ -1,0 +1,65 @@
+//===- io/TelemetryExport.h - Metrics report serialization -----*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JSON and CSV serialization of a telemetry::MetricsReport.
+///
+/// The JSON document (schema tag "sacfd-telemetry-1") is the machine-
+/// readable artifact the examples and fig* benches emit under
+/// --telemetry; it carries run metadata (free-form key/value pairs),
+/// the merged span statistics, the counter totals, and the per-step
+/// gauge series:
+///
+///   {
+///     "schema": "sacfd-telemetry-1",
+///     "run": {"example": "sod_shock_tube", ...},
+///     "spans": [{"name": "region.serial", "count": 123,
+///                "total_ns": 456, "min_ns": 1, "max_ns": 9,
+///                "mean_ns": 3.7}, ...],
+///     "counters": [{"name": "solver.steps", "total": 200}, ...],
+///     "gauges": [{"name": "step.dt",
+///                 "samples": [{"step": 1, "value": 1e-3}, ...]}, ...]
+///   }
+///
+/// The CSV form flattens the same report into long-format rows
+/// (kind,name,step,value,...) for spreadsheet-style post-processing.
+/// Writers return false on I/O failure (no exceptions), like the other
+/// io/ writers.  Gauge values are printed with round-trip precision so
+/// drift measured from the JSON equals drift measured in-process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_TELEMETRYEXPORT_H
+#define SACFD_IO_TELEMETRYEXPORT_H
+
+#include "telemetry/Telemetry.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sacfd {
+
+/// Free-form run metadata serialized into the JSON "run" object (and CSV
+/// comment header): example name, grid, scheme, backend, workers...
+using TelemetryMeta = std::vector<std::pair<std::string, std::string>>;
+
+/// Writes \p Report as a "sacfd-telemetry-1" JSON document.
+/// \returns false if the file cannot be written.
+bool writeTelemetryJson(const std::string &Path,
+                        const telemetry::MetricsReport &Report,
+                        const TelemetryMeta &Meta = {});
+
+/// Writes \p Report as long-format CSV
+/// (kind,name,count,total_ns,min_ns,max_ns,step,value).
+/// \returns false if the file cannot be written.
+bool writeTelemetryCsv(const std::string &Path,
+                       const telemetry::MetricsReport &Report);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_TELEMETRYEXPORT_H

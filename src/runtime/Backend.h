@@ -23,6 +23,7 @@
 #define SACFD_RUNTIME_BACKEND_H
 
 #include "support/FunctionRef.h"
+#include "telemetry/Telemetry.h"
 
 #include <atomic>
 #include <cstddef>
@@ -66,8 +67,16 @@ public:
   }
 
 protected:
-  /// Implementations call this once per counted region.
-  void countRegion() { RegionCount.fetch_add(1, std::memory_order_relaxed); }
+  /// Implementations call this once per counted region.  Also feeds the
+  /// "runtime.regions" telemetry counter, whose total is deterministic
+  /// for a fixed workload on every backend and worker count.
+  void countRegion() {
+    RegionCount.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      static const unsigned Regions = telemetry::counterId("runtime.regions");
+      telemetry::addCounter(Regions);
+    }
+  }
 
 private:
   std::atomic<uint64_t> RegionCount{0};

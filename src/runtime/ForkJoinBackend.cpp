@@ -19,17 +19,22 @@ ForkJoinBackend::ForkJoinBackend(unsigned Threads, Schedule Sched)
 void ForkJoinBackend::parallelFor(size_t Begin, size_t End, RangeBody Body) {
   if (Begin >= End)
     return;
-  if (!inParallelRegion())
-    countRegion();
-  // Nested regions and 1-thread teams run inline: OpenMP's behavior when
-  // nesting is disabled or the team is trivial.
-  if (inParallelRegion() || Threads == 1) {
-    if (inParallelRegion()) {
-      Body(Begin, End);
-    } else {
-      ParallelRegionGuard Guard;
-      Body(Begin, End);
-    }
+  // Nested regions run inline: OpenMP's behavior when nesting is
+  // disabled.
+  if (inParallelRegion()) {
+    Body(Begin, End);
+    return;
+  }
+  countRegion();
+  // The span covers the whole dispatch — fork, body, join — which is the
+  // per-region cost model this backend exists to measure.
+  static const unsigned Region = telemetry::spanId("region.fork_join");
+  telemetry::ScopedSpan Span(Region);
+
+  // 1-thread teams run inline (a trivial team forks nothing).
+  if (Threads == 1) {
+    ParallelRegionGuard Guard;
+    Body(Begin, End);
     return;
   }
 

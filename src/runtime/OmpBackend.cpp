@@ -28,15 +28,16 @@ public:
   void parallelFor(size_t Begin, size_t End, RangeBody Body) override {
     if (Begin >= End)
       return;
-    if (!inParallelRegion())
-      countRegion();
-    if (inParallelRegion() || Threads == 1) {
-      if (inParallelRegion()) {
-        Body(Begin, End);
-      } else {
-        ParallelRegionGuard Guard;
-        Body(Begin, End);
-      }
+    if (inParallelRegion()) {
+      Body(Begin, End);
+      return;
+    }
+    countRegion();
+    static const unsigned Region = telemetry::spanId("region.openmp");
+    telemetry::ScopedSpan Span(Region);
+    if (Threads == 1) {
+      ParallelRegionGuard Guard;
+      Body(Begin, End);
       return;
     }
 

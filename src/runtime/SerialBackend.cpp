@@ -14,6 +14,8 @@ void SerialBackend::parallelFor(size_t Begin, size_t End, RangeBody Body) {
     return;
   }
   countRegion();
+  static const unsigned Region = telemetry::spanId("region.serial");
+  telemetry::ScopedSpan Span(Region);
   ParallelRegionGuard Guard;
   Body(Begin, End);
 }

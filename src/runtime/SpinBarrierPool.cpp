@@ -96,15 +96,18 @@ void SpinBarrierPool::workerMain(unsigned WorkerIndex) {
 void SpinBarrierPool::parallelFor(size_t Begin, size_t End, RangeBody Body) {
   if (Begin >= End)
     return;
-  if (!inParallelRegion())
-    countRegion();
-  if (inParallelRegion() || Threads == 1) {
-    if (inParallelRegion()) {
-      Body(Begin, End);
-    } else {
-      ParallelRegionGuard Guard;
-      Body(Begin, End);
-    }
+  if (inParallelRegion()) {
+    Body(Begin, End);
+    return;
+  }
+  countRegion();
+  // Covers broadcast, master share and the spin barrier — the persistent
+  // pool's whole per-region cost.
+  static const unsigned Region = telemetry::spanId("region.spin_pool");
+  telemetry::ScopedSpan Span(Region);
+  if (Threads == 1) {
+    ParallelRegionGuard Guard;
+    Body(Begin, End);
     return;
   }
 

@@ -60,6 +60,8 @@ public:
   ///   ev = { iv -> sum((d[iv] + c[iv]) / DELTA) };
   ///   return CFL / maxval(ev);
   double computeDt() override {
+    static const unsigned SpanGetDt = telemetry::spanId("solver.get_dt");
+    telemetry::ScopedSpan Span(SpanGetDt);
     const Grid<Dim> &G = this->Prob.Domain;
     const Gas &Gas_ = this->Prob.G;
     Shape Interior = G.interiorShape();
@@ -78,30 +80,48 @@ public:
 
     if (Mode == ArrayEvalMode::Fused)
       // One fused pass: the set-notation expression feeds maxval directly.
-      return this->Scheme.dtFromMaxEigen(
+      return this->dtFromMaxEigen(
           maxval(mapIndex(Interior, EvAt), this->Exec));
 
     // Materialized: ev is an explicit temporary array, like unoptimized
     // SaC would allocate for the set notation before reducing it.
     NDArray<double> Ev = withLoop(Interior, this->Exec, EvAt);
-    return this->Scheme.dtFromMaxEigen(maxval(Ev, this->Exec));
+    return this->dtFromMaxEigen(maxval(Ev, this->Exec));
   }
 
 protected:
   void stepWithDt(double Dt) override {
+    static const unsigned SpanSnapshot = telemetry::spanId("solver.snapshot");
+    static const unsigned SpanBoundary = telemetry::spanId("solver.boundary");
+    static const unsigned SpanFlux = telemetry::spanId("solver.flux");
+    static const unsigned SpanUpdate = telemetry::spanId("solver.update");
     const Grid<Dim> &G = this->Prob.Domain;
     Shape Interior = G.interiorShape();
 
     // Q^n snapshot for the convex Runge-Kutta combinations.
-    NDArray<Cons<Dim>> Un = this->U;
+    NDArray<Cons<Dim>> Un;
+    {
+      telemetry::ScopedSpan S(SpanSnapshot);
+      Un = this->U;
+    }
 
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
-      applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
-      NDArray<Cons<Dim>> Res = residual();
+      {
+        telemetry::ScopedSpan S(SpanBoundary);
+        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
+      }
+      NDArray<Cons<Dim>> Res;
+      {
+        // Reconstruction + Riemann fluxes + divergence, fused per the
+        // evaluation mode.
+        telemetry::ScopedSpan S(SpanFlux);
+        Res = residual();
+      }
 
       // Fused modarray combine:
       //   U = A * Un + B * (U + dt * Res)   on the interior.
       double A = Stage.PrevWeight, B = Stage.StageWeight;
+      telemetry::ScopedSpan UpdateSpan(SpanUpdate);
       forEachIndex(Interior, this->Exec,
                    [&](const Index &Iv, size_t Linear) {
                      Index S = G.toStorage(Iv);

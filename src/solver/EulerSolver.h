@@ -25,9 +25,12 @@
 #include "runtime/Backend.h"
 #include "solver/Problem.h"
 #include "solver/SchemeConfig.h"
+#include "telemetry/Telemetry.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
+#include <string>
 
 namespace sacfd {
 
@@ -72,6 +75,7 @@ public:
     stepWithDt(Dt);
     Time += Dt;
     ++Steps;
+    recordStepTelemetry(Dt);
     return Dt;
   }
 
@@ -81,6 +85,7 @@ public:
     stepWithDt(Dt);
     Time += Dt;
     ++Steps;
+    recordStepTelemetry(Dt);
     return Dt;
   }
 
@@ -97,6 +102,7 @@ public:
       stepWithDt(Dt);
       Time += Dt;
       ++Steps;
+      recordStepTelemetry(Dt);
     }
   }
 
@@ -113,6 +119,66 @@ public:
 protected:
   /// One full multi-stage step with the given dt.
   virtual void stepWithDt(double Dt) = 0;
+
+  /// Engines route their GetDT reduction result through this instead of
+  /// SchemeConfig::dtFromMaxEigen directly, so the max eigenvalue is
+  /// remembered for the "step.max_eigen" telemetry gauge.
+  double dtFromMaxEigen(double EvMax) {
+    LastMaxEigen = EvMax;
+    return Scheme.dtFromMaxEigen(EvMax);
+  }
+
+  /// Feeds the "solver.steps" counter and, at the configured gauge
+  /// stride, the per-step gauges: dt, the GetDT max eigenvalue, and the
+  /// conserved totals (mass, momentum per axis, energy) whose drift is
+  /// the conservation regression's measurement channel.  The totals are
+  /// a serial interior sum, so the gauge values are bit-identical across
+  /// backends and worker counts.
+  void recordStepTelemetry(double Dt) {
+    if (!telemetry::enabled())
+      return;
+    static const unsigned StepsTaken = telemetry::counterId("solver.steps");
+    telemetry::addCounter(StepsTaken);
+    if (!telemetry::gaugeDue(Steps))
+      return;
+    static const unsigned GaugeDt = telemetry::gaugeId("step.dt");
+    static const unsigned GaugeEv = telemetry::gaugeId("step.max_eigen");
+    static const unsigned GaugeMass = telemetry::gaugeId("step.mass");
+    static const unsigned GaugeEnergy = telemetry::gaugeId("step.energy");
+    static const std::array<unsigned, Dim> GaugeMom = [] {
+      std::array<unsigned, Dim> Ids{};
+      for (unsigned A = 0; A < Dim; ++A) {
+        std::string Name = "step.momentum" + std::to_string(A);
+        Ids[A] = telemetry::gaugeId(Name.c_str());
+      }
+      return Ids;
+    }();
+
+    telemetry::recordGauge(GaugeDt, Steps, Dt);
+    telemetry::recordGauge(GaugeEv, Steps, LastMaxEigen);
+
+    const Grid<Dim> &G = Prob.Domain;
+    double Volume = 1.0;
+    for (unsigned A = 0; A < Dim; ++A)
+      Volume *= G.dx(A);
+    double Mass = 0.0, Energy = 0.0;
+    std::array<double, Dim> Momentum = {};
+    Shape Interior = G.interiorShape();
+    Index Iv = Interior.delinearize(0);
+    if (Interior.count() > 0) {
+      do {
+        const Cons<Dim> &Q = U.at(G.toStorage(Iv));
+        Mass += Q.Rho;
+        for (unsigned A = 0; A < Dim; ++A)
+          Momentum[A] += Q.Mom[A];
+        Energy += Q.E;
+      } while (Interior.increment(Iv));
+    }
+    telemetry::recordGauge(GaugeMass, Steps, Mass * Volume);
+    for (unsigned A = 0; A < Dim; ++A)
+      telemetry::recordGauge(GaugeMom[A], Steps, Momentum[A] * Volume);
+    telemetry::recordGauge(GaugeEnergy, Steps, Energy * Volume);
+  }
 
   void initializeField() {
     const Grid<Dim> &G = Prob.Domain;
@@ -135,6 +201,8 @@ protected:
   NDArray<Cons<Dim>> U;
   double Time = 0.0;
   unsigned Steps = 0;
+  /// Result of the last GetDT reduction (0 until computeDt runs).
+  double LastMaxEigen = 0.0;
 };
 
 } // namespace sacfd

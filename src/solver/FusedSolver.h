@@ -63,6 +63,8 @@ public:
   /// The Fortran GetDT: nested DO loops, row maxima in parallel, then a
   /// serial max over rows (deterministic for any schedule).
   double computeDt() override {
+    static const unsigned SpanGetDt = telemetry::spanId("solver.get_dt");
+    telemetry::ScopedSpan Span(SpanGetDt);
     const Gas &Gas_ = this->Prob.G;
     const Grid<Dim> &G = this->Prob.Domain;
     double InvDx[Dim];
@@ -93,11 +95,15 @@ public:
     double EvMax = 0.0;
     for (double R : RowMax)
       EvMax = std::max(EvMax, R);
-    return this->Scheme.dtFromMaxEigen(EvMax);
+    return this->dtFromMaxEigen(EvMax);
   }
 
 protected:
   void stepWithDt(double Dt) override {
+    static const unsigned SpanSnapshot = telemetry::spanId("solver.snapshot");
+    static const unsigned SpanBoundary = telemetry::spanId("solver.boundary");
+    static const unsigned SpanFlux = telemetry::spanId("solver.flux");
+    static const unsigned SpanUpdate = telemetry::spanId("solver.update");
     const Grid<Dim> &G = this->Prob.Domain;
     size_t StorageCount = this->U.shape().count();
     size_t InteriorCount = G.interiorCount();
@@ -111,27 +117,36 @@ protected:
 
     Cons<Dim> *UnData = Un.data();
     Cons<Dim> *UData = this->U.data();
-    this->Exec.parallelFor(0, StorageCount, [&](size_t B, size_t E) {
-      std::copy(UData + B, UData + E, UnData + B);
-    });
+    {
+      telemetry::ScopedSpan S(SpanSnapshot);
+      this->Exec.parallelFor(0, StorageCount, [&](size_t B, size_t E) {
+        std::copy(UData + B, UData + E, UnData + B);
+      });
+    }
 
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
-      applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
+      {
+        telemetry::ScopedSpan S(SpanBoundary);
+        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
+      }
 
-      // RHS = 0 (one region).
       Cons<Dim> *ResData = Res.data();
-      this->Exec.parallelFor(0, InteriorCount, [&](size_t B, size_t E) {
-        std::fill(ResData + B, ResData + E, Cons<Dim>());
-      });
-
-      // Directional sweeps (one region per axis).
-      for (unsigned Axis = 0; Axis < Dim; ++Axis)
-        sweepAxis(Axis);
+      {
+        // RHS zeroing plus the directional sweeps (reconstruction +
+        // Riemann fluxes + divergence, one region per axis).
+        telemetry::ScopedSpan S(SpanFlux);
+        this->Exec.parallelFor(0, InteriorCount, [&](size_t B, size_t E) {
+          std::fill(ResData + B, ResData + E, Cons<Dim>());
+        });
+        for (unsigned Axis = 0; Axis < Dim; ++Axis)
+          sweepAxis(Axis);
+      }
 
       // Update loop (one region): U = A*Un + B*(U + dt*Res) on interior.
       double A = Stage.PrevWeight, B = Stage.StageWeight;
       constexpr unsigned LineAxis = Dim - 1;
       size_t Lines = lineCount(LineAxis);
+      telemetry::ScopedSpan UpdateSpan(SpanUpdate);
       this->Exec.parallelFor(0, Lines, [&, A, B, Dt](size_t LB, size_t LE) {
         for (size_t Line = LB; Line != LE; ++Line) {
           size_t SBase = lineStorageBase(LineAxis, Line);

@@ -286,15 +286,18 @@ public:
       LastScan = scan();
       if (LastScan.healthy()) {
         TotalRetries += Attempt;
+        countGuard("guard.retries", Attempt);
         Scale = std::min(1.0, Scale * 2.0);
         captureSnapshot();
         return {Attempt == 0 ? GuardAction::Accepted : GuardAction::Retried,
                 FirstDt, Attempt};
       }
       restoreSnapshot();
+      countGuard("guard.rollbacks");
       Scale *= 0.5;
     }
     TotalRetries += Cfg.MaxRetries;
+    countGuard("guard.retries", Cfg.MaxRetries);
 
     // Floor stage: replay once more, then clamp the offenders.
     if (Cfg.AllowFloor) {
@@ -305,6 +308,7 @@ public:
         // The extra dt halving alone rescued the replay; this is a late
         // retry, not a floor recovery -- no cells were touched.
         ++TotalRetries;
+        countGuard("guard.retries");
         LastScan = Before;
         Scale = std::min(1.0, Scale * 2.0);
         captureSnapshot();
@@ -315,16 +319,20 @@ public:
       if (LastScan.healthy()) {
         ++TotalFloorEvents;
         TotalFlooredCells += Fixed;
+        countGuard("guard.floor_events");
+        countGuard("guard.floored_cells", Fixed);
         Reports.push_back(
             makeReport(Before, DtHist, BreakdownResolution::FloorRecovered));
         captureSnapshot();
         return {GuardAction::Floored, FirstDt, Cfg.MaxRetries};
       }
       restoreSnapshot();
+      countGuard("guard.rollbacks");
     }
 
     // Terminal failure: the solver sits at the last healthy state.
     Failed = true;
+    countGuard("guard.failures");
     BreakdownReport R =
         makeReport(LastScan, DtHist, BreakdownResolution::Failed);
     if (EmergencyWriter) {
@@ -392,8 +400,20 @@ private:
   }
 
   HealthScan scan() const {
+    countGuard("guard.scans");
+    static const unsigned SpanScan = telemetry::spanId("guard.scan");
+    telemetry::ScopedSpan Span(SpanScan);
     return scanFieldHealth(S, S.backend(), Cfg.DensityFloor,
                            Cfg.PressureFloor, Cfg.MaxReportedCells);
+  }
+
+  /// Bumps the named guard counter.  Guard events are rare (a handful per
+  /// breakdown episode), so the per-call name lookup is not on any hot
+  /// path; when telemetry is disabled this is a single relaxed load.
+  static void countGuard(const char *Name, uint64_t Delta = 1) {
+    if (!telemetry::enabled() || Delta == 0)
+      return;
+    telemetry::addCounter(telemetry::counterId(Name), Delta);
   }
 
   void captureSnapshot() {

@@ -1,0 +1,259 @@
+//===- telemetry/Telemetry.cpp - Spans, counters and gauges ---------------===//
+
+#include "telemetry/Telemetry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+using namespace sacfd;
+using namespace sacfd::telemetry;
+
+namespace sacfd {
+namespace telemetry {
+namespace detail {
+
+std::atomic<bool> Enabled{false};
+
+/// Global registry + retired-buffer store.  Registration, retirement and
+/// snapshot/reset all serialize on Lock; the hot path never takes it.
+struct State {
+  std::mutex Lock;
+
+  std::vector<std::string> SpanNames;
+  std::vector<std::string> CounterNames;
+  std::vector<std::string> GaugeNames;
+
+  /// Folded buffers of exited threads.
+  std::vector<SpanSlot> RetiredSpans;
+  std::vector<uint64_t> RetiredCounters;
+
+  /// Live per-thread buffers (unsynchronized reads at snapshot; callers
+  /// guarantee quiescence).
+  std::vector<ThreadBuffer *> Live;
+
+  /// Gauge series, driving-thread only.
+  std::vector<std::vector<GaugeSample>> Gauges;
+
+  unsigned GaugeStride = 1;
+};
+
+State &state() {
+  // Leaked on purpose: thread-local ThreadBuffer destructors may run
+  // after static destruction would have torn this down.
+  static State *S = new State;
+  return *S;
+}
+
+static unsigned internName(std::vector<std::string> &Names,
+                           const char *Name) {
+  for (unsigned I = 0; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  Names.push_back(Name);
+  return static_cast<unsigned>(Names.size() - 1);
+}
+
+static void mergeSpanSlots(std::vector<SpanSlot> &Into,
+                           const std::vector<SpanSlot> &From) {
+  if (Into.size() < From.size())
+    Into.resize(From.size());
+  for (size_t I = 0; I < From.size(); ++I) {
+    const SpanSlot &B = From[I];
+    if (B.Count == 0)
+      continue;
+    SpanSlot &A = Into[I];
+    A.Count += B.Count;
+    A.TotalNs += B.TotalNs;
+    A.MinNs = std::min(A.MinNs, B.MinNs);
+    A.MaxNs = std::max(A.MaxNs, B.MaxNs);
+  }
+}
+
+static void mergeCounters(std::vector<uint64_t> &Into,
+                          const std::vector<uint64_t> &From) {
+  if (Into.size() < From.size())
+    Into.resize(From.size(), 0);
+  for (size_t I = 0; I < From.size(); ++I)
+    Into[I] += From[I];
+}
+
+ThreadBuffer::ThreadBuffer() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  S.Live.push_back(this);
+}
+
+ThreadBuffer::~ThreadBuffer() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  mergeSpanSlots(S.RetiredSpans, Spans);
+  mergeCounters(S.RetiredCounters, Counters);
+  S.Live.erase(std::remove(S.Live.begin(), S.Live.end(), this),
+               S.Live.end());
+}
+
+void ThreadBuffer::addSpan(unsigned Id, uint64_t Ns) {
+  if (Id >= Spans.size())
+    Spans.resize(Id + 1);
+  SpanSlot &Slot = Spans[Id];
+  ++Slot.Count;
+  Slot.TotalNs += Ns;
+  Slot.MinNs = std::min(Slot.MinNs, Ns);
+  Slot.MaxNs = std::max(Slot.MaxNs, Ns);
+}
+
+void ThreadBuffer::addCounter(unsigned Id, uint64_t Delta) {
+  if (Id >= Counters.size())
+    Counters.resize(Id + 1, 0);
+  Counters[Id] += Delta;
+}
+
+ThreadBuffer &threadBuffer() {
+  thread_local ThreadBuffer Buf;
+  return Buf;
+}
+
+} // namespace detail
+
+using detail::State;
+using detail::state;
+
+void setEnabled(bool On) {
+  detail::Enabled.store(On, std::memory_order_relaxed);
+}
+
+void setGaugeStride(unsigned Stride) {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  S.GaugeStride = Stride;
+}
+
+unsigned gaugeStride() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return S.GaugeStride;
+}
+
+bool gaugeDue(unsigned Step) {
+  if (!enabled())
+    return false;
+  unsigned Stride = gaugeStride();
+  return Stride != 0 && Step % Stride == 0;
+}
+
+unsigned spanId(const char *Name) {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return detail::internName(S.SpanNames, Name);
+}
+
+unsigned counterId(const char *Name) {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return detail::internName(S.CounterNames, Name);
+}
+
+unsigned gaugeId(const char *Name) {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  unsigned Id = detail::internName(S.GaugeNames, Name);
+  if (Id >= S.Gauges.size())
+    S.Gauges.resize(Id + 1);
+  return Id;
+}
+
+void recordGauge(unsigned Id, unsigned Step, double Value) {
+  if (!enabled())
+    return;
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  if (Id >= S.Gauges.size())
+    S.Gauges.resize(Id + 1);
+  S.Gauges[Id].push_back({Step, Value});
+}
+
+double GaugeSeries::maxRelativeDrift() const {
+  if (Samples.size() < 2)
+    return 0.0;
+  double First = Samples.front().Value;
+  double Scale = std::max(std::abs(First), 1e-300);
+  double Max = 0.0;
+  for (const GaugeSample &P : Samples)
+    Max = std::max(Max, std::abs(P.Value - First) / Scale);
+  return Max;
+}
+
+const SpanStats *MetricsReport::findSpan(const std::string &Name) const {
+  for (const SpanStats &S : Spans)
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}
+
+const CounterTotal *
+MetricsReport::findCounter(const std::string &Name) const {
+  for (const CounterTotal &C : Counters)
+    if (C.Name == Name)
+      return &C;
+  return nullptr;
+}
+
+const GaugeSeries *MetricsReport::findGauge(const std::string &Name) const {
+  for (const GaugeSeries &G : Gauges)
+    if (G.Name == Name)
+      return &G;
+  return nullptr;
+}
+
+MetricsReport snapshot() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+
+  std::vector<detail::SpanSlot> Spans = S.RetiredSpans;
+  std::vector<uint64_t> Counters = S.RetiredCounters;
+  for (const detail::ThreadBuffer *B : S.Live) {
+    detail::mergeSpanSlots(Spans, B->Spans);
+    detail::mergeCounters(Counters, B->Counters);
+  }
+
+  MetricsReport R;
+  for (unsigned I = 0; I < Spans.size(); ++I) {
+    if (Spans[I].Count == 0)
+      continue;
+    R.Spans.push_back({S.SpanNames[I], Spans[I].Count, Spans[I].TotalNs,
+                       Spans[I].MinNs, Spans[I].MaxNs});
+  }
+  for (unsigned I = 0; I < Counters.size(); ++I) {
+    if (Counters[I] == 0)
+      continue;
+    R.Counters.push_back({S.CounterNames[I], Counters[I]});
+  }
+  for (unsigned I = 0; I < S.Gauges.size(); ++I) {
+    if (S.Gauges[I].empty())
+      continue;
+    R.Gauges.push_back({S.GaugeNames[I], S.Gauges[I]});
+  }
+
+  auto ByName = [](const auto &A, const auto &B) { return A.Name < B.Name; };
+  std::sort(R.Spans.begin(), R.Spans.end(), ByName);
+  std::sort(R.Counters.begin(), R.Counters.end(), ByName);
+  std::sort(R.Gauges.begin(), R.Gauges.end(), ByName);
+  return R;
+}
+
+void reset() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  S.RetiredSpans.clear();
+  S.RetiredCounters.clear();
+  for (detail::ThreadBuffer *B : S.Live) {
+    B->Spans.clear();
+    B->Counters.clear();
+  }
+  for (std::vector<GaugeSample> &Series : S.Gauges)
+    Series.clear();
+}
+
+} // namespace telemetry
+} // namespace sacfd

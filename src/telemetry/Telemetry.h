@@ -1,0 +1,210 @@
+//===- telemetry/Telemetry.h - Spans, counters and gauges ------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Low-overhead run instrumentation: where does the time of a step go?
+///
+/// The paper's comparison (Fig. 4) is about per-parallel-region dispatch
+/// cost, yet a wall clock around the whole run cannot attribute time to
+/// the GetDT reduction, the flux sweeps or the region dispatch itself.
+/// This subsystem provides that attribution with three primitives:
+///
+///   ScopedSpan   RAII timing of one named region occurrence.  Durations
+///                aggregate per name (count/total/min/max) in a
+///                thread-local buffer; nothing is allocated per event.
+///   counters     monotonic event counts (regions dispatched, guard
+///                retries, ...), also accumulated thread-locally.
+///   gauges       per-step sampled values (dt, max eigenvalue, conserved
+///                totals), recorded from the driving thread as a
+///                (step, value) time series.
+///
+/// Cost model: everything is compiled in, but when telemetry is disabled
+/// (the default) every call is one relaxed atomic load and a branch.
+/// When enabled, a span is two steady_clock reads plus a few arithmetic
+/// ops on a thread-local slot indexed by a pre-registered id — no locks,
+/// no hashing on the hot path.  Names are registered once (under a lock)
+/// via spanId()/counterId()/gaugeId(), typically through a function-local
+/// static.
+///
+/// Thread model: worker threads (including the transient teams the
+/// fork-join backend creates per region) accumulate into thread-local
+/// buffers; a buffer is folded into a global retired store when its
+/// thread exits.  snapshot() merges retired and live buffers.  Call
+/// snapshot()/reset() only at quiescent points (no parallel region in
+/// flight) — the live buffers are read without synchronization.
+///
+/// Determinism: counter totals are order-independent integer sums, so a
+/// fixed workload produces bit-identical counter totals on every backend
+/// and worker count (the determinism test matrix asserts this).  Span
+/// durations are wall-clock measurements and vary run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_TELEMETRY_TELEMETRY_H
+#define SACFD_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sacfd {
+namespace telemetry {
+
+/// Aggregated statistics of one span name.
+struct SpanStats {
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MinNs = 0;
+  uint64_t MaxNs = 0;
+
+  /// Mean duration in nanoseconds; 0 when the span never fired.
+  double meanNs() const {
+    return Count ? static_cast<double>(TotalNs) / Count : 0.0;
+  }
+};
+
+/// Total of one counter name.
+struct CounterTotal {
+  std::string Name;
+  uint64_t Total = 0;
+};
+
+/// One sampled gauge value.
+struct GaugeSample {
+  unsigned Step = 0;
+  double Value = 0.0;
+};
+
+/// Time series of one gauge name.
+struct GaugeSeries {
+  std::string Name;
+  std::vector<GaugeSample> Samples;
+
+  double first() const { return Samples.empty() ? 0.0 : Samples.front().Value; }
+  double last() const { return Samples.empty() ? 0.0 : Samples.back().Value; }
+
+  /// Largest |v - first| / max(|first|, tiny) over the series — the
+  /// relative-drift measure the conservation regression uses.
+  double maxRelativeDrift() const;
+};
+
+/// A merged, quiescent view of all telemetry state, sorted by name.
+struct MetricsReport {
+  std::vector<SpanStats> Spans;
+  std::vector<CounterTotal> Counters;
+  std::vector<GaugeSeries> Gauges;
+
+  const SpanStats *findSpan(const std::string &Name) const;
+  const CounterTotal *findCounter(const std::string &Name) const;
+  const GaugeSeries *findGauge(const std::string &Name) const;
+};
+
+namespace detail {
+
+struct State;
+State &state();
+
+struct SpanSlot {
+  uint64_t Count = 0;
+  uint64_t TotalNs = 0;
+  uint64_t MinNs = UINT64_MAX;
+  uint64_t MaxNs = 0;
+};
+
+/// Per-thread accumulation buffers, folded into the global retired store
+/// when the thread exits (fork-join teams are transient).
+struct ThreadBuffer {
+  std::vector<SpanSlot> Spans;
+  std::vector<uint64_t> Counters;
+
+  ThreadBuffer();
+  ~ThreadBuffer();
+  void addSpan(unsigned Id, uint64_t Ns);
+  void addCounter(unsigned Id, uint64_t Delta);
+};
+
+ThreadBuffer &threadBuffer();
+
+extern std::atomic<bool> Enabled;
+
+inline uint64_t nowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace detail
+
+/// \returns true when instrumentation is recording.
+inline bool enabled() {
+  return detail::Enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns recording on or off (existing data is kept; see reset()).
+void setEnabled(bool On);
+
+/// Gauge sampling stride in steps: a gauge recorded at step S is kept
+/// when S % stride == 0 (stride 0 disables gauges).  Default 1.
+void setGaugeStride(unsigned Stride);
+unsigned gaugeStride();
+
+/// \returns true when gauges should be recorded for \p Step — the guard
+/// callers use to skip computing expensive gauge values entirely.
+bool gaugeDue(unsigned Step);
+
+/// Registers (or looks up) a span/counter/gauge name; ids are stable for
+/// the process lifetime.  Call once and cache, e.g. through a
+/// function-local static.
+unsigned spanId(const char *Name);
+unsigned counterId(const char *Name);
+unsigned gaugeId(const char *Name);
+
+/// Adds \p Delta to a counter; no-op while disabled.
+inline void addCounter(unsigned Id, uint64_t Delta = 1) {
+  if (!enabled())
+    return;
+  detail::threadBuffer().addCounter(Id, Delta);
+}
+
+/// Appends (\p Step, \p Value) to a gauge series.  Driving-thread only;
+/// ignores the stride (use gaugeDue() to honor it).  No-op while
+/// disabled.
+void recordGauge(unsigned Id, unsigned Step, double Value);
+
+/// Times one occurrence of a span from construction to destruction.
+class ScopedSpan {
+public:
+  explicit ScopedSpan(unsigned Id)
+      : Id(Id), Start(enabled() ? detail::nowNs() : 0) {}
+  ~ScopedSpan() {
+    if (Start)
+      detail::threadBuffer().addSpan(Id, detail::nowNs() - Start);
+  }
+  ScopedSpan(const ScopedSpan &) = delete;
+  ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+private:
+  unsigned Id;
+  uint64_t Start;
+};
+
+/// Merges every buffer (retired and live) into a sorted report.  Only
+/// call at a quiescent point: no parallel region may be executing.
+MetricsReport snapshot();
+
+/// Clears all recorded data (spans, counters, gauges); registrations and
+/// the enabled flag survive.  Quiescent points only.
+void reset();
+
+} // namespace telemetry
+} // namespace sacfd
+
+#endif // SACFD_TELEMETRY_TELEMETRY_H

@@ -1,0 +1,59 @@
+//===- telemetry/TelemetryOptions.h - Telemetry CLI wiring -----*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared command-line surface of the telemetry subsystem, so every
+/// example and bench exposes the same flags:
+///
+///   --telemetry PATH     enable instrumentation and write the merged
+///                        JSON report to PATH at exit
+///   --telemetry-every N  gauge sampling stride in steps (default 1;
+///                        spans and counters always record when enabled)
+///
+/// The JSON itself is written by io/TelemetryExport.h (the io library
+/// links against solver/runtime, so the dependency points outward).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_TELEMETRY_TELEMETRYOPTIONS_H
+#define SACFD_TELEMETRY_TELEMETRYOPTIONS_H
+
+#include "support/CommandLine.h"
+#include "telemetry/Telemetry.h"
+
+#include <string>
+
+namespace sacfd {
+
+/// The telemetry flags a CLI tool binds and forwards into the subsystem.
+struct TelemetryCliOptions {
+  std::string Path;
+  unsigned Every = 1;
+
+  /// Binds the telemetry flags onto \p CL.
+  void registerWith(CommandLine &CL) {
+    CL.addString("telemetry", Path,
+                 "enable telemetry and write the JSON report here");
+    CL.addUnsigned("telemetry-every", Every,
+                   "record per-step gauges every N steps (0 = never)");
+  }
+
+  bool enabled() const { return !Path.empty(); }
+
+  /// Enables recording per the parsed flags (no-op when --telemetry was
+  /// not given).  Call after parse(), before the run starts.
+  void apply() const {
+    if (!enabled())
+      return;
+    telemetry::setGaugeStride(Every);
+    telemetry::setEnabled(true);
+  }
+};
+
+} // namespace sacfd
+
+#endif // SACFD_TELEMETRY_TELEMETRYOPTIONS_H

@@ -1,0 +1,160 @@
+//===- tests/DeterminismTest.cpp - Backend/worker determinism matrix ------===//
+//
+// The paper's central claim depends on the parallel schedules being pure
+// reorderings of the same arithmetic: every backend at every worker count
+// must produce bit-identical fields.  This matrix pins that down for both
+// engines on 1D Sod and a small 2D shock interaction, across serial,
+// fork-join, and spin-pool at 1, 2, 4, and 8 workers — and extends the
+// bit-identity to the telemetry stream: counter totals and gauge series
+// must match the serial reference exactly (span durations are wall-clock
+// and excluded).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Runtime.h"
+#include "solver/ArraySolver.h"
+#include "solver/Diagnostics.h"
+#include "solver/FusedSolver.h"
+#include "solver/Problems.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace sacfd;
+
+namespace {
+
+constexpr unsigned kWorkerCounts[] = {1, 2, 4, 8};
+constexpr BackendKind kParallelKinds[] = {BackendKind::ForkJoin,
+                                          BackendKind::SpinPool};
+
+struct TelemetryDigest {
+  std::vector<std::pair<std::string, uint64_t>> Counters;
+  std::vector<telemetry::GaugeSeries> Gauges;
+};
+
+TelemetryDigest digest(const telemetry::MetricsReport &R) {
+  TelemetryDigest D;
+  for (const telemetry::CounterTotal &C : R.Counters)
+    D.Counters.emplace_back(C.Name, C.Total);
+  D.Gauges = R.Gauges;
+  return D;
+}
+
+/// Bitwise double comparison: distinguishes 0.0 from -0.0 and treats any
+/// NaN payload difference as a mismatch, which is the determinism
+/// contract ("bit-identical", not "numerically close").
+bool sameBits(double A, double B) {
+  return std::memcmp(&A, &B, sizeof(double)) == 0;
+}
+
+void expectSameTelemetry(const TelemetryDigest &Ref,
+                         const TelemetryDigest &Got,
+                         const std::string &Label) {
+  ASSERT_EQ(Ref.Counters.size(), Got.Counters.size()) << Label;
+  for (size_t I = 0; I < Ref.Counters.size(); ++I) {
+    EXPECT_EQ(Ref.Counters[I].first, Got.Counters[I].first) << Label;
+    EXPECT_EQ(Ref.Counters[I].second, Got.Counters[I].second)
+        << Label << " counter " << Ref.Counters[I].first;
+  }
+  ASSERT_EQ(Ref.Gauges.size(), Got.Gauges.size()) << Label;
+  for (size_t I = 0; I < Ref.Gauges.size(); ++I) {
+    const telemetry::GaugeSeries &RG = Ref.Gauges[I];
+    const telemetry::GaugeSeries &GG = Got.Gauges[I];
+    EXPECT_EQ(RG.Name, GG.Name) << Label;
+    ASSERT_EQ(RG.Samples.size(), GG.Samples.size())
+        << Label << " gauge " << RG.Name;
+    for (size_t S = 0; S < RG.Samples.size(); ++S) {
+      EXPECT_EQ(RG.Samples[S].Step, GG.Samples[S].Step)
+          << Label << " gauge " << RG.Name;
+      EXPECT_TRUE(sameBits(RG.Samples[S].Value, GG.Samples[S].Value))
+          << Label << " gauge " << RG.Name << " sample " << S << ": "
+          << RG.Samples[S].Value << " vs " << GG.Samples[S].Value;
+    }
+  }
+}
+
+/// Runs \p Steps of a fresh solver on \p Exec with telemetry recording,
+/// returning the telemetry digest.  The solver itself is returned through
+/// \p Out so fields can be compared while both runs are alive.
+template <typename SolverT, unsigned Dim>
+TelemetryDigest runInstrumented(const Problem<Dim> &Prob,
+                                const SchemeConfig &Scheme, Backend &Exec,
+                                unsigned Steps,
+                                std::unique_ptr<SolverT> &Out) {
+  telemetry::reset();
+  telemetry::setGaugeStride(1);
+  telemetry::setEnabled(true);
+  Out = std::make_unique<SolverT>(Prob, Scheme, Exec);
+  Out->advanceSteps(Steps);
+  TelemetryDigest D = digest(telemetry::snapshot());
+  telemetry::setEnabled(false);
+  return D;
+}
+
+template <typename SolverT, unsigned Dim>
+void checkMatrix(const Problem<Dim> &Prob, const SchemeConfig &Scheme,
+                 unsigned Steps) {
+  auto RefExec = createBackend(BackendKind::Serial, 1);
+  std::unique_ptr<SolverT> Ref;
+  TelemetryDigest RefTelem =
+      runInstrumented<SolverT>(Prob, Scheme, *RefExec, Steps, Ref);
+  EXPECT_FALSE(RefTelem.Counters.empty());
+  EXPECT_FALSE(RefTelem.Gauges.empty());
+
+  for (BackendKind Kind : kParallelKinds)
+    for (unsigned Workers : kWorkerCounts) {
+      auto Exec = createBackend(Kind, Workers);
+      ASSERT_NE(Exec, nullptr);
+      std::string Label = std::string(Exec->name()) + "(" +
+                          std::to_string(Workers) + ")";
+      std::unique_ptr<SolverT> S;
+      TelemetryDigest Telem =
+          runInstrumented<SolverT>(Prob, Scheme, *Exec, Steps, S);
+      EXPECT_DOUBLE_EQ(Ref->time(), S->time()) << Label;
+      EXPECT_EQ(maxFieldDifference(*Ref, *S), 0.0) << Label;
+      expectSameTelemetry(RefTelem, Telem, Label);
+    }
+}
+
+class DeterminismTest : public ::testing::Test {
+protected:
+  void TearDown() override {
+    telemetry::setEnabled(false);
+    telemetry::reset();
+  }
+};
+
+} // namespace
+
+TEST_F(DeterminismTest, Sod1DArraySolver) {
+  checkMatrix<ArraySolver<1>>(sodProblem(128),
+                              SchemeConfig::benchmarkScheme(), 20);
+}
+
+TEST_F(DeterminismTest, Sod1DFusedSolver) {
+  checkMatrix<FusedSolver<1>>(sodProblem(128),
+                              SchemeConfig::benchmarkScheme(), 20);
+}
+
+TEST_F(DeterminismTest, Interaction2DArraySolver) {
+  checkMatrix<ArraySolver<2>>(shockInteraction2D(24, 2.2, 12.0),
+                              SchemeConfig::benchmarkScheme(), 6);
+}
+
+TEST_F(DeterminismTest, Interaction2DFusedSolver) {
+  checkMatrix<FusedSolver<2>>(shockInteraction2D(24, 2.2, 12.0),
+                              SchemeConfig::benchmarkScheme(), 6);
+}
+
+TEST_F(DeterminismTest, FigureSchemeInteraction2DArraySolver) {
+  // Second-order reconstruction exercises the wider stencils and the
+  // limiter; the determinism contract must hold there too.
+  checkMatrix<ArraySolver<2>>(shockInteraction2D(20, 2.2, 10.0),
+                              SchemeConfig::figureScheme(), 5);
+}

@@ -1,0 +1,247 @@
+//===- tests/TelemetryTest.cpp - Telemetry subsystem unit tests -----------===//
+//
+// Spans, counters, gauges: registration, thread-local accumulation and
+// retirement, snapshot/reset semantics, gauge stride gating, the JSON and
+// CSV exporters, and the backend region spans end to end on a real run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/TelemetryExport.h"
+#include "runtime/Runtime.h"
+#include "solver/ArraySolver.h"
+#include "solver/Problems.h"
+#include "telemetry/Telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace sacfd;
+
+namespace {
+
+/// Every test starts from a clean, enabled slate and leaves telemetry
+/// disabled (the binary-global default the other test suites assume).
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    telemetry::reset();
+    telemetry::setGaugeStride(1);
+    telemetry::setEnabled(true);
+  }
+  void TearDown() override {
+    telemetry::setEnabled(false);
+    telemetry::reset();
+  }
+};
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+TEST_F(TelemetryTest, RegistrationIdsAreStable) {
+  unsigned A = telemetry::counterId("test.reg.a");
+  unsigned B = telemetry::counterId("test.reg.b");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(A, telemetry::counterId("test.reg.a"));
+  EXPECT_EQ(B, telemetry::counterId("test.reg.b"));
+  // Span/counter/gauge namespaces are independent.
+  EXPECT_EQ(telemetry::spanId("test.reg.a"),
+            telemetry::spanId("test.reg.a"));
+  EXPECT_EQ(telemetry::gaugeId("test.reg.a"),
+            telemetry::gaugeId("test.reg.a"));
+}
+
+TEST_F(TelemetryTest, DisabledProbesRecordNothing) {
+  telemetry::setEnabled(false);
+  unsigned C = telemetry::counterId("test.disabled.counter");
+  unsigned S = telemetry::spanId("test.disabled.span");
+  unsigned G = telemetry::gaugeId("test.disabled.gauge");
+  telemetry::addCounter(C, 7);
+  { telemetry::ScopedSpan Span(S); }
+  telemetry::recordGauge(G, 0, 1.0);
+  EXPECT_FALSE(telemetry::gaugeDue(0));
+
+  telemetry::MetricsReport R = telemetry::snapshot();
+  EXPECT_EQ(R.findCounter("test.disabled.counter"), nullptr);
+  EXPECT_EQ(R.findSpan("test.disabled.span"), nullptr);
+  EXPECT_EQ(R.findGauge("test.disabled.gauge"), nullptr);
+}
+
+TEST_F(TelemetryTest, CountersAccumulateAndSurviveThreadExit) {
+  unsigned Id = telemetry::counterId("test.threads.counter");
+  // Transient threads model the fork-join backend's per-region teams:
+  // their buffers must fold into the retired store on exit.
+  std::vector<std::thread> Team;
+  for (int T = 0; T < 4; ++T)
+    Team.emplace_back([Id] {
+      for (int I = 0; I < 1000; ++I)
+        telemetry::addCounter(Id);
+    });
+  for (std::thread &T : Team)
+    T.join();
+  telemetry::addCounter(Id, 5);
+
+  telemetry::MetricsReport R = telemetry::snapshot();
+  const telemetry::CounterTotal *C = R.findCounter("test.threads.counter");
+  ASSERT_NE(C, nullptr);
+  EXPECT_EQ(C->Total, 4005u);
+}
+
+TEST_F(TelemetryTest, SpanStatsAggregate) {
+  unsigned Id = telemetry::spanId("test.span.stats");
+  for (int I = 0; I < 3; ++I)
+    telemetry::ScopedSpan Span(Id);
+
+  telemetry::MetricsReport R = telemetry::snapshot();
+  const telemetry::SpanStats *S = R.findSpan("test.span.stats");
+  ASSERT_NE(S, nullptr);
+  EXPECT_EQ(S->Count, 3u);
+  EXPECT_LE(S->MinNs, S->MaxNs);
+  EXPECT_GE(S->TotalNs, S->MaxNs);
+  EXPECT_GE(S->meanNs(), static_cast<double>(S->MinNs));
+  EXPECT_LE(S->meanNs(), static_cast<double>(S->MaxNs));
+}
+
+TEST_F(TelemetryTest, GaugeStrideGatesSampling) {
+  telemetry::setGaugeStride(4);
+  EXPECT_TRUE(telemetry::gaugeDue(0));
+  EXPECT_FALSE(telemetry::gaugeDue(1));
+  EXPECT_TRUE(telemetry::gaugeDue(4));
+  EXPECT_FALSE(telemetry::gaugeDue(7));
+
+  telemetry::setGaugeStride(0);
+  EXPECT_FALSE(telemetry::gaugeDue(0));
+  EXPECT_FALSE(telemetry::gaugeDue(4));
+}
+
+TEST_F(TelemetryTest, GaugeSeriesAndDrift) {
+  unsigned Id = telemetry::gaugeId("test.gauge.drift");
+  telemetry::recordGauge(Id, 0, 100.0);
+  telemetry::recordGauge(Id, 1, 101.0);
+  telemetry::recordGauge(Id, 2, 99.5);
+
+  telemetry::MetricsReport R = telemetry::snapshot();
+  const telemetry::GaugeSeries *G = R.findGauge("test.gauge.drift");
+  ASSERT_NE(G, nullptr);
+  ASSERT_EQ(G->Samples.size(), 3u);
+  EXPECT_EQ(G->first(), 100.0);
+  EXPECT_EQ(G->last(), 99.5);
+  EXPECT_DOUBLE_EQ(G->maxRelativeDrift(), 0.01);
+}
+
+TEST_F(TelemetryTest, SnapshotSortsByNameAndResetClears) {
+  telemetry::addCounter(telemetry::counterId("test.sort.b"));
+  telemetry::addCounter(telemetry::counterId("test.sort.a"));
+  telemetry::MetricsReport R = telemetry::snapshot();
+  ASSERT_GE(R.Counters.size(), 2u);
+  for (size_t I = 1; I < R.Counters.size(); ++I)
+    EXPECT_LT(R.Counters[I - 1].Name, R.Counters[I].Name);
+
+  telemetry::reset();
+  R = telemetry::snapshot();
+  EXPECT_TRUE(R.Counters.empty());
+  EXPECT_TRUE(R.Spans.empty());
+  EXPECT_TRUE(R.Gauges.empty());
+}
+
+TEST_F(TelemetryTest, BackendRegionSpansAndCounterMatchDispatchCount) {
+  for (BackendKind K :
+       {BackendKind::Serial, BackendKind::ForkJoin, BackendKind::SpinPool}) {
+    telemetry::reset();
+    auto Exec = createBackend(K, K == BackendKind::Serial ? 1 : 2);
+    ArraySolver<1> S(sodProblem(64), SchemeConfig::benchmarkScheme(),
+                     *Exec);
+    S.advanceSteps(3);
+
+    const char *SpanName = K == BackendKind::Serial     ? "region.serial"
+                           : K == BackendKind::ForkJoin ? "region.fork_join"
+                                                        : "region.spin_pool";
+    telemetry::MetricsReport R = telemetry::snapshot();
+    const telemetry::SpanStats *Span = R.findSpan(SpanName);
+    ASSERT_NE(Span, nullptr) << SpanName;
+    EXPECT_EQ(Span->Count, Exec->regionsDispatched()) << SpanName;
+
+    const telemetry::CounterTotal *Regions =
+        R.findCounter("runtime.regions");
+    ASSERT_NE(Regions, nullptr);
+    EXPECT_EQ(Regions->Total, Exec->regionsDispatched());
+
+    const telemetry::CounterTotal *Steps = R.findCounter("solver.steps");
+    ASSERT_NE(Steps, nullptr);
+    EXPECT_EQ(Steps->Total, 3u);
+  }
+}
+
+TEST_F(TelemetryTest, SolverStageSpansAndGaugesAppear) {
+  auto Exec = createBackend(BackendKind::Serial, 1);
+  ArraySolver<2> S(shockInteraction2D(16, 2.2, 8.0),
+                   SchemeConfig::benchmarkScheme(), *Exec);
+  S.advanceSteps(2);
+
+  telemetry::MetricsReport R = telemetry::snapshot();
+  for (const char *Name : {"solver.get_dt", "solver.snapshot",
+                           "solver.boundary", "solver.flux",
+                           "solver.update"})
+    EXPECT_NE(R.findSpan(Name), nullptr) << Name;
+  for (const char *Name : {"step.dt", "step.max_eigen", "step.mass",
+                           "step.momentum0", "step.momentum1",
+                           "step.energy"}) {
+    const telemetry::GaugeSeries *G = R.findGauge(Name);
+    ASSERT_NE(G, nullptr) << Name;
+    EXPECT_EQ(G->Samples.size(), 2u) << Name;
+  }
+}
+
+TEST_F(TelemetryTest, JsonExportHasSchemaMetaAndData) {
+  telemetry::addCounter(telemetry::counterId("test.json.counter"), 42);
+  { telemetry::ScopedSpan Span(telemetry::spanId("test.json.span")); }
+  telemetry::recordGauge(telemetry::gaugeId("test.json.gauge"), 5, 2.5);
+  // JSON has no NaN literal; a poisoned-field sample must become null.
+  telemetry::recordGauge(telemetry::gaugeId("test.json.gauge"), 6,
+                         std::nan(""));
+
+  std::string Path = "telemetry_test_export.json";
+  ASSERT_TRUE(writeTelemetryJson(Path, telemetry::snapshot(),
+                                 {{"program", "TelemetryTest"},
+                                  {"quoted \"key\"", "line\nbreak"}}));
+  std::string Json = slurp(Path);
+  std::remove(Path.c_str());
+
+  EXPECT_NE(Json.find("\"schema\": \"sacfd-telemetry-1\""),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"program\": \"TelemetryTest\""), std::string::npos);
+  EXPECT_NE(Json.find("\\\"key\\\""), std::string::npos) << "escaping";
+  EXPECT_NE(Json.find("line\\nbreak"), std::string::npos) << "escaping";
+  EXPECT_NE(Json.find("\"test.json.counter\", \"total\": 42"),
+            std::string::npos);
+  EXPECT_NE(Json.find("\"test.json.span\""), std::string::npos);
+  EXPECT_NE(Json.find("{\"step\": 5, \"value\": 2.5}"), std::string::npos);
+  EXPECT_NE(Json.find("{\"step\": 6, \"value\": null}"), std::string::npos);
+  EXPECT_EQ(Json.find("nan"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, CsvExportEmitsLongFormatRows) {
+  telemetry::addCounter(telemetry::counterId("test.csv.counter"), 9);
+  telemetry::recordGauge(telemetry::gaugeId("test.csv.gauge"), 1, 0.5);
+
+  std::string Path = "telemetry_test_export.csv";
+  ASSERT_TRUE(writeTelemetryCsv(Path, telemetry::snapshot()));
+  std::string Csv = slurp(Path);
+  std::remove(Path.c_str());
+
+  EXPECT_NE(Csv.find("kind,name,count,total_ns,min_ns,max_ns,step,value"),
+            std::string::npos);
+  EXPECT_NE(Csv.find("counter,test.csv.counter,9"), std::string::npos);
+  EXPECT_NE(Csv.find("gauge,test.csv.gauge,,,,,1,0.5"), std::string::npos);
+}
