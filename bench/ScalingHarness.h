@@ -16,24 +16,24 @@
 ///   fortran  FusedSolver  on ForkJoinBackend (thread team per loop)
 /// plus the serial single-core reference for both engines.
 ///
+/// Every leg is built through the RunConfig/SolverFactory surface: the
+/// harness overrides engine/backend/threads per leg and inherits the
+/// rest — scheme, schedule/tile, guard, telemetry — from Opt.Base, so
+/// the sweep honors --tile/--schedule/--guard exactly like the tools.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SACFD_BENCH_SCALINGHARNESS_H
 #define SACFD_BENCH_SCALINGHARNESS_H
 
 #include "io/TelemetryExport.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
-#include "solver/FusedSolver.h"
 #include "solver/Problems.h"
-#include "solver/StepGuard.h"
+#include "solver/SolverFactory.h"
 #include "support/Env.h"
 #include "support/Timer.h"
-#include "telemetry/TelemetryOptions.h"
 
 #include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,14 +45,12 @@ struct ScalingOptions {
   unsigned Steps;      ///< fixed time steps (paper: 1000)
   unsigned Repeats;    ///< timing repetitions, min is reported
   std::vector<unsigned> ThreadCounts;
-  /// Wrap every run in a StepGuard (default policy).  Healthy runs stay
-  /// bit-identical; the scan cost becomes part of the measurement.
-  bool Guarded = false;
   /// Restrict the sweep to one model ("sac" or "fortran"; empty = both).
   /// With --telemetry this keeps the solver-stage spans single-engine.
   std::string Model;
-  /// Telemetry report: --telemetry path + --telemetry-every stride.
-  TelemetryCliOptions Telemetry;
+  /// Everything else a run is shaped by — scheme, schedule/tile, guard,
+  /// telemetry.  The sweep overrides Engine/Backend/Threads per leg.
+  RunConfig Base;
 };
 
 /// One configuration's measurement.
@@ -70,35 +68,25 @@ inline double runOneScalingConfig(const ScalingOptions &Opt, bool SacModel,
     // dx = 1 at every size, like the paper's 400x400 reference grid.
     Problem<2> Prob = shockInteraction2D(
         Opt.Cells, 2.2, static_cast<double>(Opt.Cells) / 2.0);
-    SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
 
-    std::unique_ptr<Backend> Exec =
-        Threads <= 1
-            ? createBackend(BackendKind::Serial, 1)
-            : createBackend(SacModel ? BackendKind::SpinPool
-                                     : BackendKind::ForkJoin,
-                            Threads);
-
-    std::unique_ptr<EulerSolver<2>> Solver;
-    if (SacModel)
-      Solver = std::make_unique<ArraySolver<2>>(Prob, Scheme, *Exec);
-    else
-      Solver = std::make_unique<FusedSolver<2>>(Prob, Scheme, *Exec);
+    RunConfig Cfg = Opt.Base;
+    Cfg.Engine = SacModel ? EngineKind::Array : EngineKind::Fused;
+    Cfg.Backend = Threads <= 1 ? BackendKind::Serial
+                               : (SacModel ? BackendKind::SpinPool
+                                           : BackendKind::ForkJoin);
+    Cfg.Threads = Threads <= 1 ? 1 : Threads;
+    SolverRun<2> Run = makeSolverRun(Prob, Cfg);
 
     WallTimer Timer;
-    if (Opt.Guarded) {
-      StepGuard<2> Guard(*Solver, GuardConfig{});
-      Guard.advanceSteps(Opt.Steps);
-    } else {
-      Solver->advanceSteps(Opt.Steps);
-    }
+    Run.advanceSteps(Opt.Steps);
     Samples.add(Timer.seconds());
 
     if (RegionsPerStep)
-      *RegionsPerStep = static_cast<double>(Exec->regionsDispatched()) /
-                        static_cast<double>(Opt.Steps);
+      *RegionsPerStep =
+          static_cast<double>(Run.backend().regionsDispatched()) /
+          static_cast<double>(Opt.Steps);
 
-    FieldHealth<2> H = fieldHealth(*Solver);
+    FieldHealth<2> H = fieldHealth(Run.solver());
     if (!H.AllFinite)
       std::fprintf(stderr, "warning: %s run lost finiteness\n",
                    SacModel ? "sac" : "fortran");
@@ -108,13 +96,17 @@ inline double runOneScalingConfig(const ScalingOptions &Opt, bool SacModel,
 
 /// Runs the full sweep and prints the Fig. 4 table.
 inline int runScalingExperiment(const ScalingOptions &Opt) {
-  Opt.Telemetry.apply();
+  bool Guarded = Opt.Base.Guard.Enabled;
   std::printf("# %s: wall clock of a %u-step simulation on a %zux%zu "
               "grid (RK3 + piecewise-constant reconstruction)%s\n",
               Opt.ExperimentId, Opt.Steps, Opt.Cells, Opt.Cells,
-              Opt.Guarded ? ", step-guarded" : "");
+              Guarded ? ", step-guarded" : "");
   std::printf("# models: sac = array solver on persistent spin pool; "
               "fortran = fused solver on per-loop fork-join\n");
+  if (Opt.Base.TileCfg.Enabled)
+    std::printf("# 2D tiling: %s, dealing %s\n",
+                Opt.Base.TileCfg.str().c_str(),
+                Opt.Base.TileCfg.Dealing.str().c_str());
   std::printf("# host hardware threads: %u (thread counts beyond this "
               "measure oversubscribed dispatch overhead only)\n",
               hardwareThreadCount());
@@ -149,7 +141,7 @@ inline int runScalingExperiment(const ScalingOptions &Opt) {
                 Row.Seconds,
                 FortranBase > 0.0 ? Row.Seconds / FortranBase : 0.0);
 
-  if (Opt.Telemetry.enabled()) {
+  if (Opt.Base.Telemetry.enabled()) {
     // One report for the whole sweep: a T=1 entry contributes the
     // region.serial spans, the sac legs region.spin_pool, the fortran
     // legs region.fork_join.
@@ -161,15 +153,18 @@ inline int runScalingExperiment(const ScalingOptions &Opt) {
         {"cells", std::to_string(Opt.Cells)},
         {"steps", std::to_string(Opt.Steps)},
         {"threads", ThreadList},
-        {"guard", Opt.Guarded ? "on" : "off"},
+        {"schedule", Opt.Base.Sched.str()},
+        {"tile", Opt.Base.TileCfg.str()},
+        {"guard", Guarded ? "on" : "off"},
     };
-    if (!writeTelemetryJson(Opt.Telemetry.Path, telemetry::snapshot(),
+    if (!writeTelemetryJson(Opt.Base.Telemetry.Path, telemetry::snapshot(),
                             Meta)) {
       std::fprintf(stderr, "error: cannot write telemetry JSON to %s\n",
-                   Opt.Telemetry.Path.c_str());
+                   Opt.Base.Telemetry.Path.c_str());
       return 1;
     }
-    std::printf("# telemetry written to %s\n", Opt.Telemetry.Path.c_str());
+    std::printf("# telemetry written to %s\n",
+                Opt.Base.Telemetry.Path.c_str());
   }
   return 0;
 }

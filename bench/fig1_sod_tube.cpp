@@ -12,52 +12,37 @@
 //===----------------------------------------------------------------------===//
 
 #include "io/AsciiPlot.h"
-#include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
-#include "io/TelemetryExport.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
+#include "io/RunIo.h"
 #include "solver/Diagnostics.h"
-#include "solver/GuardOptions.h"
 #include "solver/Problems.h"
-#include "solver/StepGuard.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "support/Env.h"
 #include "support/Timer.h"
-#include "telemetry/TelemetryOptions.h"
 
 #include <cstdio>
-#include <optional>
 
 using namespace sacfd;
 
 int main(int Argc, const char **Argv) {
   int Cells = 400;
-  double Cfl = 0.0; // 0 keeps the figure scheme's default
   bool Csv = false;
   bool Full = false; // accepted for harness uniformity; default IS full
-  GuardCliOptions Guard;
-  TelemetryCliOptions Telem;
+  RunConfig Cfg;
 
   CommandLine CL("fig1_sod_tube",
                  "FIG1: three-snapshot Sod tube density series with "
                  "errors vs the exact solution");
   CL.addInt("cells", Cells, "grid cells");
-  CL.addDouble("cfl", Cfl, "override the CFL number (0 keeps the default)");
   CL.addFlag("csv", Csv, "also write fig1_t*.csv profiles");
   CL.addFlag("full", Full, "no-op (the default already runs paper scale)");
-  Guard.registerWith(CL);
-  Telem.registerWith(CL);
+  Cfg.registerAll(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
-  Telem.apply();
+  Cfg.resolveOrExit();
 
-  SchemeConfig Scheme = SchemeConfig::figureScheme();
-  if (Cfl > 0.0)
-    Scheme.Cfl = Cfl;
-
-  std::printf("# FIG1: Sod shock tube, N=%d, scheme %s\n", Cells,
-              Scheme.str().c_str());
+  std::printf("# FIG1: Sod shock tube, N=%d, scheme %s, %s\n", Cells,
+              Cfg.Scheme.str().c_str(), Cfg.executionStr().c_str());
 
   Prim<1> L, R;
   L.Rho = 1.0;
@@ -67,19 +52,10 @@ int main(int Argc, const char **Argv) {
   R.Vel = {0.0};
   R.P = 0.1;
 
-  auto Exec = createBackend(BackendKind::SpinPool, defaultThreadCount());
-  ArraySolver<1> Solver(sodProblem(static_cast<size_t>(Cells)), Scheme,
-                        *Exec);
-  std::optional<StepGuard<1>> SG;
-  if (Guard.Enabled) {
-    SG.emplace(Solver, Guard.config());
-    Guard.armFaults(*SG);
-    if (!Guard.CheckpointPath.empty())
-      SG->setEmergencyCheckpoint(Guard.CheckpointPath,
-                                 [&Solver](const std::string &P) {
-                                   return saveCheckpoint(P, Solver);
-                                 });
-  }
+  Problem<1> Prob = sodProblem(static_cast<size_t>(Cells));
+  SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+  installEmergencyCheckpoint(Run);
+  EulerSolver<1> &Solver = Run.solver();
 
   WallTimer Timer;
   const double SnapshotTimes[] = {0.05, 0.125, 0.2};
@@ -87,38 +63,24 @@ int main(int Argc, const char **Argv) {
               "L1(u)", "L1(p)", "min(rho)");
 
   for (double T : SnapshotTimes) {
-    if (SG) {
-      if (!SG->advanceTo(T))
-        break;
-    } else {
-      Solver.advanceTo(T);
-    }
+    if (!Run.advanceTo(T))
+      break;
     RiemannErrors E = riemannL1Error(Solver, L, R, 0.5);
     FieldHealth<1> H = fieldHealth(Solver);
     std::printf("%10.3f %8u %12.5f %12.5f %12.5f %12.5f\n", Solver.time(),
                 Solver.stepCount(), E.Rho, E.U, E.P, H.MinDensity);
   }
-  if (SG) {
-    std::printf("# %s\n", SG->summary().c_str());
-    for (const BreakdownReport &Rep : SG->reports())
-      std::printf("#   %s\n", Rep.str().c_str());
-  }
+  Run.printGuardReport();
 
   // Re-run for the visual series (fresh solver per frame keeps the plot
   // logic trivial and the run is cheap).
   std::printf("\n# density snapshots (the paper's three frames):\n");
   for (double T : SnapshotTimes) {
-    ArraySolver<1> Frame(sodProblem(static_cast<size_t>(Cells)), Scheme,
-                         *Exec);
-    if (Guard.Enabled) {
-      StepGuard<1> FrameGuard(Frame, Guard.config());
-      if (!FrameGuard.advanceTo(T))
-        std::printf("# frame t=%.3f: %s\n", T,
-                    FrameGuard.summary().c_str());
-    } else {
-      Frame.advanceTo(T);
-    }
-    std::vector<ProfileSample> Profile = profileOf(Frame);
+    SolverRun<1> Frame = makeSolverRun(Prob, Cfg);
+    if (!Frame.advanceTo(T))
+      std::printf("# frame t=%.3f: %s\n", T,
+                  Frame.guard()->summary().c_str());
+    std::vector<ProfileSample> Profile = profileOf(Frame.solver());
     std::vector<double> Density;
     for (const ProfileSample &S : Profile)
       Density.push_back(S.Rho);
@@ -134,20 +96,10 @@ int main(int Argc, const char **Argv) {
   }
   std::printf("# FIG1 total wall time %.2fs\n", Timer.seconds());
 
-  if (Telem.enabled()) {
-    TelemetryMeta Meta = {
-        {"program", "fig1_sod_tube"},
-        {"cells", std::to_string(Cells)},
-        {"scheme", Scheme.str()},
-        {"backend", Exec->name()},
-        {"workers", std::to_string(Exec->workerCount())},
-        {"guard", Guard.Enabled ? "on" : "off"},
-    };
-    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta)) {
-      std::fprintf(stderr, "error: cannot write telemetry JSON\n");
-      return 1;
-    }
-    std::printf("# telemetry written to %s\n", Telem.Path.c_str());
+  if (!writeRunTelemetry(Run, "fig1_sod_tube",
+                         {{"cells", std::to_string(Cells)}})) {
+    std::fprintf(stderr, "error: cannot write telemetry JSON\n");
+    return 1;
   }
-  return (SG && SG->failed()) ? 1 : 0;
+  return Run.failed() ? 1 : 0;
 }

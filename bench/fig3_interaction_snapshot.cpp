@@ -21,15 +21,12 @@
 #include "io/AsciiPlot.h"
 #include "io/FieldExport.h"
 #include "io/PgmWriter.h"
-#include "io/TelemetryExport.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
+#include "io/RunIo.h"
 #include "solver/Diagnostics.h"
 #include "solver/Problems.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "support/Env.h"
 #include "support/Timer.h"
-#include "telemetry/TelemetryOptions.h"
 
 #include <cmath>
 #include <cstdio>
@@ -43,7 +40,7 @@ namespace {
 /// primary shock front).  The threshold sits well above the weak
 /// diffracted waves running along the walls and well below the post-shock
 /// pressure, so it latches onto the primary front.
-double frontRadius(const ArraySolver<2> &S, double DirX, double DirY) {
+double frontRadius(const EulerSolver<2> &S, double DirX, double DirY) {
   const Grid<2> &G = S.problem().Domain;
   double MaxR = std::min(G.hi(0), G.hi(1));
   for (double R = MaxR - 1.0; R > 0.0; R -= G.dx(0) * 0.5) {
@@ -66,7 +63,7 @@ int main(int Argc, const char **Argv) {
   int Cells = 128;
   double Ms = 2.2;
   bool NoFiles = false;
-  TelemetryCliOptions Telem;
+  RunConfig Cfg;
 
   CommandLine CL("fig3_interaction_snapshot",
                  "FIG2/3: two-channel shock interaction snapshot with "
@@ -75,25 +72,27 @@ int main(int Argc, const char **Argv) {
   CL.addInt("cells", Cells, "grid cells per axis (scaled default)");
   CL.addDouble("ms", Ms, "shock Mach number");
   CL.addFlag("no-files", NoFiles, "skip PGM output");
-  Telem.registerWith(CL);
+  Cfg.registerAll(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Full)
     Cells = 400;
-  Telem.apply();
+  Cfg.resolveOrExit();
 
   double H = static_cast<double>(Cells) / 2.0; // dx = 1, h = Cells/2
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), Ms, H);
-  SchemeConfig Scheme = SchemeConfig::figureScheme();
-  auto Exec = createBackend(BackendKind::SpinPool, defaultThreadCount());
-  ArraySolver<2> Solver(Prob, Scheme, *Exec);
+  SolverRun<2> Run = makeSolverRun(Prob, Cfg);
+  installEmergencyCheckpoint(Run);
+  EulerSolver<2> &Solver = Run.solver();
 
-  std::printf("# FIG3: %dx%d, Ms=%.2f, h=%.0f, scheme %s\n", Cells, Cells,
-              Ms, H, Scheme.str().c_str());
+  std::printf("# FIG3: %dx%d, Ms=%.2f, h=%.0f, scheme %s, %s\n", Cells,
+              Cells, Ms, H, Cfg.Scheme.str().c_str(),
+              Cfg.executionStr().c_str());
 
   WallTimer Timer;
-  Solver.advanceTo(Prob.EndTime * 0.8);
+  Run.advanceTo(Prob.EndTime * 0.8);
   double Wall = Timer.seconds();
+  Run.printGuardReport();
 
   FieldHealth<2> Health = fieldHealth(Solver);
   std::printf("t=%.2f steps=%u wall=%.2fs min(rho)=%.4f min(p)=%.4f "
@@ -140,20 +139,11 @@ int main(int Argc, const char **Argv) {
               asciiFieldMap(scalarField(Solver, FieldQuantity::Density))
                   .c_str());
 
-  if (Telem.enabled()) {
-    TelemetryMeta Meta = {
-        {"program", "fig3_interaction_snapshot"},
-        {"cells", std::to_string(Cells)},
-        {"ms", std::to_string(Ms)},
-        {"scheme", Scheme.str()},
-        {"backend", Exec->name()},
-        {"workers", std::to_string(Exec->workerCount())},
-    };
-    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta)) {
-      std::fprintf(stderr, "error: cannot write telemetry JSON\n");
-      return 1;
-    }
-    std::printf("# telemetry written to %s\n", Telem.Path.c_str());
+  if (!writeRunTelemetry(Run, "fig3_interaction_snapshot",
+                         {{"cells", std::to_string(Cells)},
+                          {"ms", std::to_string(Ms)}})) {
+    std::fprintf(stderr, "error: cannot write telemetry JSON\n");
+    return 1;
   }
-  return Health.AllFinite ? 0 : 1;
+  return Health.AllFinite && !Run.failed() ? 0 : 1;
 }

@@ -27,9 +27,9 @@ int main(int Argc, const char **Argv) {
   unsigned Steps = 60;
   unsigned Repeats = 1;
   std::string Threads = "1,2,4";
-  bool Guard = false;
 
   ScalingOptions Opt;
+  Opt.Base.Scheme = SchemeConfig::benchmarkScheme();
   CommandLine CL("fig4_scaling",
                  "FIG4: 1000-step 400x400 wall-clock, sac vs fortran "
                  "execution model, thread sweep");
@@ -38,15 +38,18 @@ int main(int Argc, const char **Argv) {
   CL.addUnsigned("steps", Steps, "time steps (scaled default)");
   CL.addUnsigned("repeats", Repeats, "repetitions per config (min wins)");
   CL.addString("threads", Threads, "comma-separated thread counts");
-  CL.addFlag("guard", Guard, "wrap every run in the step guard");
   CL.addString("model", Opt.Model,
                "restrict the sweep to one model: sac or fortran");
-  Opt.Telemetry.registerWith(CL);
+  // Engine/backend/threads are what the sweep varies, so only the other
+  // RunConfig groups are exposed.
+  Opt.Base.registerScheduleFlags(CL);
+  Opt.Base.registerGuardFlags(CL);
+  Opt.Base.registerTelemetryFlags(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
+  Opt.Base.resolveOrExit();
 
   Opt.ExperimentId = "FIG4";
-  Opt.Guarded = Guard;
   Opt.Cells = Full ? 400 : static_cast<size_t>(Cells);
   Opt.Steps = Full ? 1000 : Steps;
   Opt.Repeats = Repeats;

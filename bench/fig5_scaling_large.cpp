@@ -24,9 +24,9 @@ int main(int Argc, const char **Argv) {
   unsigned Steps = 12;
   unsigned Repeats = 1;
   std::string Threads = "1,2,4";
-  bool Guard = false;
 
   ScalingOptions Opt;
+  Opt.Base.Scheme = SchemeConfig::benchmarkScheme();
   CommandLine CL("fig5_scaling_large",
                  "EXT5: the 2000x2000 variant of the Fig. 4 sweep "
                  "(larger per-region grain)");
@@ -35,15 +35,18 @@ int main(int Argc, const char **Argv) {
   CL.addUnsigned("steps", Steps, "time steps");
   CL.addUnsigned("repeats", Repeats, "repetitions per config (min wins)");
   CL.addString("threads", Threads, "comma-separated thread counts");
-  CL.addFlag("guard", Guard, "wrap every run in the step guard");
   CL.addString("model", Opt.Model,
                "restrict the sweep to one model: sac or fortran");
-  Opt.Telemetry.registerWith(CL);
+  // Engine/backend/threads are what the sweep varies, so only the other
+  // RunConfig groups are exposed.
+  Opt.Base.registerScheduleFlags(CL);
+  Opt.Base.registerGuardFlags(CL);
+  Opt.Base.registerTelemetryFlags(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
+  Opt.Base.resolveOrExit();
 
   Opt.ExperimentId = "EXT5";
-  Opt.Guarded = Guard;
   Opt.Cells = Full ? 2000 : static_cast<size_t>(Cells);
   Opt.Steps = Full ? 100 : Steps;
   Opt.Repeats = Repeats;

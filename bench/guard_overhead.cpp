@@ -14,12 +14,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
 #include "solver/Problems.h"
-#include "solver/StepGuard.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "support/Env.h"
 #include "support/Timer.h"
 
 #include <cstdio>
@@ -46,19 +43,25 @@ double measurePerStep(unsigned Iters, RunFn &&Run) {
 int main(int Argc, const char **Argv) {
   int Cells = 160;
   unsigned Steps = 60;
-  unsigned Threads = defaultThreadCount();
   unsigned Iters = 3;
   bool Full = false;
+  RunConfig Cfg;
+  Cfg.Scheme = SchemeConfig::benchmarkScheme();
 
   CommandLine CL("guard_overhead",
                  "cost of the step guard: healthy-path scan overhead "
                  "per cadence and the price of a recovery cycle");
   CL.addInt("cells", Cells, "2D grid cells per axis");
   CL.addUnsigned("steps", Steps, "solver steps per measurement");
-  CL.addUnsigned("threads", Threads, "worker threads");
   CL.addUnsigned("iters", Iters,
                  "timing repetitions per configuration (median wins)");
   CL.addFlag("full", Full, "larger grid and more steps");
+  // The guard configurations are what this bench sweeps, so only the
+  // non-guard RunConfig groups are exposed.
+  Cfg.registerSchemeFlags(CL);
+  Cfg.registerEngineFlag(CL);
+  Cfg.registerBackendFlags(CL);
+  Cfg.registerScheduleFlags(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Full) {
@@ -67,16 +70,13 @@ int main(int Argc, const char **Argv) {
   }
   if (Iters == 0)
     Iters = 1;
+  Cfg.resolveOrExit();
 
-  auto Exec = createBackend(BackendKind::SpinPool, Threads);
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), 2.2,
                                        static_cast<double>(Cells) / 2.0);
-  SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
 
-  std::printf("# guard_overhead: %dx%d, %u steps, backend %s(%u), "
-              "median of %u\n",
-              Cells, Cells, Steps, Exec->name(), Exec->workerCount(),
-              Iters);
+  std::printf("# guard_overhead: %dx%d, %u steps, %s, median of %u\n",
+              Cells, Cells, Steps, Cfg.executionStr().c_str(), Iters);
   std::printf("%-24s %12s %12s %10s\n", "configuration", "step[ms]",
               "steps/s", "vs base");
 
@@ -84,22 +84,22 @@ int main(int Argc, const char **Argv) {
   // taken, because guarded runs round the step count up to whole
   // windows.
   double BasePerStep = measurePerStep(Iters, [&] {
-    ArraySolver<2> S(Prob, Scheme, *Exec);
-    S.advanceSteps(Steps);
-    return S.stepCount();
+    SolverRun<2> Run = makeSolverRun(Prob, Cfg);
+    Run.advanceSteps(Steps);
+    return Run.solver().stepCount();
   });
   std::printf("%-24s %12.4f %12.1f %10s\n", "unguarded",
               BasePerStep * 1e3, 1.0 / BasePerStep, "1.00x");
 
   // Healthy-path overhead at several scan cadences.
   for (unsigned Every : {1u, 2u, 4u, 8u}) {
+    RunConfig GuardedCfg = Cfg;
+    GuardedCfg.Guard.Enabled = true;
+    GuardedCfg.Guard.Every = Every;
     double PerStep = measurePerStep(Iters, [&] {
-      ArraySolver<2> S(Prob, Scheme, *Exec);
-      GuardConfig Cfg;
-      Cfg.Every = Every;
-      StepGuard<2> Guard(S, Cfg);
-      Guard.advanceSteps(Steps);
-      return S.stepCount();
+      SolverRun<2> Run = makeSolverRun(Prob, GuardedCfg);
+      Run.advanceSteps(Steps);
+      return Run.solver().stepCount();
     });
     char Label[32];
     std::snprintf(Label, sizeof(Label), "guarded every=%u", Every);
@@ -110,15 +110,16 @@ int main(int Argc, const char **Argv) {
   // Recovery: a persistent fault halfway through forces the guard all
   // the way down the retry ladder and into the floor stage.
   {
+    RunConfig RecoveryCfg = Cfg;
+    RecoveryCfg.Guard.Enabled = true;
+    RecoveryCfg.Guard.PoisonStep = Steps / 2;
+    RecoveryCfg.Guard.PoisonCells = 4;
     std::string Detail;
     double PerStep = measurePerStep(Iters, [&] {
-      ArraySolver<2> S(Prob, Scheme, *Exec);
-      StepGuard<2> Guard(S, GuardConfig{});
-      Guard.injectFaultSpread(/*AfterStep=*/Steps / 2, /*CellCount=*/4,
-                              /*Persistent=*/true);
-      Guard.advanceSteps(Steps);
-      Detail = Guard.summary();
-      return S.stepCount();
+      SolverRun<2> Run = makeSolverRun(Prob, RecoveryCfg);
+      Run.advanceSteps(Steps);
+      Detail = Run.guard()->summary();
+      return Run.solver().stepCount();
     });
     std::printf("%-24s %12.4f %12.1f %9.2fx\n", "recovery (1 breakdown)",
                 PerStep * 1e3, 1.0 / PerStep, PerStep / BasePerStep);

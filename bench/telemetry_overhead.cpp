@@ -15,11 +15,9 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
 #include "solver/Problems.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "support/Env.h"
 #include "support/Timer.h"
 #include "telemetry/Telemetry.h"
 
@@ -30,14 +28,13 @@ using namespace sacfd;
 namespace {
 
 double measurePerStep(unsigned Iters, unsigned Steps,
-                      const Problem<2> &Prob, const SchemeConfig &Scheme,
-                      Backend &Exec) {
+                      const Problem<2> &Prob, const RunConfig &Cfg) {
   TimingSamples PerStep;
   for (unsigned I = 0; I < Iters; ++I) {
-    ArraySolver<2> S(Prob, Scheme, Exec);
+    SolverRun<2> Run = makeSolverRun(Prob, Cfg);
     WallTimer T;
-    S.advanceSteps(Steps);
-    PerStep.add(T.seconds() / S.stepCount());
+    Run.advanceSteps(Steps);
+    PerStep.add(T.seconds() / Run.solver().stepCount());
     // Keep the retired-buffer store bounded across iterations.
     telemetry::reset();
   }
@@ -49,21 +46,27 @@ double measurePerStep(unsigned Iters, unsigned Steps,
 int main(int Argc, const char **Argv) {
   int Cells = 160;
   unsigned Steps = 60;
-  unsigned Threads = defaultThreadCount();
   unsigned Iters = 5;
   bool Full = false;
   bool Check = false;
+  RunConfig Cfg;
+  Cfg.Scheme = SchemeConfig::benchmarkScheme();
 
   CommandLine CL("telemetry_overhead",
                  "instrumentation cost: identical runs with telemetry "
                  "disabled vs fully enabled (every-step gauges)");
   CL.addInt("cells", Cells, "2D grid cells per axis");
   CL.addUnsigned("steps", Steps, "solver steps per measurement");
-  CL.addUnsigned("threads", Threads, "worker threads");
   CL.addUnsigned("iters", Iters,
                  "timing repetitions per configuration (median wins)");
   CL.addFlag("full", Full, "larger grid and more steps");
   CL.addFlag("check", Check, "exit nonzero if overhead exceeds 2%");
+  // Telemetry on/off is what this bench measures, so only the other
+  // RunConfig groups are exposed.
+  Cfg.registerSchemeFlags(CL);
+  Cfg.registerEngineFlag(CL);
+  Cfg.registerBackendFlags(CL);
+  Cfg.registerScheduleFlags(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Full) {
@@ -72,30 +75,27 @@ int main(int Argc, const char **Argv) {
   }
   if (Iters == 0)
     Iters = 1;
+  Cfg.resolveOrExit();
 
-  auto Exec = createBackend(BackendKind::SpinPool, Threads);
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), 2.2,
                                        static_cast<double>(Cells) / 2.0);
-  SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
 
-  std::printf("# telemetry_overhead: %dx%d, %u steps, backend %s(%u), "
-              "median of %u\n",
-              Cells, Cells, Steps, Exec->name(), Exec->workerCount(),
-              Iters);
+  std::printf("# telemetry_overhead: %dx%d, %u steps, %s, median of %u\n",
+              Cells, Cells, Steps, Cfg.executionStr().c_str(), Iters);
   std::printf("%-12s %12s %12s\n", "telemetry", "step[ms]", "steps/s");
 
   // Warm up the pool and the page cache once so neither configuration
   // pays first-touch costs.
-  measurePerStep(1, Steps, Prob, Scheme, *Exec);
+  measurePerStep(1, Steps, Prob, Cfg);
 
   telemetry::setEnabled(false);
-  double Disabled = measurePerStep(Iters, Steps, Prob, Scheme, *Exec);
+  double Disabled = measurePerStep(Iters, Steps, Prob, Cfg);
   std::printf("%-12s %12.4f %12.1f\n", "disabled", Disabled * 1e3,
               1.0 / Disabled);
 
   telemetry::setGaugeStride(1);
   telemetry::setEnabled(true);
-  double Enabled = measurePerStep(Iters, Steps, Prob, Scheme, *Exec);
+  double Enabled = measurePerStep(Iters, Steps, Prob, Cfg);
   telemetry::setEnabled(false);
   std::printf("%-12s %12.4f %12.1f\n", "enabled", Enabled * 1e3,
               1.0 / Enabled);

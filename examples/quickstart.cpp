@@ -10,29 +10,27 @@
 
 #include "io/AsciiPlot.h"
 #include "io/FieldExport.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
 #include "solver/Problems.h"
-#include "support/Env.h"
+#include "solver/SolverFactory.h"
 
 #include <cstdio>
 
 using namespace sacfd;
 
 int main() {
-  // 1. Pick a backend: the persistent spin-barrier pool (SaC's runtime
-  //    model) with one worker per hardware thread.
-  auto Exec = createBackend(BackendKind::SpinPool, defaultThreadCount());
+  // 1. Describe the run: the defaults are the paper's setup — SaC-style
+  //    array engine on the persistent spin-barrier pool with one worker
+  //    per hardware thread, WENO3 + HLLC + TVD RK3.
+  RunConfig Cfg;
 
-  // 2. Describe the workload and scheme: Sod's tube on 400 cells, the
-  //    paper's flow-figure configuration (WENO3 + HLLC + TVD RK3).
+  // 2. Describe the workload: Sod's tube on 400 cells.
   Problem<1> Prob = sodProblem(/*Cells=*/400);
-  SchemeConfig Scheme = SchemeConfig::figureScheme();
 
-  // 3. Create the SaC-style solver and advance to t = 0.2.
-  ArraySolver<1> Solver(Prob, Scheme, *Exec);
-  Solver.advanceTo(Prob.EndTime);
+  // 3. Build the solver through the factory and advance to t = 0.2.
+  SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+  Run.advanceTo(Prob.EndTime);
+  EulerSolver<1> &Solver = Run.solver();
 
   // 4. Inspect the result.
   std::vector<double> Density;
@@ -41,8 +39,8 @@ int main() {
 
   std::printf("Sod shock tube, N=400, scheme %s, %u steps to t=%.2f on "
               "backend '%s' (%u threads)\n\n",
-              Scheme.str().c_str(), Solver.stepCount(), Solver.time(),
-              Exec->name(), Exec->workerCount());
+              Cfg.Scheme.str().c_str(), Solver.stepCount(), Solver.time(),
+              Run.backend().name(), Run.backend().workerCount());
   std::printf("density profile (rarefaction | contact | shock):\n%s\n",
               asciiLinePlot(Density).c_str());
 

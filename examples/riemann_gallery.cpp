@@ -12,12 +12,10 @@
 #include "euler/ExactRiemann.h"
 #include "io/AsciiPlot.h"
 #include "io/FieldExport.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
 #include "solver/Problems.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "support/Env.h"
 #include "support/Error.h"
 
 #include <cstdio>
@@ -56,26 +54,19 @@ Prim<1> prim(double Rho, double U, double P) {
 
 int main(int Argc, const char **Argv) {
   int Cells = 400;
-  std::string ReconName = "weno3";
   bool Plot = false;
+  RunConfig Cfg;
+  Cfg.Scheme.Cfl = 0.4; // headroom for the blast cases
 
   CommandLine CL("riemann_gallery",
                  "exact + numerical solutions of Toro's five Riemann "
                  "problems");
   CL.addInt("cells", Cells, "grid cells for the numerical runs");
-  CL.addString("recon", ReconName, "pc1|tvd2|tvd3|weno3");
   CL.addFlag("plot", Plot, "show ASCII density profiles");
+  Cfg.registerAll(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
-
-  SchemeConfig Scheme = SchemeConfig::figureScheme();
-  if (auto K = parseReconstructionKind(ReconName))
-    Scheme.Recon = *K;
-  else
-    reportFatalError("unknown --recon value");
-  Scheme.Cfl = 0.4; // headroom for the blast cases
-
-  auto Exec = createBackend(BackendKind::SpinPool, defaultThreadCount());
+  Cfg.resolveOrExit();
 
   std::printf("%-42s %10s %10s %7s %7s %9s\n", "case", "p*", "u*", "waveL",
               "waveR", "L1(rho)");
@@ -96,9 +87,9 @@ int main(int Argc, const char **Argv) {
     };
     Prob.EndTime = C.EndTime;
 
-    ArraySolver<1> Solver(Prob, Scheme, *Exec);
-    Solver.advanceTo(C.EndTime);
-    RiemannErrors E = riemannL1Error(Solver, L, R, 0.5);
+    SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+    Run.advanceTo(C.EndTime);
+    RiemannErrors E = riemannL1Error(Run.solver(), L, R, 0.5);
 
     std::printf("%-42s %10.5f %10.5f %7s %7s %9.5f\n", C.Name, RS.pStar(),
                 RS.uStar(), RS.leftIsShock() ? "shock" : "raref",
@@ -106,7 +97,7 @@ int main(int Argc, const char **Argv) {
 
     if (Plot) {
       std::vector<double> Density;
-      for (const ProfileSample &S : profileOf(Solver))
+      for (const ProfileSample &S : profileOf(Run.solver()))
         Density.push_back(S.Rho);
       std::printf("%s\n", asciiLinePlot(Density, 72, 12).c_str());
     }

@@ -9,33 +9,25 @@
 //   ./examples/shock_interaction_2d                       # 200x200 demo
 //   ./examples/shock_interaction_2d --cells 400 --frames 4
 //   ./examples/shock_interaction_2d --ms 3.0 --prefix strong
+//   ./examples/shock_interaction_2d --tile 32x128 --backend fork-join
 //
 //===----------------------------------------------------------------------===//
 
 #include "io/AsciiPlot.h"
-#include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
 #include "io/FieldExport.h"
 #include "io/PgmWriter.h"
-#include "io/TelemetryExport.h"
+#include "io/RunIo.h"
 #include "io/VtkWriter.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
 #include "solver/Diagnostics.h"
-#include "solver/FusedSolver.h"
-#include "solver/GuardOptions.h"
 #include "solver/Problems.h"
 #include "solver/RunRecorder.h"
-#include "solver/StepGuard.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "support/Env.h"
 #include "support/Error.h"
 #include "support/Timer.h"
-#include "telemetry/TelemetryOptions.h"
 
 #include <cstdio>
-#include <memory>
-#include <optional>
 #include <string>
 
 using namespace sacfd;
@@ -45,14 +37,10 @@ int main(int Argc, const char **Argv) {
   double Ms = 2.2;
   double TimeFraction = 1.0;
   int Frames = 1;
-  unsigned Threads = defaultThreadCount();
   std::string Prefix = "interaction";
   std::string HistoryPath;
-  std::string BackendName = "spin-pool";
-  std::string EngineName = "array";
   bool NoFiles = false;
-  GuardCliOptions Guard;
-  TelemetryCliOptions Telem;
+  RunConfig Cfg;
 
   CommandLine CL("shock_interaction_2d",
                  "two-channel unsteady shock interaction (paper Fig. 2/3)");
@@ -61,29 +49,17 @@ int main(int Argc, const char **Argv) {
   CL.addDouble("time-fraction", TimeFraction,
                "fraction of the nominal end time to simulate");
   CL.addInt("frames", Frames, "number of evenly spaced output frames");
-  CL.addUnsigned("threads", Threads, "worker threads");
-  CL.addString("backend", BackendName,
-               "serial|spin-pool|fork-join|openmp");
-  CL.addString("engine", EngineName, "array (SaC) | fused (Fortran)");
   CL.addString("prefix", Prefix, "output file prefix");
   CL.addString("history", HistoryPath,
                "write per-step diagnostics (dt, conservation, "
                "positivity) to this CSV file");
   CL.addFlag("no-files", NoFiles, "skip PGM/VTK output");
-  Guard.registerWith(CL);
-  Telem.registerWith(CL);
+  Cfg.registerAll(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
   if (Cells < 8 || Frames < 1)
     reportFatalError("need --cells >= 8 and --frames >= 1");
-  Telem.apply();
-
-  auto Kind = parseBackendKind(BackendName);
-  if (!Kind)
-    reportFatalError("unknown --backend value");
-  auto Exec = createBackend(*Kind, Threads);
-  if (!Exec)
-    reportFatalError("backend not available in this build");
+  Cfg.resolveOrExit();
 
   // Keep the paper's geometry (h = half the domain side) at any
   // resolution by scaling the channel width with the cell count so
@@ -91,48 +67,27 @@ int main(int Argc, const char **Argv) {
   double ChannelWidth = static_cast<double>(Cells) / 2.0;
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), Ms,
                                        ChannelWidth);
-  SchemeConfig Scheme = SchemeConfig::figureScheme();
-  std::unique_ptr<EulerSolver<2>> SolverPtr;
-  if (EngineName == "array")
-    SolverPtr = std::make_unique<ArraySolver<2>>(Prob, Scheme, *Exec);
-  else if (EngineName == "fused")
-    SolverPtr = std::make_unique<FusedSolver<2>>(Prob, Scheme, *Exec);
-  else
-    reportFatalError("unknown --engine value (array|fused)");
-  EulerSolver<2> &Solver = *SolverPtr;
+  SolverRun<2> Run = makeSolverRun(Prob, Cfg);
+  installEmergencyCheckpoint(Run);
+  EulerSolver<2> &Solver = Run.solver();
 
   double EndTime = Prob.EndTime * TimeFraction;
   std::printf("shock_interaction_2d: %dx%d, Ms=%.2f, h=%.0f, t_end=%.2f, "
-              "scheme %s, engine %s, backend %s(%u)\n",
+              "scheme %s, %s\n",
               Cells, Cells, Ms, ChannelWidth, EndTime,
-              Scheme.str().c_str(), Solver.engineName(), Exec->name(),
-              Exec->workerCount());
+              Cfg.Scheme.str().c_str(), Cfg.executionStr().c_str());
 
   WallTimer Timer;
   RunRecorder<2> Recorder(/*Stride=*/5);
-  std::optional<StepGuard<2>> SG;
-  if (Guard.Enabled) {
-    SG.emplace(Solver, Guard.config());
-    Guard.armFaults(*SG);
-    if (!Guard.CheckpointPath.empty())
-      SG->setEmergencyCheckpoint(Guard.CheckpointPath,
-                                 [&Solver](const std::string &P) {
-                                   return saveCheckpoint(P, Solver);
-                                 });
-  }
   bool GuardFailed = false;
   for (int Frame = 1; Frame <= Frames; ++Frame) {
     double FrameEnd = EndTime * Frame / Frames;
-    if (SG) {
-      if (HistoryPath.empty()) {
-        GuardFailed = !SG->advanceTo(FrameEnd);
-      } else {
-        while (Solver.time() < FrameEnd && !SG->failed())
-          Recorder.advanceAndRecord(*SG);
-        GuardFailed = SG->failed();
-      }
-    } else if (HistoryPath.empty()) {
-      Solver.advanceTo(FrameEnd);
+    if (HistoryPath.empty()) {
+      GuardFailed = !Run.advanceTo(FrameEnd);
+    } else if (StepGuard<2> *SG = Run.guard()) {
+      while (Solver.time() < FrameEnd && !SG->failed())
+        Recorder.advanceAndRecord(*SG);
+      GuardFailed = SG->failed();
     } else {
       while (Solver.time() < FrameEnd)
         Recorder.advanceAndRecord(Solver);
@@ -162,10 +117,9 @@ int main(int Argc, const char **Argv) {
     }
   }
 
-  if (SG) {
-    std::printf("\n%s\n", SG->summary().c_str());
-    for (const BreakdownReport &R : SG->reports())
-      std::printf("  %s\n", R.str().c_str());
+  if (Run.guarded()) {
+    std::printf("\n");
+    Run.printGuardReport();
   }
 
   std::printf("\nfinal density field (Fig. 3 analogue):\n%s",
@@ -184,20 +138,9 @@ int main(int Argc, const char **Argv) {
                 Recorder.minDensitySeen());
   }
 
-  if (Telem.enabled()) {
-    TelemetryMeta Meta = {
-        {"program", "shock_interaction_2d"},
-        {"cells", std::to_string(Cells)},
-        {"ms", std::to_string(Ms)},
-        {"scheme", Scheme.str()},
-        {"engine", Solver.engineName()},
-        {"backend", Exec->name()},
-        {"workers", std::to_string(Exec->workerCount())},
-        {"guard", Guard.Enabled ? "on" : "off"},
-    };
-    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta))
-      reportFatalError("cannot write telemetry JSON file");
-    std::printf("telemetry written to %s\n", Telem.Path.c_str());
-  }
+  if (!writeRunTelemetry(Run, "shock_interaction_2d",
+                         {{"cells", std::to_string(Cells)},
+                          {"ms", std::to_string(Ms)}}))
+    reportFatalError("cannot write telemetry JSON file");
   return GuardFailed ? 1 : 0;
 }

@@ -1,9 +1,10 @@
 //===- examples/sod_shock_tube.cpp - Configurable 1D tube runs ------------===//
 //
-// The paper's Fig. 1 experiment with every numerical knob exposed:
-// reconstruction, limiter, Riemann solver, integrator, resolution,
-// backend and engine are all selectable, the profile can be written to
-// CSV, and the error against the exact solution is reported.
+// The paper's Fig. 1 experiment with every numerical knob exposed through
+// the shared RunConfig surface: reconstruction, limiter, Riemann solver,
+// integrator, resolution, backend, engine, schedule/tile, guard and
+// telemetry are all selectable, the profile can be written to CSV, and
+// the error against the exact solution is reported.
 //
 // Examples:
 //   ./examples/sod_shock_tube --recon tvd2 --limiter superbee
@@ -16,141 +17,72 @@
 #include "io/AsciiPlot.h"
 #include "io/Checkpoint.h"
 #include "io/CsvWriter.h"
-#include "io/TelemetryExport.h"
-#include "runtime/Runtime.h"
-#include "solver/ArraySolver.h"
+#include "io/RunIo.h"
 #include "solver/Diagnostics.h"
-#include "solver/FusedSolver.h"
-#include "solver/GuardOptions.h"
 #include "solver/Problems.h"
-#include "solver/StepGuard.h"
+#include "solver/SolverFactory.h"
 #include "support/CommandLine.h"
-#include "telemetry/TelemetryOptions.h"
-#include "support/Env.h"
 #include "support/Error.h"
 #include "support/Timer.h"
 
 #include <cstdio>
-#include <memory>
 
 using namespace sacfd;
 
 int main(int Argc, const char **Argv) {
   int Cells = 400;
-  double Cfl = 0.5;
   double EndTime = 0.2;
-  unsigned Threads = defaultThreadCount();
-  std::string ReconName = "weno3";
-  std::string LimiterName = "minmod";
-  std::string RiemannName = "hllc";
-  std::string IntegratorName = "rk3";
-  std::string BackendName = "spin-pool";
-  std::string EngineName = "array";
   std::string CsvPath;
   std::string SavePath;
   std::string LoadPath;
   bool Quiet = false;
-  GuardCliOptions Guard;
-  TelemetryCliOptions Telem;
+  RunConfig Cfg;
 
   CommandLine CL("sod_shock_tube",
                  "Sod shock tube (paper Fig. 1) with a configurable "
                  "scheme, engine and backend");
   CL.addInt("cells", Cells, "grid cells");
-  CL.addDouble("cfl", Cfl, "CFL number");
   CL.addDouble("end-time", EndTime, "simulated end time");
-  CL.addUnsigned("threads", Threads, "worker threads");
-  CL.addString("recon", ReconName, "pc1|tvd2|tvd3|weno3");
-  CL.addString("limiter", LimiterName, "minmod|superbee|vanleer|mc");
-  CL.addString("riemann", RiemannName, "rusanov|hll|hllc|roe");
-  CL.addString("integrator", IntegratorName, "rk1|rk2|rk3");
-  CL.addString("backend", BackendName, "serial|spin-pool|fork-join");
-  CL.addString("engine", EngineName, "array (SaC) | fused (Fortran)");
   CL.addString("csv", CsvPath, "write final profile to this CSV file");
   CL.addString("save", SavePath, "write a checkpoint at the end");
   CL.addString("load", LoadPath, "restore a checkpoint before running");
   CL.addFlag("quiet", Quiet, "suppress the ASCII plot");
-  Guard.registerWith(CL);
-  Telem.registerWith(CL);
+  Cfg.registerAll(CL);
   if (!CL.parse(Argc, Argv))
     return CL.helpRequested() ? 0 : 1;
-  Telem.apply();
-
-  SchemeConfig Scheme;
-  Scheme.Cfl = Cfl;
-  if (auto K = parseReconstructionKind(ReconName))
-    Scheme.Recon = *K;
-  else
-    reportFatalError("unknown --recon value");
-  if (auto K = parseLimiterKind(LimiterName))
-    Scheme.Limiter = *K;
-  else
-    reportFatalError("unknown --limiter value");
-  if (auto K = parseRiemannKind(RiemannName))
-    Scheme.Riemann = *K;
-  else
-    reportFatalError("unknown --riemann value");
-  if (auto K = parseTimeIntegratorKind(IntegratorName))
-    Scheme.Integrator = *K;
-  else
-    reportFatalError("unknown --integrator value");
-
-  auto Kind = parseBackendKind(BackendName);
-  if (!Kind)
-    reportFatalError("unknown --backend value");
-  auto Exec = createBackend(*Kind, Threads);
-  if (!Exec)
-    reportFatalError("backend not available in this build");
+  Cfg.resolveOrExit();
 
   Problem<1> Prob = sodProblem(static_cast<size_t>(Cells));
-  std::unique_ptr<EulerSolver<1>> Solver;
-  if (EngineName == "array")
-    Solver = std::make_unique<ArraySolver<1>>(Prob, Scheme, *Exec);
-  else if (EngineName == "fused")
-    Solver = std::make_unique<FusedSolver<1>>(Prob, Scheme, *Exec);
-  else
-    reportFatalError("unknown --engine value (array|fused)");
+  SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+  installEmergencyCheckpoint(Run);
+  EulerSolver<1> &Solver = Run.solver();
 
   if (!LoadPath.empty()) {
-    if (!loadCheckpoint(LoadPath, *Solver))
+    if (!loadCheckpoint(LoadPath, Solver))
       reportFatalError("cannot restore checkpoint (missing file or "
                        "mismatched problem geometry)");
     std::printf("restored checkpoint %s at t=%.4f (%u steps)\n",
-                LoadPath.c_str(), Solver->time(), Solver->stepCount());
+                LoadPath.c_str(), Solver.time(), Solver.stepCount());
   }
 
   WallTimer Timer;
-  bool GuardFailed = false;
-  if (Guard.Enabled) {
-    StepGuard<1> SG(*Solver, Guard.config());
-    Guard.armFaults(SG);
-    if (!Guard.CheckpointPath.empty())
-      SG.setEmergencyCheckpoint(Guard.CheckpointPath,
-                                [&Solver](const std::string &P) {
-                                  return saveCheckpoint(P, *Solver);
-                                });
-    GuardFailed = !SG.advanceTo(EndTime);
-    std::printf("%s\n", SG.summary().c_str());
-    for (const BreakdownReport &R : SG.reports())
-      std::printf("  %s\n", R.str().c_str());
-  } else {
-    Solver->advanceTo(EndTime);
-  }
+  bool GuardFailed = !Run.advanceTo(EndTime);
+  Run.printGuardReport();
   double Seconds = Timer.seconds();
 
   if (!SavePath.empty()) {
-    if (!saveCheckpoint(SavePath, *Solver))
+    if (!saveCheckpoint(SavePath, Solver))
       reportFatalError("cannot write checkpoint file");
     std::printf("checkpoint written to %s\n", SavePath.c_str());
   }
 
   std::printf("sod_shock_tube: N=%d scheme=%s engine=%s backend=%s(%u) "
               "steps=%u t=%.4f wall=%.3fs\n",
-              Cells, Scheme.str().c_str(), Solver->engineName(),
-              Exec->name(), Exec->workerCount(), Solver->stepCount(),
-              Solver->time(), Seconds);
+              Cells, Cfg.Scheme.str().c_str(), Solver.engineName(),
+              Run.backend().name(), Run.backend().workerCount(),
+              Solver.stepCount(), Solver.time(), Seconds);
 
-  std::vector<ProfileSample> Profile = profileOf(*Solver);
+  std::vector<ProfileSample> Profile = profileOf(Solver);
   if (!Quiet) {
     std::vector<double> Density;
     for (const ProfileSample &S : Profile)
@@ -165,11 +97,11 @@ int main(int Argc, const char **Argv) {
   R.Rho = 0.125;
   R.Vel = {0.0};
   R.P = 0.1;
-  RiemannErrors E = riemannL1Error(*Solver, L, R, 0.5);
+  RiemannErrors E = riemannL1Error(Solver, L, R, 0.5);
   std::printf("L1 errors vs exact: rho=%.6f u=%.6f p=%.6f\n", E.Rho, E.U,
               E.P);
 
-  FieldHealth<1> H = fieldHealth(*Solver);
+  FieldHealth<1> H = fieldHealth(Solver);
   std::printf("min density %.6f, min pressure %.6f\n", H.MinDensity,
               H.MinPressure);
 
@@ -179,19 +111,8 @@ int main(int Argc, const char **Argv) {
     std::printf("profile written to %s\n", CsvPath.c_str());
   }
 
-  if (Telem.enabled()) {
-    TelemetryMeta Meta = {
-        {"program", "sod_shock_tube"},
-        {"cells", std::to_string(Cells)},
-        {"scheme", Scheme.str()},
-        {"engine", Solver->engineName()},
-        {"backend", Exec->name()},
-        {"workers", std::to_string(Exec->workerCount())},
-        {"guard", Guard.Enabled ? "on" : "off"},
-    };
-    if (!writeTelemetryJson(Telem.Path, telemetry::snapshot(), Meta))
-      reportFatalError("cannot write telemetry JSON file");
-    std::printf("telemetry written to %s\n", Telem.Path.c_str());
-  }
+  if (!writeRunTelemetry(Run, "sod_shock_tube",
+                         {{"cells", std::to_string(Cells)}}))
+    reportFatalError("cannot write telemetry JSON file");
   return GuardFailed ? 1 : 0;
 }

@@ -35,4 +35,11 @@ mkdir -p artifacts
 ./build-ci-Release/bench/fig4_scaling --cells 96 --steps 20 --threads 1,2 \
     --guard --telemetry artifacts/fig4_telemetry.json
 echo "wrote artifacts/fig4_telemetry.json"
+
+echo "== tiling ablation artifact =="
+# Fast smoke-scale config of the A5 tile sweep; the JSON table is the
+# CI-tracked record of tiled-vs-flattened hot-loop cost.
+./build-ci-Release/bench/ablation_tiling --cells 96 --steps 10 \
+    --threads 2 --json artifacts/BENCH_tiling.json
+echo "wrote artifacts/BENCH_tiling.json"
 echo "== CI matrix passed =="

@@ -43,6 +43,28 @@ void forEachIndex(const Shape &S, Backend &Exec, Fn &&Body) {
   size_t N = S.count();
   if (N == 0)
     return;
+  if (S.rank() == 2) {
+    // Rank-2 spaces go through the 2D boundary so the backend can tile
+    // them.  Per-element results do not depend on the traversal grouping,
+    // so tiled and flattened runs write bit-identical arrays.
+    size_t Cols = S.dim(1);
+    Exec.parallelFor2D(
+        S.dim(0), Cols,
+        [&Body, Cols](size_t RowBegin, size_t RowEnd, size_t ColBegin,
+                      size_t ColEnd) {
+          Index Ix;
+          Ix.Rank = 2;
+          for (size_t R = RowBegin; R != RowEnd; ++R) {
+            Ix.Coord[0] = static_cast<std::ptrdiff_t>(R);
+            size_t Linear = R * Cols + ColBegin;
+            for (size_t C = ColBegin; C != ColEnd; ++C, ++Linear) {
+              Ix.Coord[1] = static_cast<std::ptrdiff_t>(C);
+              Body(static_cast<const Index &>(Ix), Linear);
+            }
+          }
+        });
+    return;
+  }
   auto Range = [&S, &Body](size_t Begin, size_t End) {
     Index Ix = S.delinearize(Begin);
     for (size_t Linear = Begin; Linear != End; ++Linear) {

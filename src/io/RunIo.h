@@ -1,0 +1,76 @@
+//===- io/RunIo.h - io wiring for factory-built solver runs ----*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The io-side half of the SolverRun workflow.  The solver library cannot
+/// call into io (the dependency points the other way), so the two hooks a
+/// factory-built run needs from io live here:
+///
+///   installEmergencyCheckpoint()  wires --guard-checkpoint onto the
+///                                 run's guard via io's saveCheckpoint
+///   writeRunTelemetry()           exports the telemetry snapshot with
+///                                 the run's standard metadata
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_RUNIO_H
+#define SACFD_IO_RUNIO_H
+
+#include "io/Checkpoint.h"
+#include "io/TelemetryExport.h"
+#include "solver/SolverFactory.h"
+
+#include <cstdio>
+#include <string>
+
+namespace sacfd {
+
+/// Installs the --guard-checkpoint emergency dump onto \p Run's guard.
+/// No-op when the run is unguarded or no checkpoint path was given.
+template <unsigned Dim>
+void installEmergencyCheckpoint(SolverRun<Dim> &Run) {
+  StepGuard<Dim> *Guard = Run.guard();
+  const std::string &Path = Run.config().Guard.CheckpointPath;
+  if (!Guard || Path.empty())
+    return;
+  EulerSolver<Dim> *Solver = &Run.solver();
+  Guard->setEmergencyCheckpoint(Path, [Solver](const std::string &P) {
+    return saveCheckpoint(P, *Solver);
+  });
+}
+
+/// Writes the telemetry JSON report for \p Run when --telemetry was
+/// given; no-op (returning true) otherwise.  The standard metadata —
+/// program, scheme, engine, backend, workers, schedule, tile, guard —
+/// is emitted first, then \p Extra entries.
+template <unsigned Dim>
+bool writeRunTelemetry(const SolverRun<Dim> &Run, const std::string &Program,
+                       TelemetryMeta Extra = {}) {
+  const RunConfig &Cfg = Run.config();
+  if (!Cfg.Telemetry.enabled())
+    return true;
+  TelemetryMeta Meta = {
+      {"program", Program},
+      {"scheme", Cfg.Scheme.str()},
+      {"engine", engineKindName(Cfg.Engine)},
+      {"backend", backendKindName(Cfg.Backend)},
+      {"workers", std::to_string(Run.backend().workerCount())},
+      {"schedule", Cfg.Sched.str()},
+      {"tile", Cfg.TileCfg.str()},
+      {"guard", Cfg.Guard.Enabled ? "on" : "off"},
+  };
+  for (auto &Entry : Extra)
+    Meta.push_back(std::move(Entry));
+  if (!writeTelemetryJson(Cfg.Telemetry.Path, telemetry::snapshot(), Meta))
+    return false;
+  std::printf("telemetry written to %s\n", Cfg.Telemetry.Path.c_str());
+  return true;
+}
+
+} // namespace sacfd
+
+#endif // SACFD_IO_RUNIO_H

@@ -22,6 +22,7 @@
 #ifndef SACFD_RUNTIME_BACKEND_H
 #define SACFD_RUNTIME_BACKEND_H
 
+#include "runtime/Schedule.h"
 #include "support/FunctionRef.h"
 #include "telemetry/Telemetry.h"
 
@@ -34,6 +35,11 @@ namespace sacfd {
 /// A range body: executes iterations [Begin, End) of a parallel loop.
 using RangeBody = FunctionRef<void(size_t Begin, size_t End)>;
 
+/// A 2D range body: executes the sub-rectangle rows [RowBegin, RowEnd) x
+/// cols [ColBegin, ColEnd) of a rank-2 parallel loop.
+using RangeBody2D = FunctionRef<void(size_t RowBegin, size_t RowEnd,
+                                     size_t ColBegin, size_t ColEnd)>;
+
 /// Abstract parallel-for execution engine.
 ///
 /// parallelFor calls are blocking: all iterations have completed when the
@@ -41,6 +47,16 @@ using RangeBody = FunctionRef<void(size_t Begin, size_t End)>;
 /// sub-ranges.  Nested parallelFor calls from inside a body are legal and
 /// execute inline on the calling worker (no nested parallelism), matching
 /// the paper's flat one-level parallelization.
+///
+/// parallelFor2D extends the boundary to rank-2 index spaces.  The same
+/// contract holds (blocking, disjoint sub-rectangles, nested calls run
+/// inline), and exactly one region is counted per non-empty call, so
+/// region counts — and the "runtime.regions" telemetry counter — are
+/// identical whether a loop runs tiled or flattened.  The base-class
+/// implementation is the legacy row-flattening shim: the row range goes
+/// through parallelFor and every body invocation spans all columns.
+/// Backends with a native implementation honor the configured Tile
+/// (see setTile) to deal cache-sized tiles instead.
 class Backend {
 public:
   virtual ~Backend();
@@ -48,12 +64,21 @@ public:
   /// Executes Body over [Begin, End), partitioned across workers.
   virtual void parallelFor(size_t Begin, size_t End, RangeBody Body) = 0;
 
+  /// Executes Body over the (Rows x Cols) rectangle, partitioned across
+  /// workers.  Default: row-flattening shim over parallelFor.
+  virtual void parallelFor2D(size_t Rows, size_t Cols, RangeBody2D Body);
+
   /// \returns the number of workers participating in parallelFor,
   /// including the calling thread.
   virtual unsigned workerCount() const = 0;
 
   /// \returns a stable human-readable backend name for reports.
   virtual const char *name() const = 0;
+
+  /// Sets the rank-2 tiling policy used by parallelFor2D.  Disabled by
+  /// default (row-flattened legacy behavior).
+  void setTile(const Tile &T) { TileCfg = T; }
+  const Tile &tile() const { return TileCfg; }
 
   /// Number of top-level non-empty parallel regions dispatched so far.
   ///
@@ -78,8 +103,15 @@ protected:
     }
   }
 
+  /// Executes every tile of \p G through this backend's parallelFor,
+  /// honoring G's dealing schedule.  Shared by the native parallelFor2D
+  /// overrides; issues exactly one counted 1D region.
+  void runTileGrid(const TileGrid &G, const Schedule &Dealing,
+                   RangeBody2D Body);
+
 private:
   std::atomic<uint64_t> RegionCount{0};
+  Tile TileCfg = Tile::off();
 };
 
 } // namespace sacfd

@@ -42,16 +42,24 @@ std::optional<BackendKind> sacfd::parseBackendKind(std::string_view Text) {
 
 std::unique_ptr<Backend> sacfd::createBackend(BackendKind Kind,
                                               unsigned Threads,
-                                              Schedule Sched) {
+                                              Schedule Sched,
+                                              const Tile &TileCfg) {
+  std::unique_ptr<Backend> B;
   switch (Kind) {
   case BackendKind::Serial:
-    return std::make_unique<SerialBackend>();
+    B = std::make_unique<SerialBackend>();
+    break;
   case BackendKind::SpinPool:
-    return std::make_unique<SpinBarrierPool>(Threads);
+    B = std::make_unique<SpinBarrierPool>(Threads);
+    break;
   case BackendKind::ForkJoin:
-    return std::make_unique<ForkJoinBackend>(Threads, Sched);
+    B = std::make_unique<ForkJoinBackend>(Threads, Sched);
+    break;
   case BackendKind::OpenMp:
-    return createOmpBackend(Threads);
+    B = createOmpBackend(Threads);
+    break;
   }
-  sacfdUnreachable("covered switch");
+  if (B)
+    B->setTile(TileCfg);
+  return B;
 }

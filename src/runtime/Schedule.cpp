@@ -10,10 +10,15 @@
 
 using namespace sacfd;
 
-std::optional<Schedule> Schedule::parse(std::string_view Text) {
+SpecParse<Schedule> Schedule::parseSpec(std::string_view Text) {
+  if (trim(Text).empty())
+    return SpecParse<Schedule>::fail(
+        "empty schedule spec (expected static[,N] or dynamic[,N])");
   std::vector<std::string> Parts = split(trim(Text), ',');
-  if (Parts.empty() || Parts.size() > 2)
-    return std::nullopt;
+  if (Parts.size() > 2)
+    return SpecParse<Schedule>::fail(
+        "schedule spec '" + std::string(trim(Text)) +
+        "' has too many fields (expected kind[,chunk])");
 
   Schedule Sched;
   std::string_view Name = trim(Parts[0]);
@@ -22,15 +27,19 @@ std::optional<Schedule> Schedule::parse(std::string_view Text) {
   else if (equalsLower(Name, "dynamic"))
     Sched.K = Kind::Dynamic;
   else
-    return std::nullopt;
+    return SpecParse<Schedule>::fail("unknown schedule kind '" +
+                                     std::string(Name) +
+                                     "' (expected static or dynamic)");
 
   if (Parts.size() == 2) {
     std::optional<long long> Chunk = parseInt(Parts[1]);
     if (!Chunk || *Chunk <= 0)
-      return std::nullopt;
+      return SpecParse<Schedule>::fail(
+          "bad schedule chunk '" + std::string(trim(Parts[1])) +
+          "' (expected a positive integer)");
     Sched.ChunkSize = static_cast<size_t>(*Chunk);
   }
-  return Sched;
+  return SpecParse<Schedule>::ok(Sched);
 }
 
 std::string Schedule::str() const {
@@ -99,4 +108,67 @@ sacfd::staticPartition(size_t N, unsigned Workers, const Schedule &Sched) {
     W = (W + 1) % Workers;
   }
   return Plan;
+}
+
+SpecParse<Tile> Tile::parseSpec(std::string_view Text) {
+  std::string_view Spec = trim(Text);
+  if (Spec.empty())
+    return SpecParse<Tile>::fail(
+        "empty tile spec (expected off, auto, RxC, or N)");
+  if (equalsLower(Spec, "off") || equalsLower(Spec, "none"))
+    return SpecParse<Tile>::ok(Tile::off());
+  if (equalsLower(Spec, "auto") || equalsLower(Spec, "on"))
+    return SpecParse<Tile>::ok(Tile::automatic());
+
+  size_t Cross = Spec.find_first_of("xX");
+  if (Cross == std::string_view::npos) {
+    std::optional<long long> N = parseInt(Spec);
+    if (!N || *N <= 0)
+      return SpecParse<Tile>::fail("bad tile spec '" + std::string(Spec) +
+                                   "' (expected off, auto, RxC, or a "
+                                   "positive integer N for NxN)");
+    return SpecParse<Tile>::ok(
+        Tile::sized(static_cast<size_t>(*N), static_cast<size_t>(*N)));
+  }
+
+  std::optional<long long> R = parseInt(trim(Spec.substr(0, Cross)));
+  std::optional<long long> C = parseInt(trim(Spec.substr(Cross + 1)));
+  if (!R || *R <= 0 || !C || *C <= 0)
+    return SpecParse<Tile>::fail(
+        "bad tile dimensions in '" + std::string(Spec) +
+        "' (expected RxC with positive integers, e.g. 32x128)");
+  return SpecParse<Tile>::ok(
+      Tile::sized(static_cast<size_t>(*R), static_cast<size_t>(*C)));
+}
+
+std::string Tile::str() const {
+  if (!Enabled)
+    return "off";
+  if (Rows == 0 && Cols == 0)
+    return "auto";
+  return std::to_string(Rows) + "x" + std::to_string(Cols);
+}
+
+TileGrid::TileGrid(size_t Rows, size_t Cols, const Tile &T)
+    : Rows(Rows), Cols(Cols) {
+  if (Rows == 0 || Cols == 0)
+    return;
+  TileR = T.Rows != 0 ? T.Rows : DefaultTileRows;
+  TileC = T.Cols != 0 ? T.Cols : DefaultTileCols;
+  TileR = std::min(std::max<size_t>(TileR, 1), Rows);
+  TileC = std::min(std::max<size_t>(TileC, 1), Cols);
+  RowTiles = (Rows + TileR - 1) / TileR;
+  ColTiles = (Cols + TileC - 1) / TileC;
+}
+
+TileRect TileGrid::rect(size_t T) const {
+  assert(T < count() && "tile index out of range");
+  size_t TR = T / ColTiles;
+  size_t TC = T % ColTiles;
+  TileRect R;
+  R.RowBegin = TR * TileR;
+  R.RowEnd = std::min(R.RowBegin + TileR, Rows);
+  R.ColBegin = TC * TileC;
+  R.ColEnd = std::min(R.ColBegin + TileC, Cols);
+  return R;
 }

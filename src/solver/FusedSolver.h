@@ -30,6 +30,7 @@
 #ifndef SACFD_SOLVER_FUSEDSOLVER_H
 #define SACFD_SOLVER_FUSEDSOLVER_H
 
+#include "runtime/BlockReduce.h"
 #include "solver/EulerSolver.h"
 
 #include <algorithm>
@@ -60,8 +61,9 @@ public:
 
   const char *engineName() const override { return "fused"; }
 
-  /// The Fortran GetDT: nested DO loops, row maxima in parallel, then a
-  /// serial max over rows (deterministic for any schedule).
+  /// The Fortran GetDT: nested DO loops, rectangle maxima in parallel,
+  /// then a serial max over rectangles.  The max chain is exact under any
+  /// grouping, so tiled and flattened runs produce bit-identical dt.
   double computeDt() override {
     static const unsigned SpanGetDt = telemetry::spanId("solver.get_dt");
     telemetry::ScopedSpan Span(SpanGetDt);
@@ -74,27 +76,26 @@ public:
     // Lines run along the last (contiguous) axis.
     constexpr unsigned LineAxis = Dim - 1;
     size_t Lines = lineCount(LineAxis);
-    std::vector<double> RowMax(Lines, 0.0);
     const Cons<Dim> *Field = this->U.data();
 
-    this->Exec.parallelFor(0, Lines, [&](size_t Begin, size_t End) {
-      for (size_t Line = Begin; Line != End; ++Line) {
-        size_t Base = lineStorageBase(LineAxis, Line);
-        double EvMax = 0.0;
-        for (size_t I = 0; I < N[LineAxis]; ++I) {
-          Prim<Dim> W = toPrim(Field[Base + I], Gas_);
-          double Ev = 0.0;
-          for (unsigned A = 0; A < Dim; ++A)
-            Ev += maxWaveSpeed(W, Gas_, A) * InvDx[A];
-          EvMax = std::max(EvMax, Ev);
-        }
-        RowMax[Line] = EvMax;
-      }
-    });
-
-    double EvMax = 0.0;
-    for (double R : RowMax)
-      EvMax = std::max(EvMax, R);
+    double EvMax = blockReduce2D(
+        Lines, N[LineAxis], this->Exec, 0.0,
+        [&](size_t LineBegin, size_t LineEnd, size_t CellBegin,
+            size_t CellEnd) {
+          double Acc = 0.0;
+          for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
+            size_t Base = lineStorageBase(LineAxis, Line);
+            for (size_t I = CellBegin; I != CellEnd; ++I) {
+              Prim<Dim> W = toPrim(Field[Base + I], Gas_);
+              double Ev = 0.0;
+              for (unsigned A = 0; A < Dim; ++A)
+                Ev += maxWaveSpeed(W, Gas_, A) * InvDx[A];
+              Acc = std::max(Acc, Ev);
+            }
+          }
+          return Acc;
+        },
+        [](double A, double B) { return std::max(A, B); });
     return this->dtFromMaxEigen(EvMax);
   }
 
@@ -143,20 +144,24 @@ protected:
       }
 
       // Update loop (one region): U = A*Un + B*(U + dt*Res) on interior.
+      // Runs through the 2D boundary as (line, cell) so the backend can
+      // tile it; per-element results are grouping-independent.
       double A = Stage.PrevWeight, B = Stage.StageWeight;
       constexpr unsigned LineAxis = Dim - 1;
       size_t Lines = lineCount(LineAxis);
       telemetry::ScopedSpan UpdateSpan(SpanUpdate);
-      this->Exec.parallelFor(0, Lines, [&, A, B, Dt](size_t LB, size_t LE) {
-        for (size_t Line = LB; Line != LE; ++Line) {
-          size_t SBase = lineStorageBase(LineAxis, Line);
-          size_t RBase = Line * N[LineAxis];
-          for (size_t I = 0; I < N[LineAxis]; ++I) {
-            Cons<Dim> &Q = UData[SBase + I];
-            Q = UnData[SBase + I] * A + (Q + ResData[RBase + I] * Dt) * B;
-          }
-        }
-      });
+      this->Exec.parallelFor2D(
+          Lines, N[LineAxis],
+          [&, A, B, Dt](size_t LB, size_t LE, size_t CB, size_t CE) {
+            for (size_t Line = LB; Line != LE; ++Line) {
+              size_t SBase = lineStorageBase(LineAxis, Line);
+              size_t RBase = Line * N[LineAxis];
+              for (size_t I = CB; I != CE; ++I) {
+                Cons<Dim> &Q = UData[SBase + I];
+                Q = UnData[SBase + I] * A + (Q + ResData[RBase + I] * Dt) * B;
+              }
+            }
+          });
     }
   }
 
@@ -207,7 +212,6 @@ private:
     const Gas &Gas_ = this->Prob.G;
     const SchemeConfig &SC = this->Scheme;
     const double InvDx = 1.0 / this->Prob.Domain.dx(Axis);
-    const size_t Faces = N[Axis] + 1;
     const std::ptrdiff_t AxisStride =
         static_cast<std::ptrdiff_t>(StorageStride[Axis]);
     const std::ptrdiff_t AxisMax =
@@ -216,41 +220,56 @@ private:
     const Cons<Dim> *Field = this->U.data();
     Cons<Dim> *ResData = Res.data();
 
-    this->Exec.parallelFor(0, Lines, [&, Axis](size_t Begin, size_t End) {
-      std::vector<Cons<Dim>> FluxLine(Faces);
-      for (size_t Line = Begin; Line != End; ++Line) {
-        // Base points at interior cell 0; relative cell i sits at
-        // Base + i * AxisStride.
-        size_t Base = lineStorageBase(Axis, Line);
+    // (line, cell-along-axis) is the 2D iteration space; the backend may
+    // tile it.  Each cell's update reads faces I and I+1 computed from the
+    // same clamped stencils regardless of the sub-range, so tiled and
+    // flattened sweeps are bit-identical (column-tile boundary faces are
+    // recomputed, not communicated).
+    this->Exec.parallelFor2D(
+        Lines, N[Axis],
+        [&, Axis](size_t LineBegin, size_t LineEnd, size_t CellBegin,
+                  size_t CellEnd) {
+          // Faces CellBegin..CellEnd inclusive bound this cell sub-range;
+          // local face f is global face CellBegin + f.
+          size_t LocalFaces = (CellEnd - CellBegin) + 1;
+          std::vector<Cons<Dim>> FluxLine(LocalFaces);
+          for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
+            // Base points at interior cell 0; relative cell i sits at
+            // Base + i * AxisStride.
+            size_t Base = lineStorageBase(Axis, Line);
 
-        for (size_t F = 0; F < Faces; ++F) {
-          std::array<Cons<Dim>, 6> Stencil;
-          for (unsigned K = 0; K < 6; ++K) {
-            // Window cell K at axis offset f - 3 + K from interior 0,
-            // clamped into storage (outermost cells are never read by
-            // the implemented schemes).
-            std::ptrdiff_t Off = static_cast<std::ptrdiff_t>(F) +
-                                 static_cast<std::ptrdiff_t>(K) - 3;
-            Off = std::clamp<std::ptrdiff_t>(
-                Off, -static_cast<std::ptrdiff_t>(Ng),
-                AxisMax - static_cast<std::ptrdiff_t>(Ng));
-            Stencil[K] = Field[static_cast<std::ptrdiff_t>(Base) +
-                               Off * AxisStride];
+            for (size_t F = 0; F < LocalFaces; ++F) {
+              std::array<Cons<Dim>, 6> Stencil;
+              for (unsigned K = 0; K < 6; ++K) {
+                // Window cell K at axis offset f - 3 + K from interior 0,
+                // clamped into storage (outermost cells are never read by
+                // the implemented schemes).
+                std::ptrdiff_t Off =
+                    static_cast<std::ptrdiff_t>(CellBegin + F) +
+                    static_cast<std::ptrdiff_t>(K) - 3;
+                Off = std::clamp<std::ptrdiff_t>(
+                    Off, -static_cast<std::ptrdiff_t>(Ng),
+                    AxisMax - static_cast<std::ptrdiff_t>(Ng));
+                Stencil[K] = Field[static_cast<std::ptrdiff_t>(Base) +
+                                   Off * AxisStride];
+              }
+              FaceStates<Dim> FS = reconstructFaceStates(
+                  SC.Recon, SC.Limiter, SC.Vars, Stencil, Gas_, Axis);
+              FluxLine[F] =
+                  numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis);
+            }
+
+            size_t RBase = lineInteriorBase(Axis, Line);
+            std::ptrdiff_t RStride =
+                static_cast<std::ptrdiff_t>(InteriorStride[Axis]);
+            for (size_t I = CellBegin; I != CellEnd; ++I) {
+              size_t LocalF = I - CellBegin;
+              ResData[static_cast<std::ptrdiff_t>(RBase) +
+                      static_cast<std::ptrdiff_t>(I) * RStride] -=
+                  (FluxLine[LocalF + 1] - FluxLine[LocalF]) * InvDx;
+            }
           }
-          FaceStates<Dim> FS = reconstructFaceStates(
-              SC.Recon, SC.Limiter, SC.Vars, Stencil, Gas_, Axis);
-          FluxLine[F] = numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis);
-        }
-
-        size_t RBase = lineInteriorBase(Axis, Line);
-        std::ptrdiff_t RStride =
-            static_cast<std::ptrdiff_t>(InteriorStride[Axis]);
-        for (size_t I = 0; I < N[Axis]; ++I)
-          ResData[static_cast<std::ptrdiff_t>(RBase) +
-                  static_cast<std::ptrdiff_t>(I) * RStride] -=
-              (FluxLine[I + 1] - FluxLine[I]) * InvDx;
-      }
-    });
+        });
   }
 
   size_t N[Dim] = {};

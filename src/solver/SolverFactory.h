@@ -1,0 +1,127 @@
+//===- solver/SolverFactory.h - RunConfig -> ready-to-run solver *- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The supported way to build a solver: makeSolverRun() turns a Problem
+/// plus a RunConfig into a SolverRun owning the backend, the engine and
+/// (when enabled) the step guard, with fault injection already armed.
+/// Direct EulerSolver construction remains available for library code and
+/// tests, but tools should go through the factory so every example and
+/// bench honors the same flags the same way.
+///
+/// SolverRun's advance calls route through the guard automatically when
+/// one is configured, so call sites need no `if (guard)` forks.  The
+/// emergency-checkpoint callback is io's job (io links against solver,
+/// not the reverse) — see io/RunIo.h installEmergencyCheckpoint().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_SOLVERFACTORY_H
+#define SACFD_SOLVER_SOLVERFACTORY_H
+
+#include "solver/ArraySolver.h"
+#include "solver/FusedSolver.h"
+#include "solver/RunConfig.h"
+#include "solver/StepGuard.h"
+#include "support/Error.h"
+
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+namespace sacfd {
+
+/// A ready-to-run solver with its backend and optional step guard.
+/// Movable (everything it owns lives on the heap, so the guard's
+/// reference into the solver stays valid), not copyable.
+template <unsigned Dim> class SolverRun {
+public:
+  SolverRun(Problem<Dim> Prob, const RunConfig &Config) : Cfg(Config) {
+    Exec = Cfg.makeBackend();
+    if (!Exec)
+      reportFatalError("backend not available in this build");
+    switch (Cfg.Engine) {
+    case EngineKind::Array:
+      Solver = std::make_unique<ArraySolver<Dim>>(std::move(Prob),
+                                                  Cfg.Scheme, *Exec);
+      break;
+    case EngineKind::ArrayMaterialized:
+      Solver = std::make_unique<ArraySolver<Dim>>(
+          std::move(Prob), Cfg.Scheme, *Exec, ArrayEvalMode::Materialized);
+      break;
+    case EngineKind::Fused:
+      Solver = std::make_unique<FusedSolver<Dim>>(std::move(Prob),
+                                                  Cfg.Scheme, *Exec);
+      break;
+    }
+    if (Cfg.Guard.Enabled) {
+      Guard = std::make_unique<StepGuard<Dim>>(*Solver, Cfg.Guard.config());
+      Cfg.Guard.armFaults(*Guard);
+    }
+  }
+
+  const RunConfig &config() const { return Cfg; }
+  EulerSolver<Dim> &solver() { return *Solver; }
+  const EulerSolver<Dim> &solver() const { return *Solver; }
+  Backend &backend() { return *Exec; }
+  const Backend &backend() const { return *Exec; }
+
+  /// The step guard, or nullptr when --guard was not given.
+  StepGuard<Dim> *guard() { return Guard.get(); }
+  const StepGuard<Dim> *guard() const { return Guard.get(); }
+
+  bool guarded() const { return Guard != nullptr; }
+
+  /// \returns true when the guard has terminally failed the run.
+  bool failed() const { return Guard && Guard->failed(); }
+
+  /// Advances to \p EndTime (guarded when configured).  \returns false
+  /// on terminal guard failure.
+  bool advanceTo(double EndTime) {
+    if (Guard)
+      return Guard->advanceTo(EndTime);
+    Solver->advanceTo(EndTime);
+    return true;
+  }
+
+  /// Advances exactly \p N steps (guarded when configured).  \returns
+  /// false on terminal guard failure.
+  bool advanceSteps(unsigned N) {
+    if (Guard)
+      return Guard->advanceSteps(N);
+    Solver->advanceSteps(N);
+    return true;
+  }
+
+  /// Prints the guard summary and per-breakdown reports to stdout; no-op
+  /// without a guard.
+  void printGuardReport() const {
+    if (!Guard)
+      return;
+    std::printf("%s\n", Guard->summary().c_str());
+    for (const BreakdownReport &R : Guard->reports())
+      std::printf("  %s\n", R.str().c_str());
+  }
+
+private:
+  RunConfig Cfg;
+  std::unique_ptr<Backend> Exec;
+  std::unique_ptr<EulerSolver<Dim>> Solver;
+  std::unique_ptr<StepGuard<Dim>> Guard;
+};
+
+/// Builds the configured backend + engine + guard for \p Prob.  Fatal
+/// error (not a return code) when the configured backend is unavailable
+/// in this build, matching tool behavior.
+template <unsigned Dim>
+SolverRun<Dim> makeSolverRun(Problem<Dim> Prob, const RunConfig &Cfg) {
+  return SolverRun<Dim>(std::move(Prob), Cfg);
+}
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_SOLVERFACTORY_H

@@ -99,7 +99,9 @@ TelemetryDigest runInstrumented(const Problem<Dim> &Prob,
 
 template <typename SolverT, unsigned Dim>
 void checkMatrix(const Problem<Dim> &Prob, const SchemeConfig &Scheme,
-                 unsigned Steps) {
+                 unsigned Steps, const Tile &TileCfg = Tile::off()) {
+  // The reference stays untiled: tiled execution must be bit-identical
+  // to the legacy row-flattened serial run, not merely self-consistent.
   auto RefExec = createBackend(BackendKind::Serial, 1);
   std::unique_ptr<SolverT> Ref;
   TelemetryDigest RefTelem =
@@ -109,10 +111,12 @@ void checkMatrix(const Problem<Dim> &Prob, const SchemeConfig &Scheme,
 
   for (BackendKind Kind : kParallelKinds)
     for (unsigned Workers : kWorkerCounts) {
-      auto Exec = createBackend(Kind, Workers);
+      auto Exec =
+          createBackend(Kind, Workers, Schedule::staticBlock(), TileCfg);
       ASSERT_NE(Exec, nullptr);
       std::string Label = std::string(Exec->name()) + "(" +
-                          std::to_string(Workers) + ")";
+                          std::to_string(Workers) + ") tile=" +
+                          TileCfg.str();
       std::unique_ptr<SolverT> S;
       TelemetryDigest Telem =
           runInstrumented<SolverT>(Prob, Scheme, *Exec, Steps, S);
@@ -157,4 +161,28 @@ TEST_F(DeterminismTest, FigureSchemeInteraction2DArraySolver) {
   // limiter; the determinism contract must hold there too.
   checkMatrix<ArraySolver<2>>(shockInteraction2D(20, 2.2, 10.0),
                               SchemeConfig::figureScheme(), 5);
+}
+
+TEST_F(DeterminismTest, TiledInteraction2DArraySolver) {
+  // Tiled parallel execution vs the untiled serial reference: the 2D
+  // runtime must be a pure reordering of the same arithmetic.
+  checkMatrix<ArraySolver<2>>(shockInteraction2D(24, 2.2, 12.0),
+                              SchemeConfig::benchmarkScheme(), 6,
+                              Tile::sized(5, 7));
+}
+
+TEST_F(DeterminismTest, TiledInteraction2DFusedSolver) {
+  checkMatrix<FusedSolver<2>>(shockInteraction2D(24, 2.2, 12.0),
+                              SchemeConfig::benchmarkScheme(), 6,
+                              Tile::sized(5, 7));
+}
+
+TEST_F(DeterminismTest, TiledDynamicDealingInteraction2DArraySolver) {
+  // Dynamic tile dealing changes which worker runs which tile run to
+  // run; per-tile reduction partials merged in tile order must make the
+  // result identical anyway.
+  Tile T = Tile::sized(4, 8);
+  T.Dealing = Schedule::dynamic(1);
+  checkMatrix<ArraySolver<2>>(shockInteraction2D(20, 2.2, 10.0),
+                              SchemeConfig::figureScheme(), 5, T);
 }

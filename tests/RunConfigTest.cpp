@@ -1,0 +1,190 @@
+//===- tests/RunConfigTest.cpp - Unified run configuration tests ----------===//
+//
+// RunConfig is the single flag surface every tool shares; these tests pin
+// the contract: staged strings resolve into typed fields, malformed
+// values produce structured errors naming the flag (never a silent
+// default), and makeBackend() installs threads/schedule/tile on the
+// backend it builds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/RunConfig.h"
+#include "solver/SolverFactory.h"
+#include "solver/Problems.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace sacfd;
+
+namespace {
+
+/// Registers all RunConfig flags, parses \p Args as a command line, and
+/// resolves.  \returns the resolve() outcome; the error lands in *Error.
+bool parseAndResolve(RunConfig &Cfg, std::vector<const char *> Args,
+                     std::string *Error = nullptr) {
+  CommandLine CL("RunConfigTest", "test tool");
+  Cfg.registerAll(CL);
+  Args.insert(Args.begin(), "RunConfigTest");
+  if (!CL.parse(static_cast<int>(Args.size()), Args.data()))
+    return false;
+  std::string Local;
+  return Cfg.resolve(Error ? *Error : Local);
+}
+
+} // namespace
+
+TEST(EngineKind, NamesRoundTripThroughParse) {
+  for (EngineKind K : {EngineKind::Array, EngineKind::ArrayMaterialized,
+                       EngineKind::Fused})
+    EXPECT_EQ(parseEngineKind(engineKindName(K)), K);
+  EXPECT_EQ(parseEngineKind("materialized"), EngineKind::ArrayMaterialized);
+  EXPECT_FALSE(parseEngineKind("fortran").has_value());
+}
+
+TEST(RunConfigResolve, DefaultsResolveClean) {
+  RunConfig Cfg;
+  std::string Error;
+  EXPECT_TRUE(parseAndResolve(Cfg, {}, &Error)) << Error;
+  EXPECT_EQ(Cfg.Engine, EngineKind::Array);
+  EXPECT_EQ(Cfg.Backend, BackendKind::SpinPool);
+  EXPECT_FALSE(Cfg.TileCfg.Enabled);
+  EXPECT_EQ(Cfg.Sched.K, Schedule::Kind::StaticBlock);
+}
+
+TEST(RunConfigResolve, ParsesEveryFlagGroup) {
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(
+      Cfg,
+      {"--recon", "tvd2", "--limiter", "superbee", "--riemann", "hll",
+       "--integrator", "rk2", "--cfl", "0.5", "--engine", "fused",
+       "--backend", "fork-join", "--threads", "3", "--schedule",
+       "dynamic,4", "--tile", "16x64", "--tile-dealing", "static,2",
+       "--guard", "--guard-every", "4", "--telemetry", "out.json"},
+      &Error))
+      << Error;
+  EXPECT_EQ(Cfg.Scheme.Recon, ReconstructionKind::Tvd2);
+  EXPECT_EQ(Cfg.Scheme.Limiter, LimiterKind::Superbee);
+  EXPECT_EQ(Cfg.Scheme.Riemann, RiemannKind::Hll);
+  EXPECT_EQ(Cfg.Scheme.Integrator, TimeIntegratorKind::SspRk2);
+  EXPECT_DOUBLE_EQ(Cfg.Scheme.Cfl, 0.5);
+  EXPECT_EQ(Cfg.Engine, EngineKind::Fused);
+  EXPECT_EQ(Cfg.Backend, BackendKind::ForkJoin);
+  EXPECT_EQ(Cfg.Threads, 3u);
+  EXPECT_EQ(Cfg.Sched.K, Schedule::Kind::Dynamic);
+  EXPECT_EQ(Cfg.Sched.ChunkSize, 4u);
+  EXPECT_TRUE(Cfg.TileCfg.Enabled);
+  EXPECT_EQ(Cfg.TileCfg.Rows, 16u);
+  EXPECT_EQ(Cfg.TileCfg.Cols, 64u);
+  EXPECT_EQ(Cfg.TileCfg.Dealing.K, Schedule::Kind::StaticChunk);
+  EXPECT_EQ(Cfg.TileCfg.Dealing.ChunkSize, 2u);
+  EXPECT_TRUE(Cfg.Guard.Enabled);
+  EXPECT_EQ(Cfg.Guard.Every, 4u);
+  EXPECT_EQ(Cfg.Telemetry.Path, "out.json");
+  EXPECT_EQ(Cfg.executionStr(), "fused/fork-join(3) tile=16x64");
+}
+
+TEST(RunConfigResolve, RejectsBadValuesWithStructuredErrors) {
+  struct BadCase {
+    std::vector<const char *> Args;
+    const char *MustMention;
+  };
+  const BadCase Cases[] = {
+      {{"--recon", "weno9"}, "--recon"},
+      {{"--limiter", "vanalbada"}, "--limiter"},
+      {{"--riemann", "exact"}, "--riemann"},
+      {{"--integrator", "rk4"}, "--integrator"},
+      {{"--engine", "fortran"}, "--engine"},
+      {{"--backend", "gpu"}, "--backend"},
+      {{"--schedule", "guided"}, "--schedule"},
+      {{"--schedule", "static,0"}, "--schedule"},
+      {{"--tile", "0x4"}, "--tile"},
+      {{"--tile", "huge"}, "--tile"},
+      {{"--tile-dealing", "guided"}, "--tile-dealing"},
+  };
+  for (const BadCase &C : Cases) {
+    RunConfig Cfg;
+    std::string Error;
+    EXPECT_FALSE(parseAndResolve(Cfg, C.Args, &Error))
+        << C.Args[0] << " " << C.Args[1];
+    EXPECT_NE(Error.find(C.MustMention), std::string::npos)
+        << "error for " << C.Args[1] << " was: " << Error;
+  }
+}
+
+TEST(RunConfigResolve, TileDealingSurvivesTileRespec) {
+  // --tile re-parses the tile geometry but must not clobber a dealing
+  // schedule given through --tile-dealing, in either flag order.
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(
+      Cfg, {"--tile-dealing", "dynamic,2", "--tile", "8x8"}, &Error))
+      << Error;
+  EXPECT_EQ(Cfg.TileCfg.Dealing.K, Schedule::Kind::Dynamic);
+  EXPECT_EQ(Cfg.TileCfg.Dealing.ChunkSize, 2u);
+}
+
+TEST(RunConfigBackend, InstallsThreadsScheduleAndTile) {
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg,
+                              {"--backend", "fork-join", "--threads", "2",
+                               "--tile", "8x32"},
+                              &Error))
+      << Error;
+  auto B = Cfg.makeBackend();
+  ASSERT_NE(B, nullptr);
+  EXPECT_EQ(B->workerCount(), 2u);
+  EXPECT_TRUE(B->tile().Enabled);
+  EXPECT_EQ(B->tile().Rows, 8u);
+  EXPECT_EQ(B->tile().Cols, 32u);
+}
+
+TEST(SolverFactory, BuildsEachEngine) {
+  Problem<1> Prob = sodProblem(64);
+  for (const char *Engine : {"array", "array-materialized", "fused"}) {
+    RunConfig Cfg;
+    std::string Error;
+    ASSERT_TRUE(parseAndResolve(
+        Cfg, {"--engine", Engine, "--backend", "serial"}, &Error))
+        << Error;
+    SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+    EXPECT_FALSE(Run.guarded());
+    EXPECT_TRUE(Run.advanceSteps(3));
+    EXPECT_EQ(Run.solver().stepCount(), 3u);
+  }
+}
+
+TEST(SolverFactory, BuildsArmedGuard) {
+  Problem<1> Prob = sodProblem(64);
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg,
+                              {"--backend", "serial", "--guard",
+                               "--poison-step", "2", "--poison-cells", "2"},
+                              &Error))
+      << Error;
+  SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+  ASSERT_TRUE(Run.guarded());
+  // The armed fault must fire and the guard must recover (floor stage).
+  EXPECT_TRUE(Run.advanceSteps(6));
+  EXPECT_FALSE(Run.failed());
+  EXPECT_FALSE(Run.guard()->reports().empty());
+}
+
+TEST(SolverFactory, GuardedAdvanceRoutesThroughGuard) {
+  Problem<1> Prob = sodProblem(64);
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(
+      Cfg, {"--backend", "serial", "--guard", "--guard-every", "2"},
+      &Error))
+      << Error;
+  SolverRun<1> Run = makeSolverRun(Prob, Cfg);
+  EXPECT_TRUE(Run.advanceTo(0.01));
+  EXPECT_GT(Run.solver().stepCount(), 0u);
+  EXPECT_FALSE(Run.failed());
+}
