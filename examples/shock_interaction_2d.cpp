@@ -68,8 +68,14 @@ int main(int Argc, const char **Argv) {
   Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), Ms,
                                        ChannelWidth);
   SolverRun<2> Run = makeSolverRun(Prob, Cfg);
-  installEmergencyCheckpoint(Run);
+  DurabilitySetup Durable = setupDurableRun(Run);
+  if (!Durable.Ok)
+    reportFatalError("--resume: no loadable checkpoint generation");
   EulerSolver<2> &Solver = Run.solver();
+  if (Durable.Resumed)
+    std::printf("resumed from %s at t=%.3f (%u steps)\n",
+                Durable.ResumePath.c_str(), Solver.time(),
+                Solver.stepCount());
 
   double EndTime = Prob.EndTime * TimeFraction;
   std::printf("shock_interaction_2d: %dx%d, Ms=%.2f, h=%.0f, t_end=%.2f, "

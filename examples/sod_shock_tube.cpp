@@ -54,13 +54,18 @@ int main(int Argc, const char **Argv) {
 
   Problem<1> Prob = sodProblem(static_cast<size_t>(Cells));
   SolverRun<1> Run = makeSolverRun(Prob, Cfg);
-  installEmergencyCheckpoint(Run);
+  DurabilitySetup Durable = setupDurableRun(Run);
+  if (!Durable.Ok)
+    reportFatalError("--resume: no loadable checkpoint generation");
   EulerSolver<1> &Solver = Run.solver();
+  if (Durable.Resumed)
+    std::printf("resumed from %s at t=%.4f (%u steps)\n",
+                Durable.ResumePath.c_str(), Solver.time(),
+                Solver.stepCount());
 
   if (!LoadPath.empty()) {
-    if (!loadCheckpoint(LoadPath, Solver))
-      reportFatalError("cannot restore checkpoint (missing file or "
-                       "mismatched problem geometry)");
+    if (CheckpointStatus St = loadCheckpoint(LoadPath, Solver); !St.ok())
+      reportFatalError(("cannot restore checkpoint: " + St.str()).c_str());
     std::printf("restored checkpoint %s at t=%.4f (%u steps)\n",
                 LoadPath.c_str(), Solver.time(), Solver.stepCount());
   }
@@ -71,8 +76,8 @@ int main(int Argc, const char **Argv) {
   double Seconds = Timer.seconds();
 
   if (!SavePath.empty()) {
-    if (!saveCheckpoint(SavePath, Solver))
-      reportFatalError("cannot write checkpoint file");
+    if (CheckpointStatus St = saveCheckpoint(SavePath, Solver); !St.ok())
+      reportFatalError(("cannot write checkpoint: " + St.str()).c_str());
     std::printf("checkpoint written to %s\n", SavePath.c_str());
   }
 

@@ -42,4 +42,13 @@ echo "== tiling ablation artifact =="
 ./build-ci-Release/bench/ablation_tiling --cells 96 --steps 10 \
     --threads 2 --json artifacts/BENCH_tiling.json
 echo "wrote artifacts/BENCH_tiling.json"
+
+echo "== checkpoint overhead artifact =="
+# Durability cost record: per-step price of periodic atomic checkpoints
+# at cadences {off, 100, 10} on the Fig. 4 workload.  The acceptance
+# budget is < 5% overhead at the default every=100 cadence.
+./build-ci-Release/bench/checkpoint_overhead --cells 96 --steps 200 \
+    --threads 2 --dir artifacts/checkpoint_overhead.ckpt \
+    --json artifacts/BENCH_checkpoint.json
+echo "wrote artifacts/BENCH_checkpoint.json"
 echo "== CI matrix passed =="

@@ -7,11 +7,17 @@
 ///
 /// \file
 /// The io-side half of the SolverRun workflow.  The solver library cannot
-/// call into io (the dependency points the other way), so the two hooks a
+/// call into io (the dependency points the other way), so the hooks a
 /// factory-built run needs from io live here:
 ///
 ///   installEmergencyCheckpoint()  wires --guard-checkpoint onto the
-///                                 run's guard via io's saveCheckpoint
+///                                 run's guard via io's atomic
+///                                 retry-capable save path
+///   setupDurableRun()             the whole durability surface: the
+///                                 emergency hook, the rotated
+///                                 CheckpointStore behind
+///                                 --checkpoint-dir/--checkpoint-every,
+///                                 and --resume discovery with fallback
 ///   writeRunTelemetry()           exports the telemetry snapshot with
 ///                                 the run's standard metadata
 ///
@@ -21,16 +27,23 @@
 #define SACFD_IO_RUNIO_H
 
 #include "io/Checkpoint.h"
+#include "io/CheckpointStore.h"
 #include "io/TelemetryExport.h"
 #include "solver/SolverFactory.h"
+#include "telemetry/Telemetry.h"
 
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <utility>
 
 namespace sacfd {
 
 /// Installs the --guard-checkpoint emergency dump onto \p Run's guard.
-/// No-op when the run is unguarded or no checkpoint path was given.
+/// No-op when the run is unguarded or no checkpoint path was given.  The
+/// dump goes through the same atomic tmp → fsync → rename path (with
+/// bounded retry) as periodic checkpoints; failures surface both as a
+/// structured stderr report and in the BreakdownReport.
 template <unsigned Dim>
 void installEmergencyCheckpoint(SolverRun<Dim> &Run) {
   StepGuard<Dim> *Guard = Run.guard();
@@ -38,9 +51,80 @@ void installEmergencyCheckpoint(SolverRun<Dim> &Run) {
   if (!Guard || Path.empty())
     return;
   EulerSolver<Dim> *Solver = &Run.solver();
-  Guard->setEmergencyCheckpoint(Path, [Solver](const std::string &P) {
-    return saveCheckpoint(P, *Solver);
+  RetryPolicy Retry{Run.config().Checkpoint.RetryAttempts,
+                    Run.config().Checkpoint.RetryBackoffMs};
+  Guard->setEmergencyCheckpoint(Path, [Solver, Retry](const std::string &P) {
+    CheckpointStatus St = saveCheckpointWithRetry(P, *Solver, Retry);
+    if (telemetry::enabled())
+      telemetry::addCounter(
+          telemetry::counterId(St.ok() ? "checkpoint.emergency_writes"
+                                       : "checkpoint.emergency_failures"));
+    if (St.ok())
+      return std::string();
+    reportCheckpointError("emergency checkpoint", St);
+    return St.str();
   });
+}
+
+/// What setupDurableRun() established.
+struct DurabilitySetup {
+  /// False only when --resume found checkpoint generations but none of
+  /// them loaded — continuing would silently restart from step 0, so the
+  /// tool should abort instead.  An empty/missing directory under
+  /// --resume is a fresh start, not an error.
+  bool Ok = true;
+  bool Resumed = false;
+  unsigned ResumeSteps = 0;
+  std::string ResumePath;
+  /// The rotated store behind --checkpoint-dir (null when unset).  The
+  /// periodic hook shares ownership, so keeping this alive is optional.
+  std::shared_ptr<CheckpointStore> Store;
+};
+
+/// Wires the full durability surface of \p Run from its RunConfig: the
+/// emergency-checkpoint hook, the rotated CheckpointStore, --resume
+/// recovery (newest loadable generation, falling back across corrupt
+/// ones with a structured report per skipped file), and the periodic
+/// checkpoint hook.  Periodic write failures are reported but do not
+/// stop the run — the simulation is worth more than the checkpoint.
+template <unsigned Dim>
+DurabilitySetup setupDurableRun(SolverRun<Dim> &Run) {
+  installEmergencyCheckpoint(Run);
+  DurabilitySetup Setup;
+  const CheckpointCliOptions &Opt = Run.config().Checkpoint;
+  if (Opt.Dir.empty())
+    return Setup;
+  Setup.Store = std::make_shared<CheckpointStore>(
+      Opt.Dir, Opt.Keep, RetryPolicy{Opt.RetryAttempts, Opt.RetryBackoffMs});
+
+  if (Opt.Resume) {
+    CheckpointStore::ResumeOutcome Outcome = Setup.Store->resume(Run.solver());
+    for (const auto &[Path, St] : Outcome.Skipped)
+      reportCheckpointError(("resume: skipped " + Path).c_str(), St);
+    if (Outcome.resumed()) {
+      Setup.Resumed = true;
+      Setup.ResumeSteps = Outcome.LoadedSteps;
+      Setup.ResumePath = Outcome.LoadedPath;
+      // The guard's healthy-state snapshot predates the restore.
+      if (StepGuard<Dim> *Guard = Run.guard())
+        Guard->resync();
+    } else if (Outcome.Status.Error != CheckpointError::NotFound) {
+      reportCheckpointError("resume", Outcome.Status);
+      Setup.Ok = false;
+      return Setup;
+    }
+  }
+
+  if (Opt.periodic()) {
+    std::shared_ptr<CheckpointStore> Store = Setup.Store;
+    EulerSolver<Dim> *Solver = &Run.solver();
+    Run.setPeriodicCheckpoint(Opt.Every, [Store, Solver] {
+      CheckpointStatus St = Store->write(*Solver);
+      if (!St.ok())
+        reportCheckpointError("periodic checkpoint", St);
+    });
+  }
+  return Setup;
 }
 
 /// Writes the telemetry JSON report for \p Run when --telemetry was

@@ -1,0 +1,92 @@
+//===- solver/CheckpointOptions.h - Durable-run CLI wiring -----*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared command-line surface of the durability subsystem, so every
+/// example and bench exposes the same flags:
+///
+///   --checkpoint-dir D        rotated checkpoint directory (off when empty)
+///   --checkpoint-every N      accepted steps between checkpoints (0 = off)
+///   --checkpoint-keep K       generations kept by rotation
+///   --checkpoint-retries R    write attempts per checkpoint (>= 1)
+///   --checkpoint-backoff-ms B first retry backoff, doubling per attempt
+///   --resume                  restore the newest loadable generation
+///                             before running (fresh start when the
+///                             directory holds none)
+///   --io-faults SPEC          arm the support/FaultInjection plan, e.g.
+///                             "short-write=2,fail-rename"
+///
+/// This is pure flag plumbing: the CheckpointStore that honors these
+/// options lives in io, and io/RunIo.h's setupDurableRun() is what
+/// connects the two (the solver library cannot link io).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_CHECKPOINTOPTIONS_H
+#define SACFD_SOLVER_CHECKPOINTOPTIONS_H
+
+#include "support/CommandLine.h"
+#include "support/FaultInjection.h"
+
+#include <string>
+
+namespace sacfd {
+
+/// The durability flags a CLI tool binds and forwards into a
+/// CheckpointStore (via io/RunIo.h).
+struct CheckpointCliOptions {
+  std::string Dir;
+  unsigned Every = 100;
+  unsigned Keep = 3;
+  unsigned RetryAttempts = 3;
+  unsigned RetryBackoffMs = 2;
+  bool Resume = false;
+  std::string IoFaultSpec;
+
+  /// Binds all durability flags onto \p CL.
+  void registerWith(CommandLine &CL) {
+    CL.addString("checkpoint-dir", Dir,
+                 "rotated checkpoint directory (empty = no periodic "
+                 "checkpoints)");
+    CL.addUnsigned("checkpoint-every", Every,
+                   "accepted steps between checkpoints (0 = off)");
+    CL.addUnsigned("checkpoint-keep", Keep,
+                   "checkpoint generations kept by rotation");
+    CL.addUnsigned("checkpoint-retries", RetryAttempts,
+                   "write attempts per checkpoint before giving up");
+    CL.addUnsigned("checkpoint-backoff-ms", RetryBackoffMs,
+                   "first retry backoff in ms (doubles per attempt)");
+    CL.addFlag("resume", Resume,
+               "resume from the newest loadable checkpoint generation");
+    CL.addString("io-faults", IoFaultSpec,
+                 "fault injection: fail-open|fail-write|short-write|"
+                 "torn-write|kill-write=N, bit-flip-read=N[@B], "
+                 "fail-rename");
+  }
+
+  /// Whether periodic checkpointing is configured.
+  bool periodic() const { return !Dir.empty() && Every > 0; }
+
+  /// Parses and arms --io-faults.  \returns false with a structured
+  /// message in \p Error on a malformed spec.
+  bool resolve(std::string &Error) {
+    if (IoFaultSpec.empty())
+      return true;
+    iofault::Plan Plan;
+    std::string Why;
+    if (!iofault::parsePlan(IoFaultSpec, Plan, Why)) {
+      Error = "--io-faults: " + Why;
+      return false;
+    }
+    iofault::setPlan(Plan);
+    return true;
+  }
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_CHECKPOINTOPTIONS_H

@@ -78,6 +78,7 @@ void RunConfig::registerAll(CommandLine &CL) {
   registerScheduleFlags(CL);
   registerGuardFlags(CL);
   registerTelemetryFlags(CL);
+  registerCheckpointFlags(CL);
 }
 
 bool RunConfig::resolve(std::string &Error) {
@@ -149,6 +150,8 @@ bool RunConfig::resolve(std::string &Error) {
       return Fail("--tile-dealing: " + P.Error);
     TileCfg.Dealing = *P.Value;
   }
+  if (!Checkpoint.resolve(Error))
+    return false;
   return true;
 }
 

@@ -36,6 +36,7 @@
 #define SACFD_SOLVER_RUNCONFIG_H
 
 #include "runtime/Runtime.h"
+#include "solver/CheckpointOptions.h"
 #include "solver/GuardOptions.h"
 #include "solver/SchemeConfig.h"
 #include "support/CommandLine.h"
@@ -80,6 +81,7 @@ struct RunConfig {
   Tile TileCfg = Tile::off();
   GuardCliOptions Guard;
   TelemetryCliOptions Telemetry;
+  CheckpointCliOptions Checkpoint;
 
   RunConfig();
 
@@ -95,6 +97,8 @@ struct RunConfig {
   void registerGuardFlags(CommandLine &CL) { Guard.registerWith(CL); }
   /// Binds the telemetry flag group (see TelemetryOptions.h).
   void registerTelemetryFlags(CommandLine &CL) { Telemetry.registerWith(CL); }
+  /// Binds the durability flag group (see CheckpointOptions.h).
+  void registerCheckpointFlags(CommandLine &CL) { Checkpoint.registerWith(CL); }
   /// Binds every flag group above.
   void registerAll(CommandLine &CL);
 

@@ -18,6 +18,13 @@
 /// emergency-checkpoint callback is io's job (io links against solver,
 /// not the reverse) — see io/RunIo.h installEmergencyCheckpoint().
 ///
+/// Periodic checkpointing follows the same layering: io installs an
+/// opaque hook via setPeriodicCheckpoint() (see io/RunIo.h
+/// setupDurableRun()), and the advance calls fire it every N accepted
+/// steps.  The hooked step loops replicate the exact dt arithmetic of
+/// the unhooked fast paths, so durable runs stay bit-identical to plain
+/// ones — the property the kill-and-resume tests assert.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SACFD_SOLVER_SOLVERFACTORY_H
@@ -30,6 +37,7 @@
 #include "support/Error.h"
 
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <utility>
 
@@ -79,22 +87,58 @@ public:
   /// \returns true when the guard has terminally failed the run.
   bool failed() const { return Guard && Guard->failed(); }
 
+  /// Installs a periodic checkpoint: during advanceTo/advanceSteps,
+  /// \p Hook fires after every \p EverySteps accepted steps (measured
+  /// from the current step count; \p EverySteps 0 or a null hook
+  /// disables).  The hook must not mutate the solver — it snapshots it.
+  /// Installed by io/RunIo.h setupDurableRun(), not by tools directly.
+  void setPeriodicCheckpoint(unsigned EverySteps, std::function<void()> Hook) {
+    CkptEvery = EverySteps;
+    CkptHook = std::move(Hook);
+    LastCkptStep = Solver->stepCount();
+  }
+
   /// Advances to \p EndTime (guarded when configured).  \returns false
   /// on terminal guard failure.
   bool advanceTo(double EndTime) {
-    if (Guard)
-      return Guard->advanceTo(EndTime);
-    Solver->advanceTo(EndTime);
-    return true;
+    if (!periodicArmed()) {
+      if (Guard)
+        return Guard->advanceTo(EndTime);
+      Solver->advanceTo(EndTime);
+      return true;
+    }
+    // Same arithmetic as the fast paths, chunked so the hook can fire:
+    // guard windows when guarded, single clamped CFL steps otherwise.
+    while (!failed() && Solver->time() < EndTime) {
+      if (Guard) {
+        Guard->advanceWindow(EndTime);
+      } else {
+        double Dt = std::min(Solver->computeDt(), EndTime - Solver->time());
+        Solver->advanceWithDt(Dt);
+      }
+      maybeCheckpoint();
+    }
+    return !failed();
   }
 
   /// Advances exactly \p N steps (guarded when configured).  \returns
   /// false on terminal guard failure.
   bool advanceSteps(unsigned N) {
-    if (Guard)
-      return Guard->advanceSteps(N);
-    Solver->advanceSteps(N);
-    return true;
+    if (!periodicArmed()) {
+      if (Guard)
+        return Guard->advanceSteps(N);
+      Solver->advanceSteps(N);
+      return true;
+    }
+    unsigned Target = Solver->stepCount() + N;
+    while (!failed() && Solver->stepCount() < Target) {
+      if (Guard)
+        Guard->advanceWindow();
+      else
+        Solver->advanceWithDt(Solver->computeDt());
+      maybeCheckpoint();
+    }
+    return !failed();
   }
 
   /// Prints the guard summary and per-breakdown reports to stdout; no-op
@@ -108,10 +152,22 @@ public:
   }
 
 private:
+  bool periodicArmed() const { return CkptEvery > 0 && CkptHook != nullptr; }
+
+  void maybeCheckpoint() {
+    if (Solver->stepCount() >= LastCkptStep + CkptEvery) {
+      CkptHook();
+      LastCkptStep = Solver->stepCount();
+    }
+  }
+
   RunConfig Cfg;
   std::unique_ptr<Backend> Exec;
   std::unique_ptr<EulerSolver<Dim>> Solver;
   std::unique_ptr<StepGuard<Dim>> Guard;
+  unsigned CkptEvery = 0;
+  unsigned LastCkptStep = 0;
+  std::function<void()> CkptHook;
 };
 
 /// Builds the configured backend + engine + guard for \p Prob.  Fatal

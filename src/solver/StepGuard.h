@@ -197,6 +197,9 @@ struct BreakdownReport {
   /// Emergency checkpoint outcome (Failed episodes only).
   bool CheckpointWritten = false;
   std::string CheckpointPath;
+  /// Writer diagnostic when the emergency checkpoint failed (empty on
+  /// success), e.g. a CheckpointStatus::str() from io.
+  std::string CheckpointErrorText;
 
   /// One-line human-readable summary.
   std::string str() const {
@@ -213,6 +216,9 @@ struct BreakdownReport {
     if (CheckpointWritten) {
       S += "; emergency checkpoint: ";
       S += CheckpointPath;
+    } else if (!CheckpointErrorText.empty()) {
+      S += "; emergency checkpoint FAILED: ";
+      S += CheckpointErrorText;
     }
     return S;
   }
@@ -233,7 +239,11 @@ struct GuardStepResult {
 /// mutating the solver behind the guard's back invalidates it.
 template <unsigned Dim> class StepGuard {
 public:
-  using CheckpointWriter = std::function<bool(const std::string &)>;
+  /// Persists the (already restored) last healthy state to the given
+  /// path.  \returns an empty string on success, else a structured
+  /// diagnostic (io passes a CheckpointStatus::str() through here —
+  /// the guard cannot name io types, but it can carry their report).
+  using CheckpointWriter = std::function<std::string(const std::string &)>;
 
   StepGuard(EulerSolver<Dim> &Solver, GuardConfig Config = GuardConfig())
       : S(Solver), Cfg(Config) {
@@ -337,7 +347,8 @@ public:
         makeReport(LastScan, DtHist, BreakdownResolution::Failed);
     if (EmergencyWriter) {
       R.CheckpointPath = EmergencyPath;
-      R.CheckpointWritten = EmergencyWriter(EmergencyPath);
+      R.CheckpointErrorText = EmergencyWriter(EmergencyPath);
+      R.CheckpointWritten = R.CheckpointErrorText.empty();
     }
     Reports.push_back(std::move(R));
     return {GuardAction::Failed, 0.0, Cfg.MaxRetries};
@@ -359,6 +370,13 @@ public:
       advanceWindow();
     return !Failed;
   }
+
+  /// Re-captures the healthy-state snapshot from the solver's current
+  /// state.  The caller must do this after legitimately mutating the
+  /// solver behind the guard's back — in practice after restoring a
+  /// checkpoint into it (--resume), which invalidates the snapshot taken
+  /// at construction.
+  void resync() { captureSnapshot(); }
 
   bool failed() const { return Failed; }
   unsigned retriesTotal() const { return TotalRetries; }

@@ -1,0 +1,272 @@
+//===- support/FaultInjection.cpp - Deterministic I/O fault plans ---------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Env.h"
+#include "support/StrUtil.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdint>
+#include <mutex>
+
+using namespace sacfd;
+using namespace sacfd::iofault;
+
+namespace {
+
+struct State {
+  std::mutex Lock;
+  Plan Armed;
+  bool ProgrammaticallySet = false;
+  bool EnvChecked = false;
+  unsigned Opens = 0;
+  unsigned Writes = 0;
+  unsigned Reads = 0;
+  unsigned Fired = 0;
+};
+
+State &state() {
+  static State S;
+  return S;
+}
+
+/// Seeds the plan from SACFD_IO_FAULTS exactly once, and only when no
+/// plan was armed programmatically first (tests own the plan).
+void ensureEnvPlan(State &S) {
+  if (S.EnvChecked)
+    return;
+  S.EnvChecked = true;
+  if (S.ProgrammaticallySet)
+    return;
+  std::optional<std::string> Spec = getEnvString("SACFD_IO_FAULTS");
+  if (!Spec || Spec->empty())
+    return;
+  Plan P;
+  std::string Error;
+  if (parsePlan(*Spec, P, Error))
+    S.Armed = P;
+  else
+    std::fprintf(stderr, "sacfd: ignoring SACFD_IO_FAULTS: %s\n",
+                 Error.c_str());
+}
+
+/// Parses "key" or "key=N" / "key=N@B" tokens.
+bool parseToken(std::string_view Token, Plan &P, std::string &Error) {
+  auto Fail = [&Error, Token](const char *Why) {
+    Error = "bad fault token '" + std::string(Token) + "': " + Why;
+    return false;
+  };
+
+  size_t Eq = Token.find('=');
+  std::string_view Key = trim(Token.substr(0, Eq));
+  if (Eq == std::string_view::npos) {
+    if (equalsLower(Key, "fail-rename")) {
+      P.FailRename = true;
+      return true;
+    }
+    return Fail("expected key=N (only fail-rename is valueless)");
+  }
+
+  std::string_view Value = trim(Token.substr(Eq + 1));
+  std::string_view AtByte;
+  size_t At = Value.find('@');
+  if (At != std::string_view::npos) {
+    AtByte = Value.substr(At + 1);
+    Value = Value.substr(0, At);
+  }
+
+  std::optional<unsigned long long> Parsed = parseUnsigned(Value);
+  if (!Parsed || *Parsed == 0 || *Parsed > UINT32_MAX)
+    return Fail("count must be a positive integer");
+  unsigned N = static_cast<unsigned>(*Parsed);
+  if (!AtByte.empty() && !equalsLower(Key, "bit-flip-read"))
+    return Fail("@byte only applies to bit-flip-read");
+
+  if (equalsLower(Key, "fail-open"))
+    P.FailOpenNth = N;
+  else if (equalsLower(Key, "fail-write"))
+    P.FailWriteNth = N;
+  else if (equalsLower(Key, "short-write"))
+    P.ShortWriteNth = N;
+  else if (equalsLower(Key, "torn-write"))
+    P.TornWriteNth = N;
+  else if (equalsLower(Key, "kill-write"))
+    P.KillWriteNth = N;
+  else if (equalsLower(Key, "bit-flip-read")) {
+    P.BitFlipReadNth = N;
+    if (!AtByte.empty()) {
+      std::optional<unsigned long long> B = parseUnsigned(AtByte);
+      if (!B || *B > INT32_MAX)
+        return Fail("@byte must be a non-negative integer");
+      P.BitFlipByte = static_cast<int>(*B);
+    }
+  } else
+    return Fail("unknown fault kind (fail-open|fail-write|short-write|"
+                "torn-write|kill-write|bit-flip-read|fail-rename)");
+  return true;
+}
+
+} // namespace
+
+void sacfd::iofault::setPlan(const Plan &P) {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  S.Armed = P;
+  S.ProgrammaticallySet = true;
+  S.Opens = S.Writes = S.Reads = S.Fired = 0;
+}
+
+void sacfd::iofault::clear() { setPlan(Plan()); }
+
+Plan sacfd::iofault::plan() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return S.Armed;
+}
+
+bool sacfd::iofault::parsePlan(std::string_view Spec, Plan &Out,
+                               std::string &Error) {
+  Plan P;
+  std::string_view Rest = trim(Spec);
+  while (!Rest.empty()) {
+    size_t Comma = Rest.find(',');
+    std::string_view Token = trim(Rest.substr(0, Comma));
+    Rest = Comma == std::string_view::npos
+               ? std::string_view()
+               : trim(Rest.substr(Comma + 1));
+    if (Token.empty()) {
+      Error = "empty fault token";
+      return false;
+    }
+    if (!parseToken(Token, P, Error))
+      return false;
+  }
+  Out = P;
+  return true;
+}
+
+unsigned sacfd::iofault::faultsFired() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return S.Fired;
+}
+
+unsigned sacfd::iofault::writeOps() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return S.Writes;
+}
+
+unsigned sacfd::iofault::readOps() {
+  State &S = state();
+  std::lock_guard<std::mutex> G(S.Lock);
+  return S.Reads;
+}
+
+std::FILE *sacfd::iofault::fopenChecked(const char *Path, const char *Mode) {
+  {
+    State &S = state();
+    std::lock_guard<std::mutex> G(S.Lock);
+    ensureEnvPlan(S);
+    ++S.Opens;
+    if (S.Armed.FailOpenNth && S.Opens == S.Armed.FailOpenNth) {
+      S.Armed.FailOpenNth = 0;
+      ++S.Fired;
+      errno = EIO;
+      return nullptr;
+    }
+  }
+  return std::fopen(Path, Mode);
+}
+
+size_t sacfd::iofault::fwriteChecked(const void *Ptr, size_t Size,
+                                     size_t Count, std::FILE *F) {
+  enum class WriteFault { None, Fail, Short, Torn, Kill } Fault =
+      WriteFault::None;
+  {
+    State &S = state();
+    std::lock_guard<std::mutex> G(S.Lock);
+    ensureEnvPlan(S);
+    ++S.Writes;
+    if (S.Armed.FailWriteNth && S.Writes == S.Armed.FailWriteNth) {
+      S.Armed.FailWriteNth = 0;
+      Fault = WriteFault::Fail;
+    } else if (S.Armed.ShortWriteNth && S.Writes == S.Armed.ShortWriteNth) {
+      S.Armed.ShortWriteNth = 0;
+      Fault = WriteFault::Short;
+    } else if (S.Armed.TornWriteNth && S.Writes == S.Armed.TornWriteNth) {
+      S.Armed.TornWriteNth = 0;
+      Fault = WriteFault::Torn;
+    } else if (S.Armed.KillWriteNth && S.Writes == S.Armed.KillWriteNth) {
+      S.Armed.KillWriteNth = 0;
+      Fault = WriteFault::Kill;
+    }
+    if (Fault != WriteFault::None)
+      ++S.Fired;
+  }
+
+  switch (Fault) {
+  case WriteFault::None:
+    return std::fwrite(Ptr, Size, Count, F);
+  case WriteFault::Fail:
+    errno = EIO;
+    return 0;
+  case WriteFault::Short:
+  case WriteFault::Torn: {
+    size_t HalfBytes = Size * Count / 2;
+    std::fwrite(Ptr, 1, HalfBytes, F);
+    if (Fault == WriteFault::Torn)
+      return Count; // the disk lied: the tear only surfaces at load
+    errno = EIO;
+    return HalfBytes / (Size ? Size : 1);
+  }
+  case WriteFault::Kill:
+    std::fwrite(Ptr, 1, Size * Count / 2, F);
+    std::fflush(F);
+    std::raise(SIGKILL);
+    return 0; // unreachable
+  }
+  return 0;
+}
+
+size_t sacfd::iofault::freadChecked(void *Ptr, size_t Size, size_t Count,
+                                    std::FILE *F) {
+  bool Flip = false;
+  int FlipByte = -1;
+  {
+    State &S = state();
+    std::lock_guard<std::mutex> G(S.Lock);
+    ensureEnvPlan(S);
+    ++S.Reads;
+    if (S.Armed.BitFlipReadNth && S.Reads == S.Armed.BitFlipReadNth) {
+      S.Armed.BitFlipReadNth = 0;
+      ++S.Fired;
+      Flip = true;
+      FlipByte = S.Armed.BitFlipByte;
+    }
+  }
+  size_t Read = std::fread(Ptr, Size, Count, F);
+  size_t Bytes = Read * Size;
+  if (Flip && Bytes > 0) {
+    size_t Offset = FlipByte >= 0 ? static_cast<size_t>(FlipByte) : Bytes / 2;
+    if (Offset < Bytes)
+      static_cast<uint8_t *>(Ptr)[Offset] ^= 1u;
+  }
+  return Read;
+}
+
+int sacfd::iofault::renameChecked(const char *From, const char *To) {
+  {
+    State &S = state();
+    std::lock_guard<std::mutex> G(S.Lock);
+    ensureEnvPlan(S);
+    if (S.Armed.FailRename) {
+      S.Armed.FailRename = false;
+      ++S.Fired;
+      errno = EIO;
+      return -1;
+    }
+  }
+  return std::rename(From, To);
+}

@@ -1,0 +1,111 @@
+//===- support/FaultInjection.h - Deterministic I/O fault plans -*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic injection of file-I/O failures, so every durability
+/// failure path (torn writes, dying disks, corrupt reads, a process
+/// killed mid-checkpoint) is constructible in a test instead of waiting
+/// for real hardware to misbehave.
+///
+/// The model is a process-global Plan of one-shot triggers keyed on the
+/// nth I/O operation routed through the checked wrappers below
+/// (fopenChecked / fwriteChecked / freadChecked / renameChecked — the io
+/// checkpoint layer performs all its file operations through these).
+/// Counting is global and 1-based from the moment the plan is armed;
+/// each trigger disarms after firing, so a retry of the same operation
+/// runs clean — exactly the transient-fault shape the retry/backoff
+/// logic exists for.
+///
+/// Faults:
+///   fail-open=N      nth fopen returns nullptr
+///   fail-write=N     nth fwrite writes nothing and reports failure
+///   short-write=N    nth fwrite writes half its bytes, reports failure
+///   torn-write=N     nth fwrite writes half its bytes, reports SUCCESS
+///                    (the lying-disk case: the tear surfaces at load)
+///   kill-write=N     nth fwrite writes half its bytes, flushes, then
+///                    SIGKILLs the process (the kill -9 mid-checkpoint
+///                    case; only meaningful in a sacrificial child)
+///   bit-flip-read=N[@B]  nth fread flips bit 0 of byte B of the buffer
+///                    (default: the middle byte) after a clean read
+///   fail-rename      next rename fails
+///
+/// Plans are armed programmatically (setPlan) or from the environment:
+/// SACFD_IO_FAULTS holds the same comma-separated spec the --io-faults
+/// flag accepts, e.g. "short-write=2,fail-rename".  The environment is
+/// consulted once, at the first checked operation, and only when no plan
+/// was armed programmatically first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_FAULTINJECTION_H
+#define SACFD_SUPPORT_FAULTINJECTION_H
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace sacfd {
+namespace iofault {
+
+/// One-shot fault triggers, keyed on global 1-based operation counts.
+/// Zero (or false) means "never fire".
+struct Plan {
+  unsigned FailOpenNth = 0;
+  unsigned FailWriteNth = 0;
+  unsigned ShortWriteNth = 0;
+  unsigned TornWriteNth = 0;
+  unsigned KillWriteNth = 0;
+  unsigned BitFlipReadNth = 0;
+  /// Byte of the read buffer whose bit 0 is flipped; -1 = middle byte.
+  int BitFlipByte = -1;
+  bool FailRename = false;
+
+  bool any() const {
+    return FailOpenNth || FailWriteNth || ShortWriteNth || TornWriteNth ||
+           KillWriteNth || BitFlipReadNth || FailRename;
+  }
+};
+
+/// Arms \p P and resets the operation and fired counters.
+void setPlan(const Plan &P);
+
+/// Disarms everything and resets the counters.
+void clear();
+
+/// The currently armed plan (triggers already fired read as disarmed).
+Plan plan();
+
+/// Parses a fault spec ("fail-write=2,bit-flip-read=3@8,fail-rename")
+/// into \p Out.  \returns false with a message in \p Error naming the
+/// offending token; \p Out is untouched on failure.  An empty spec
+/// parses to an empty plan.
+bool parsePlan(std::string_view Spec, Plan &Out, std::string &Error);
+
+/// Number of faults that have fired since the plan was armed.
+unsigned faultsFired();
+
+/// Operation counters since the plan was armed (diagnostics for tests).
+unsigned writeOps();
+unsigned readOps();
+
+/// fopen that honors fail-open.
+std::FILE *fopenChecked(const char *Path, const char *Mode);
+
+/// fwrite that honors fail-write / short-write / torn-write / kill-write.
+size_t fwriteChecked(const void *Ptr, size_t Size, size_t Count,
+                     std::FILE *F);
+
+/// fread that honors bit-flip-read.
+size_t freadChecked(void *Ptr, size_t Size, size_t Count, std::FILE *F);
+
+/// rename that honors fail-rename.
+int renameChecked(const char *From, const char *To);
+
+} // namespace iofault
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_FAULTINJECTION_H

@@ -1,0 +1,198 @@
+//===- tests/FaultInjectionTest.cpp - I/O fault plan semantics ------------===//
+//
+// The fault-injection layer itself: spec parsing, one-shot trigger
+// semantics, operation counting, and the exact byte-level behavior of
+// each fault through the checked wrappers on plain files.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace sacfd;
+
+namespace {
+
+std::string tempPath(const char *Name) {
+  return std::string(::testing::TempDir()) + "/" + Name;
+}
+
+struct FaultGuard {
+  FaultGuard() { iofault::clear(); }
+  ~FaultGuard() { iofault::clear(); }
+};
+
+/// Writes \p Text through fwriteChecked; \returns items reported written.
+size_t writeFile(const std::string &Path, const char *Text) {
+  std::FILE *F = iofault::fopenChecked(Path.c_str(), "wb");
+  if (!F)
+    return static_cast<size_t>(-1);
+  size_t N = iofault::fwriteChecked(Text, 1, std::strlen(Text), F);
+  std::fclose(F);
+  return N;
+}
+
+/// On-disk byte count of \p Path via plain stdio; -1 when unopenable.
+long fileBytes(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return -1;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fclose(F);
+  return Size;
+}
+
+} // namespace
+
+TEST(FaultInjection, ParsesFullGrammar) {
+  iofault::Plan P;
+  std::string Err;
+  ASSERT_TRUE(iofault::parsePlan(
+      "fail-open=2,fail-write=3,short-write=4,torn-write=5,kill-write=6,"
+      "bit-flip-read=7@12,fail-rename",
+      P, Err))
+      << Err;
+  EXPECT_EQ(P.FailOpenNth, 2u);
+  EXPECT_EQ(P.FailWriteNth, 3u);
+  EXPECT_EQ(P.ShortWriteNth, 4u);
+  EXPECT_EQ(P.TornWriteNth, 5u);
+  EXPECT_EQ(P.KillWriteNth, 6u);
+  EXPECT_EQ(P.BitFlipReadNth, 7u);
+  EXPECT_EQ(P.BitFlipByte, 12);
+  EXPECT_TRUE(P.FailRename);
+
+  iofault::Plan Default;
+  ASSERT_TRUE(iofault::parsePlan("bit-flip-read=1", Default, Err)) << Err;
+  EXPECT_EQ(Default.BitFlipByte, -1) << "@byte is optional";
+
+  iofault::Plan Empty;
+  ASSERT_TRUE(iofault::parsePlan("", Empty, Err));
+  EXPECT_FALSE(Empty.any());
+}
+
+TEST(FaultInjection, RejectsMalformedSpecs) {
+  iofault::Plan P;
+  P.FailOpenNth = 99; // must survive failed parses untouched
+  for (const char *Bad : {"frob=1", "fail-write", "fail-write=x",
+                          "fail-write=0", "bit-flip-read=1@zz",
+                          "fail-rename=2"}) {
+    std::string Err;
+    EXPECT_FALSE(iofault::parsePlan(Bad, P, Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+    EXPECT_EQ(P.FailOpenNth, 99u) << Bad << ": output must be untouched";
+  }
+}
+
+TEST(FaultInjection, FailOpenFiresOnceOnTheNthOpen) {
+  FaultGuard FG;
+  std::string Path = tempPath("fi_open.txt");
+  iofault::Plan P;
+  P.FailOpenNth = 2;
+  iofault::setPlan(P);
+
+  EXPECT_EQ(writeFile(Path, "first"), 5u) << "open 1 passes";
+  EXPECT_EQ(writeFile(Path, "second"), static_cast<size_t>(-1))
+      << "open 2 fails";
+  EXPECT_EQ(iofault::faultsFired(), 1u);
+  EXPECT_EQ(writeFile(Path, "third"), 5u) << "disarmed after firing";
+  EXPECT_FALSE(iofault::plan().any());
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjection, WriteFaultsHaveDistinctSemantics) {
+  FaultGuard FG;
+  std::string Path = tempPath("fi_write.txt");
+
+  // fail-write: nothing written, failure reported.
+  iofault::Plan P;
+  P.FailWriteNth = 1;
+  iofault::setPlan(P);
+  EXPECT_EQ(writeFile(Path, "0123456789"), 0u);
+  EXPECT_EQ(fileBytes(Path), 0);
+
+  // short-write: half written, failure reported.
+  P = {};
+  P.ShortWriteNth = 1;
+  iofault::setPlan(P);
+  size_t Short = writeFile(Path, "0123456789");
+  EXPECT_LT(Short, 10u);
+  EXPECT_EQ(fileBytes(Path), 5);
+
+  // torn-write: half written, SUCCESS reported — the tear is only
+  // visible on disk.
+  P = {};
+  P.TornWriteNth = 1;
+  iofault::setPlan(P);
+  EXPECT_EQ(writeFile(Path, "0123456789"), 10u);
+  EXPECT_EQ(fileBytes(Path), 5);
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjection, BitFlipReadCorruptsExactlyOneBit) {
+  FaultGuard FG;
+  std::string Path = tempPath("fi_read.txt");
+  ASSERT_EQ(writeFile(Path, "ABCDEFGH"), 8u);
+
+  iofault::Plan P;
+  P.BitFlipReadNth = 1;
+  P.BitFlipByte = 3;
+  iofault::setPlan(P);
+
+  char Buf[9] = {};
+  std::FILE *F = iofault::fopenChecked(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(iofault::freadChecked(Buf, 1, 8, F), 8u);
+  std::fclose(F);
+  EXPECT_STREQ(Buf, "ABCEEFGH") << "'D' xor 1 = 'E'";
+  EXPECT_EQ(iofault::readOps(), 1u);
+
+  // Second read is clean.
+  F = iofault::fopenChecked(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  ASSERT_EQ(iofault::freadChecked(Buf, 1, 8, F), 8u);
+  std::fclose(F);
+  EXPECT_STREQ(Buf, "ABCDEFGH");
+  std::remove(Path.c_str());
+}
+
+TEST(FaultInjection, FailRenameFiresOnce) {
+  FaultGuard FG;
+  std::string From = tempPath("fi_ren_a.txt");
+  std::string To = tempPath("fi_ren_b.txt");
+  ASSERT_EQ(writeFile(From, "x"), 1u);
+
+  iofault::Plan P;
+  P.FailRename = true;
+  iofault::setPlan(P);
+  EXPECT_NE(iofault::renameChecked(From.c_str(), To.c_str()), 0);
+  EXPECT_EQ(fileBytes(From), 1) << "failed rename leaves the source";
+  EXPECT_EQ(iofault::renameChecked(From.c_str(), To.c_str()), 0)
+      << "disarmed after firing";
+  EXPECT_EQ(fileBytes(To), 1);
+  std::remove(To.c_str());
+}
+
+TEST(FaultInjection, CountersTrackOperationsSinceArming) {
+  FaultGuard FG;
+  std::string Path = tempPath("fi_count.txt");
+  iofault::setPlan({}); // empty plan still resets the counters
+
+  ASSERT_EQ(writeFile(Path, "abc"), 3u);
+  std::FILE *F = iofault::fopenChecked(Path.c_str(), "rb");
+  ASSERT_NE(F, nullptr);
+  char Buf[4] = {};
+  EXPECT_EQ(iofault::freadChecked(Buf, 1, 3, F), 3u);
+  EXPECT_EQ(iofault::freadChecked(Buf, 1, 3, F), 0u) << "EOF still counts";
+  std::fclose(F);
+
+  EXPECT_EQ(iofault::writeOps(), 1u);
+  EXPECT_EQ(iofault::readOps(), 2u);
+  EXPECT_EQ(iofault::faultsFired(), 0u);
+  std::remove(Path.c_str());
+}

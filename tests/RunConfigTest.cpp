@@ -87,6 +87,51 @@ TEST(RunConfigResolve, ParsesEveryFlagGroup) {
   EXPECT_EQ(Cfg.executionStr(), "fused/fork-join(3) tile=16x64");
 }
 
+TEST(RunConfigResolve, ParsesCheckpointFlagGroup) {
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(
+      Cfg,
+      {"--checkpoint-dir", "ckpts", "--checkpoint-every", "25",
+       "--checkpoint-keep", "5", "--checkpoint-retries", "2",
+       "--checkpoint-backoff-ms", "7", "--resume"},
+      &Error))
+      << Error;
+  EXPECT_EQ(Cfg.Checkpoint.Dir, "ckpts");
+  EXPECT_EQ(Cfg.Checkpoint.Every, 25u);
+  EXPECT_EQ(Cfg.Checkpoint.Keep, 5u);
+  EXPECT_EQ(Cfg.Checkpoint.RetryAttempts, 2u);
+  EXPECT_EQ(Cfg.Checkpoint.RetryBackoffMs, 7u);
+  EXPECT_TRUE(Cfg.Checkpoint.Resume);
+  EXPECT_TRUE(Cfg.Checkpoint.periodic());
+}
+
+TEST(RunConfigResolve, CheckpointingIsOffByDefaultAndAtEveryZero) {
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg, {}, &Error)) << Error;
+  EXPECT_TRUE(Cfg.Checkpoint.Dir.empty());
+  EXPECT_FALSE(Cfg.Checkpoint.Resume);
+  EXPECT_FALSE(Cfg.Checkpoint.periodic()) << "no dir, no periodic hook";
+
+  RunConfig EveryZero;
+  ASSERT_TRUE(parseAndResolve(
+      EveryZero, {"--checkpoint-dir", "d", "--checkpoint-every", "0"},
+      &Error))
+      << Error;
+  EXPECT_FALSE(EveryZero.Checkpoint.periodic()) << "--checkpoint-every 0";
+}
+
+TEST(RunConfigResolve, RejectsMalformedIoFaultSpecs) {
+  for (const char *Bad : {"frob=1", "fail-write=0", "fail-rename=2"}) {
+    RunConfig Cfg;
+    std::string Error;
+    EXPECT_FALSE(parseAndResolve(Cfg, {"--io-faults", Bad}, &Error)) << Bad;
+    EXPECT_NE(Error.find("--io-faults"), std::string::npos)
+        << "error for " << Bad << " was: " << Error;
+  }
+}
+
 TEST(RunConfigResolve, RejectsBadValuesWithStructuredErrors) {
   struct BadCase {
     std::vector<const char *> Args;

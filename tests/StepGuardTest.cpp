@@ -257,8 +257,10 @@ TEST(StepGuard, EmergencyCheckpointSavesLastHealthyState) {
   Cfg.MaxRetries = 1;
   Cfg.AllowFloor = false;
   StepGuard<1> Guard(S, Cfg);
-  Guard.setEmergencyCheckpoint(
-      Path, [&S](const std::string &P) { return saveCheckpoint(P, S); });
+  Guard.setEmergencyCheckpoint(Path, [&S](const std::string &P) {
+    CheckpointStatus St = saveCheckpoint(P, S);
+    return St.ok() ? std::string() : St.str();
+  });
   // Let two windows succeed so the snapshot is mid-run, then break.
   EXPECT_EQ(Guard.advanceWindow().Action, GuardAction::Accepted);
   EXPECT_EQ(Guard.advanceWindow().Action, GuardAction::Accepted);
@@ -274,7 +276,7 @@ TEST(StepGuard, EmergencyCheckpointSavesLastHealthyState) {
   // The checkpoint restores the last healthy state into a fresh solver.
   ArraySolver<1> Restored(sodProblem(48), SchemeConfig::figureScheme(),
                           Exec);
-  ASSERT_TRUE(loadCheckpoint(Path, Restored));
+  ASSERT_TRUE(loadCheckpoint(Path, Restored).ok());
   EXPECT_EQ(Restored.stepCount(), R.Step);
   EXPECT_EQ(Restored.time(), R.Time);
   EXPECT_EQ(maxFieldDifference(Restored, S), 0.0);
