@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fusion"
+  "../bench/ablation_fusion.pdb"
+  "CMakeFiles/ablation_fusion.dir/ablation_fusion.cpp.o"
+  "CMakeFiles/ablation_fusion.dir/ablation_fusion.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

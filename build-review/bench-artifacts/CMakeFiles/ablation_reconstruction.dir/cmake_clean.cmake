@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reconstruction"
+  "../bench/ablation_reconstruction.pdb"
+  "CMakeFiles/ablation_reconstruction.dir/ablation_reconstruction.cpp.o"
+  "CMakeFiles/ablation_reconstruction.dir/ablation_reconstruction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

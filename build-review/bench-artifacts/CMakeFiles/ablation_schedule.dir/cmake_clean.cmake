@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_schedule"
+  "../bench/ablation_schedule.pdb"
+  "CMakeFiles/ablation_schedule.dir/ablation_schedule.cpp.o"
+  "CMakeFiles/ablation_schedule.dir/ablation_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_tiling"
+  "../bench/ablation_tiling.pdb"
+  "CMakeFiles/ablation_tiling.dir/ablation_tiling.cpp.o"
+  "CMakeFiles/ablation_tiling.dir/ablation_tiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_variables.cpp" "bench-artifacts/CMakeFiles/ablation_variables.dir/ablation_variables.cpp.o" "gcc" "bench-artifacts/CMakeFiles/ablation_variables.dir/ablation_variables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/solver/CMakeFiles/sacfd_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/sacfd_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/array/CMakeFiles/sacfd_array.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/numerics/CMakeFiles/sacfd_numerics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/euler/CMakeFiles/sacfd_euler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/sacfd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/sacfd_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_variables"
+  "../bench/ablation_variables.pdb"
+  "CMakeFiles/ablation_variables.dir/ablation_variables.cpp.o"
+  "CMakeFiles/ablation_variables.dir/ablation_variables.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/checkpoint_overhead"
+  "../bench/checkpoint_overhead.pdb"
+  "CMakeFiles/checkpoint_overhead.dir/checkpoint_overhead.cpp.o"
+  "CMakeFiles/checkpoint_overhead.dir/checkpoint_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/extra_openmp_baseline"
+  "../bench/extra_openmp_baseline.pdb"
+  "CMakeFiles/extra_openmp_baseline.dir/extra_openmp_baseline.cpp.o"
+  "CMakeFiles/extra_openmp_baseline.dir/extra_openmp_baseline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extra_openmp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_sod_tube"
+  "../bench/fig1_sod_tube.pdb"
+  "CMakeFiles/fig1_sod_tube.dir/fig1_sod_tube.cpp.o"
+  "CMakeFiles/fig1_sod_tube.dir/fig1_sod_tube.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_sod_tube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

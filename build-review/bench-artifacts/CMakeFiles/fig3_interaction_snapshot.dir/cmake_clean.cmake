@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_interaction_snapshot"
+  "../bench/fig3_interaction_snapshot.pdb"
+  "CMakeFiles/fig3_interaction_snapshot.dir/fig3_interaction_snapshot.cpp.o"
+  "CMakeFiles/fig3_interaction_snapshot.dir/fig3_interaction_snapshot.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_interaction_snapshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_scaling_large"
+  "../bench/fig5_scaling_large.pdb"
+  "CMakeFiles/fig5_scaling_large.dir/fig5_scaling_large.cpp.o"
+  "CMakeFiles/fig5_scaling_large.dir/fig5_scaling_large.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scaling_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

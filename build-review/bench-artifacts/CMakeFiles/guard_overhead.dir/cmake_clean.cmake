@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/guard_overhead"
+  "../bench/guard_overhead.pdb"
+  "CMakeFiles/guard_overhead.dir/guard_overhead.cpp.o"
+  "CMakeFiles/guard_overhead.dir/guard_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guard_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/telemetry_overhead"
+  "../bench/telemetry_overhead.pdb"
+  "CMakeFiles/telemetry_overhead.dir/telemetry_overhead.cpp.o"
+  "CMakeFiles/telemetry_overhead.dir/telemetry_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telemetry_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

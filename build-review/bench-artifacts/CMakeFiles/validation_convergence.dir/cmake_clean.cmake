@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/validation_convergence"
+  "../bench/validation_convergence.pdb"
+  "CMakeFiles/validation_convergence.dir/validation_convergence.cpp.o"
+  "CMakeFiles/validation_convergence.dir/validation_convergence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riemann_gallery.dir/riemann_gallery.cpp.o"
+  "CMakeFiles/riemann_gallery.dir/riemann_gallery.cpp.o.d"
+  "riemann_gallery"
+  "riemann_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riemann_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shock_interaction_2d.dir/shock_interaction_2d.cpp.o"
+  "CMakeFiles/shock_interaction_2d.dir/shock_interaction_2d.cpp.o.d"
+  "shock_interaction_2d"
+  "shock_interaction_2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shock_interaction_2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

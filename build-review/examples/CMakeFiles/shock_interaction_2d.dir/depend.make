@@ -1,0 +1,2 @@
+# Empty dependencies file for shock_interaction_2d.
+# This may be replaced when dependencies are built.

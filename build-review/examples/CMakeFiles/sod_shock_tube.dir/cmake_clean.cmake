@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sod_shock_tube.dir/sod_shock_tube.cpp.o"
+  "CMakeFiles/sod_shock_tube.dir/sod_shock_tube.cpp.o.d"
+  "sod_shock_tube"
+  "sod_shock_tube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sod_shock_tube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

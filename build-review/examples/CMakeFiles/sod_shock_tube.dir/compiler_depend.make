@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sod_shock_tube.
+# This may be replaced when dependencies are built.

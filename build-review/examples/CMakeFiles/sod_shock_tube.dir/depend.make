@@ -1,0 +1,2 @@
+# Empty dependencies file for sod_shock_tube.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build-review/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build-review/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sod_shock_tube "/root/repo/build-review/examples/sod_shock_tube" "--cells" "100" "--quiet")
+set_tests_properties(example_sod_shock_tube PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sod_shock_tube_fused "/root/repo/build-review/examples/sod_shock_tube" "--cells" "100" "--quiet" "--engine" "fused" "--backend" "fork-join" "--threads" "2")
+set_tests_properties(example_sod_shock_tube_fused PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_shock_interaction_2d "/root/repo/build-review/examples/shock_interaction_2d" "--cells" "32" "--time-fraction" "0.25" "--no-files")
+set_tests_properties(example_shock_interaction_2d PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_riemann_gallery "/root/repo/build-review/examples/riemann_gallery" "--cells" "100")
+set_tests_properties(example_riemann_gallery PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sod_guarded "/root/repo/build-review/examples/sod_shock_tube" "--cells" "100" "--quiet" "--guard" "--guard-every" "2")
+set_tests_properties(example_sod_guarded PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sod_cfl10_guarded "/root/repo/build-review/examples/sod_shock_tube" "--cells" "100" "--quiet" "--cfl" "10" "--guard" "--end-time" "0.05")
+set_tests_properties(example_sod_cfl10_guarded PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sod_fault_injection "/root/repo/build-review/examples/sod_shock_tube" "--cells" "100" "--quiet" "--guard" "--poison-step" "3" "--poison-cells" "2" "--end-time" "0.05")
+set_tests_properties(example_sod_fault_injection PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;28;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_interaction_guarded "/root/repo/build-review/examples/shock_interaction_2d" "--cells" "32" "--time-fraction" "0.25" "--no-files" "--guard")
+set_tests_properties(example_interaction_guarded PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;31;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_sod_telemetry "/root/repo/build-review/examples/sod_shock_tube" "--cells" "100" "--quiet" "--telemetry" "sod_smoke_telemetry.json")
+set_tests_properties(example_sod_telemetry PROPERTIES  LABELS "smoke" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;34;add_test;/root/repo/examples/CMakeLists.txt;0;")

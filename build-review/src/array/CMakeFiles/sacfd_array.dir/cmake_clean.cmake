@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_array.dir/Shape.cpp.o"
+  "CMakeFiles/sacfd_array.dir/Shape.cpp.o.d"
+  "libsacfd_array.a"
+  "libsacfd_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

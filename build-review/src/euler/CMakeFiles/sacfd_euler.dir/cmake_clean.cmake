@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_euler.dir/ExactRiemann.cpp.o"
+  "CMakeFiles/sacfd_euler.dir/ExactRiemann.cpp.o.d"
+  "CMakeFiles/sacfd_euler.dir/RankineHugoniot.cpp.o"
+  "CMakeFiles/sacfd_euler.dir/RankineHugoniot.cpp.o.d"
+  "libsacfd_euler.a"
+  "libsacfd_euler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_euler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

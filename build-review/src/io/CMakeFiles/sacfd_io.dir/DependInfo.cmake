@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/AsciiPlot.cpp" "src/io/CMakeFiles/sacfd_io.dir/AsciiPlot.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/AsciiPlot.cpp.o.d"
+  "/root/repo/src/io/Checkpoint.cpp" "src/io/CMakeFiles/sacfd_io.dir/Checkpoint.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/Checkpoint.cpp.o.d"
+  "/root/repo/src/io/CheckpointStore.cpp" "src/io/CMakeFiles/sacfd_io.dir/CheckpointStore.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/CheckpointStore.cpp.o.d"
+  "/root/repo/src/io/CsvWriter.cpp" "src/io/CMakeFiles/sacfd_io.dir/CsvWriter.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/CsvWriter.cpp.o.d"
+  "/root/repo/src/io/FieldExport.cpp" "src/io/CMakeFiles/sacfd_io.dir/FieldExport.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/FieldExport.cpp.o.d"
+  "/root/repo/src/io/PgmWriter.cpp" "src/io/CMakeFiles/sacfd_io.dir/PgmWriter.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/PgmWriter.cpp.o.d"
+  "/root/repo/src/io/TelemetryExport.cpp" "src/io/CMakeFiles/sacfd_io.dir/TelemetryExport.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/TelemetryExport.cpp.o.d"
+  "/root/repo/src/io/VtkWriter.cpp" "src/io/CMakeFiles/sacfd_io.dir/VtkWriter.cpp.o" "gcc" "src/io/CMakeFiles/sacfd_io.dir/VtkWriter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/solver/CMakeFiles/sacfd_solver.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/array/CMakeFiles/sacfd_array.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/numerics/CMakeFiles/sacfd_numerics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/euler/CMakeFiles/sacfd_euler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/runtime/CMakeFiles/sacfd_runtime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/sacfd_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/sacfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_io.dir/AsciiPlot.cpp.o"
+  "CMakeFiles/sacfd_io.dir/AsciiPlot.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/Checkpoint.cpp.o"
+  "CMakeFiles/sacfd_io.dir/Checkpoint.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/CheckpointStore.cpp.o"
+  "CMakeFiles/sacfd_io.dir/CheckpointStore.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/CsvWriter.cpp.o"
+  "CMakeFiles/sacfd_io.dir/CsvWriter.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/FieldExport.cpp.o"
+  "CMakeFiles/sacfd_io.dir/FieldExport.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/PgmWriter.cpp.o"
+  "CMakeFiles/sacfd_io.dir/PgmWriter.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/TelemetryExport.cpp.o"
+  "CMakeFiles/sacfd_io.dir/TelemetryExport.cpp.o.d"
+  "CMakeFiles/sacfd_io.dir/VtkWriter.cpp.o"
+  "CMakeFiles/sacfd_io.dir/VtkWriter.cpp.o.d"
+  "libsacfd_io.a"
+  "libsacfd_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numerics/Reconstruction.cpp" "src/numerics/CMakeFiles/sacfd_numerics.dir/Reconstruction.cpp.o" "gcc" "src/numerics/CMakeFiles/sacfd_numerics.dir/Reconstruction.cpp.o.d"
+  "/root/repo/src/numerics/RiemannSolvers.cpp" "src/numerics/CMakeFiles/sacfd_numerics.dir/RiemannSolvers.cpp.o" "gcc" "src/numerics/CMakeFiles/sacfd_numerics.dir/RiemannSolvers.cpp.o.d"
+  "/root/repo/src/numerics/TimeIntegrators.cpp" "src/numerics/CMakeFiles/sacfd_numerics.dir/TimeIntegrators.cpp.o" "gcc" "src/numerics/CMakeFiles/sacfd_numerics.dir/TimeIntegrators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/euler/CMakeFiles/sacfd_euler.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/support/CMakeFiles/sacfd_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_numerics.dir/Reconstruction.cpp.o"
+  "CMakeFiles/sacfd_numerics.dir/Reconstruction.cpp.o.d"
+  "CMakeFiles/sacfd_numerics.dir/RiemannSolvers.cpp.o"
+  "CMakeFiles/sacfd_numerics.dir/RiemannSolvers.cpp.o.d"
+  "CMakeFiles/sacfd_numerics.dir/TimeIntegrators.cpp.o"
+  "CMakeFiles/sacfd_numerics.dir/TimeIntegrators.cpp.o.d"
+  "libsacfd_numerics.a"
+  "libsacfd_numerics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_numerics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

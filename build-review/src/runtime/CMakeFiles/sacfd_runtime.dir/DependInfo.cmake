@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Backend.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/Backend.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/Backend.cpp.o.d"
+  "/root/repo/src/runtime/ForkJoinBackend.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/ForkJoinBackend.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/ForkJoinBackend.cpp.o.d"
+  "/root/repo/src/runtime/OmpBackend.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/OmpBackend.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/OmpBackend.cpp.o.d"
+  "/root/repo/src/runtime/Runtime.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/Runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/Runtime.cpp.o.d"
+  "/root/repo/src/runtime/Schedule.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/Schedule.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/Schedule.cpp.o.d"
+  "/root/repo/src/runtime/SerialBackend.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/SerialBackend.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/SerialBackend.cpp.o.d"
+  "/root/repo/src/runtime/SpinBarrierPool.cpp" "src/runtime/CMakeFiles/sacfd_runtime.dir/SpinBarrierPool.cpp.o" "gcc" "src/runtime/CMakeFiles/sacfd_runtime.dir/SpinBarrierPool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/support/CMakeFiles/sacfd_support.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/telemetry/CMakeFiles/sacfd_telemetry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_runtime.dir/Backend.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/Backend.cpp.o.d"
+  "CMakeFiles/sacfd_runtime.dir/ForkJoinBackend.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/ForkJoinBackend.cpp.o.d"
+  "CMakeFiles/sacfd_runtime.dir/OmpBackend.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/OmpBackend.cpp.o.d"
+  "CMakeFiles/sacfd_runtime.dir/Runtime.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/Runtime.cpp.o.d"
+  "CMakeFiles/sacfd_runtime.dir/Schedule.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/Schedule.cpp.o.d"
+  "CMakeFiles/sacfd_runtime.dir/SerialBackend.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/SerialBackend.cpp.o.d"
+  "CMakeFiles/sacfd_runtime.dir/SpinBarrierPool.cpp.o"
+  "CMakeFiles/sacfd_runtime.dir/SpinBarrierPool.cpp.o.d"
+  "libsacfd_runtime.a"
+  "libsacfd_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

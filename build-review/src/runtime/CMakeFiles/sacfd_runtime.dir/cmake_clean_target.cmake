@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsacfd_runtime.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_solver.dir/Problems.cpp.o"
+  "CMakeFiles/sacfd_solver.dir/Problems.cpp.o.d"
+  "CMakeFiles/sacfd_solver.dir/RunConfig.cpp.o"
+  "CMakeFiles/sacfd_solver.dir/RunConfig.cpp.o.d"
+  "libsacfd_solver.a"
+  "libsacfd_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

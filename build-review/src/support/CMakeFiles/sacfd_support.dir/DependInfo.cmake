@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/CommandLine.cpp" "src/support/CMakeFiles/sacfd_support.dir/CommandLine.cpp.o" "gcc" "src/support/CMakeFiles/sacfd_support.dir/CommandLine.cpp.o.d"
+  "/root/repo/src/support/Env.cpp" "src/support/CMakeFiles/sacfd_support.dir/Env.cpp.o" "gcc" "src/support/CMakeFiles/sacfd_support.dir/Env.cpp.o.d"
+  "/root/repo/src/support/Error.cpp" "src/support/CMakeFiles/sacfd_support.dir/Error.cpp.o" "gcc" "src/support/CMakeFiles/sacfd_support.dir/Error.cpp.o.d"
+  "/root/repo/src/support/FaultInjection.cpp" "src/support/CMakeFiles/sacfd_support.dir/FaultInjection.cpp.o" "gcc" "src/support/CMakeFiles/sacfd_support.dir/FaultInjection.cpp.o.d"
+  "/root/repo/src/support/StrUtil.cpp" "src/support/CMakeFiles/sacfd_support.dir/StrUtil.cpp.o" "gcc" "src/support/CMakeFiles/sacfd_support.dir/StrUtil.cpp.o.d"
+  "/root/repo/src/support/Timer.cpp" "src/support/CMakeFiles/sacfd_support.dir/Timer.cpp.o" "gcc" "src/support/CMakeFiles/sacfd_support.dir/Timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/sacfd_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/sacfd_support.dir/Env.cpp.o"
+  "CMakeFiles/sacfd_support.dir/Env.cpp.o.d"
+  "CMakeFiles/sacfd_support.dir/Error.cpp.o"
+  "CMakeFiles/sacfd_support.dir/Error.cpp.o.d"
+  "CMakeFiles/sacfd_support.dir/FaultInjection.cpp.o"
+  "CMakeFiles/sacfd_support.dir/FaultInjection.cpp.o.d"
+  "CMakeFiles/sacfd_support.dir/StrUtil.cpp.o"
+  "CMakeFiles/sacfd_support.dir/StrUtil.cpp.o.d"
+  "CMakeFiles/sacfd_support.dir/Timer.cpp.o"
+  "CMakeFiles/sacfd_support.dir/Timer.cpp.o.d"
+  "libsacfd_support.a"
+  "libsacfd_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

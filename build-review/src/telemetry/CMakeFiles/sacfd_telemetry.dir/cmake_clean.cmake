@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sacfd_telemetry.dir/Telemetry.cpp.o"
+  "CMakeFiles/sacfd_telemetry.dir/Telemetry.cpp.o.d"
+  "libsacfd_telemetry.a"
+  "libsacfd_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sacfd_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "ArrayExprTest"
+  "ArrayExprTest.pdb"
+  "ArrayExprTest[1]_tests.cmake"
+  "CMakeFiles/ArrayExprTest.dir/ArrayExprTest.cpp.o"
+  "CMakeFiles/ArrayExprTest.dir/ArrayExprTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ArrayExprTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

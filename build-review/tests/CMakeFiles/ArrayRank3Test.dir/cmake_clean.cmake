@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "ArrayRank3Test"
+  "ArrayRank3Test.pdb"
+  "ArrayRank3Test[1]_tests.cmake"
+  "CMakeFiles/ArrayRank3Test.dir/ArrayRank3Test.cpp.o"
+  "CMakeFiles/ArrayRank3Test.dir/ArrayRank3Test.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ArrayRank3Test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

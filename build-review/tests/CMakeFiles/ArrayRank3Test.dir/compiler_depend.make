@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ArrayRank3Test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ArrayRank3Test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "Backend2DTest"
+  "Backend2DTest.pdb"
+  "Backend2DTest[1]_tests.cmake"
+  "CMakeFiles/Backend2DTest.dir/Backend2DTest.cpp.o"
+  "CMakeFiles/Backend2DTest.dir/Backend2DTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Backend2DTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

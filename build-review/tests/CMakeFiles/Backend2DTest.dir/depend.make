@@ -1,0 +1,2 @@
+# Empty dependencies file for Backend2DTest.
+# This may be replaced when dependencies are built.

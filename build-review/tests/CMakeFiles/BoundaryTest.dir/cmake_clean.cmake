@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "BoundaryTest"
+  "BoundaryTest.pdb"
+  "BoundaryTest[1]_tests.cmake"
+  "CMakeFiles/BoundaryTest.dir/BoundaryTest.cpp.o"
+  "CMakeFiles/BoundaryTest.dir/BoundaryTest.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/BoundaryTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

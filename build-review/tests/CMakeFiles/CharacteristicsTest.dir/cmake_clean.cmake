@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CharacteristicsTest.dir/CharacteristicsTest.cpp.o"
+  "CMakeFiles/CharacteristicsTest.dir/CharacteristicsTest.cpp.o.d"
+  "CharacteristicsTest"
+  "CharacteristicsTest.pdb"
+  "CharacteristicsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CharacteristicsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

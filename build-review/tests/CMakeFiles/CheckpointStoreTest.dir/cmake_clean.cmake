@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CheckpointStoreTest.dir/CheckpointStoreTest.cpp.o"
+  "CMakeFiles/CheckpointStoreTest.dir/CheckpointStoreTest.cpp.o.d"
+  "CheckpointStoreTest"
+  "CheckpointStoreTest.pdb"
+  "CheckpointStoreTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CheckpointStoreTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/CheckpointTest.dir/CheckpointTest.cpp.o"
+  "CMakeFiles/CheckpointTest.dir/CheckpointTest.cpp.o.d"
+  "CheckpointTest"
+  "CheckpointTest.pdb"
+  "CheckpointTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/CheckpointTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

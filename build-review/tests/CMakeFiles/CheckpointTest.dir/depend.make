@@ -1,0 +1,2 @@
+# Empty dependencies file for CheckpointTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ConservationTest.dir/ConservationTest.cpp.o"
+  "CMakeFiles/ConservationTest.dir/ConservationTest.cpp.o.d"
+  "ConservationTest"
+  "ConservationTest.pdb"
+  "ConservationTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ConservationTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ConvergenceTest.dir/ConvergenceTest.cpp.o"
+  "CMakeFiles/ConvergenceTest.dir/ConvergenceTest.cpp.o.d"
+  "ConvergenceTest"
+  "ConvergenceTest.pdb"
+  "ConvergenceTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ConvergenceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DeterminismTest.dir/DeterminismTest.cpp.o"
+  "CMakeFiles/DeterminismTest.dir/DeterminismTest.cpp.o.d"
+  "DeterminismTest"
+  "DeterminismTest.pdb"
+  "DeterminismTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DeterminismTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/DurabilityTest.dir/DurabilityTest.cpp.o"
+  "CMakeFiles/DurabilityTest.dir/DurabilityTest.cpp.o.d"
+  "DurabilityTest"
+  "DurabilityTest.pdb"
+  "DurabilityTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/DurabilityTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

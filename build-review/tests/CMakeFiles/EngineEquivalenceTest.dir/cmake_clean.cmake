@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EngineEquivalenceTest.dir/EngineEquivalenceTest.cpp.o"
+  "CMakeFiles/EngineEquivalenceTest.dir/EngineEquivalenceTest.cpp.o.d"
+  "EngineEquivalenceTest"
+  "EngineEquivalenceTest.pdb"
+  "EngineEquivalenceTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EngineEquivalenceTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/EulerStateTest.dir/EulerStateTest.cpp.o"
+  "CMakeFiles/EulerStateTest.dir/EulerStateTest.cpp.o.d"
+  "EulerStateTest"
+  "EulerStateTest.pdb"
+  "EulerStateTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/EulerStateTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

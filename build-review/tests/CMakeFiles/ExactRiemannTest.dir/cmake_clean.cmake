@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ExactRiemannTest.dir/ExactRiemannTest.cpp.o"
+  "CMakeFiles/ExactRiemannTest.dir/ExactRiemannTest.cpp.o.d"
+  "ExactRiemannTest"
+  "ExactRiemannTest.pdb"
+  "ExactRiemannTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ExactRiemannTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

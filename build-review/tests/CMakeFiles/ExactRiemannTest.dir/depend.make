@@ -1,0 +1,2 @@
+# Empty dependencies file for ExactRiemannTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FaultInjectionTest.dir/FaultInjectionTest.cpp.o"
+  "CMakeFiles/FaultInjectionTest.dir/FaultInjectionTest.cpp.o.d"
+  "FaultInjectionTest"
+  "FaultInjectionTest.pdb"
+  "FaultInjectionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FaultInjectionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

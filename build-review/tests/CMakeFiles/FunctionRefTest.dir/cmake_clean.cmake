@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/FunctionRefTest.dir/FunctionRefTest.cpp.o"
+  "CMakeFiles/FunctionRefTest.dir/FunctionRefTest.cpp.o.d"
+  "FunctionRefTest"
+  "FunctionRefTest.pdb"
+  "FunctionRefTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/FunctionRefTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for FunctionRefTest.
+# This may be replaced when dependencies are built.

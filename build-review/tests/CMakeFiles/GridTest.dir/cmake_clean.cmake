@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/GridTest.dir/GridTest.cpp.o"
+  "CMakeFiles/GridTest.dir/GridTest.cpp.o.d"
+  "GridTest"
+  "GridTest.pdb"
+  "GridTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/GridTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

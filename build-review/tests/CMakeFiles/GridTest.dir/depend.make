@@ -1,0 +1,2 @@
+# Empty dependencies file for GridTest.
+# This may be replaced when dependencies are built.

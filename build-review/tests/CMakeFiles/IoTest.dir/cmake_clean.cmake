@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/IoTest.dir/IoTest.cpp.o"
+  "CMakeFiles/IoTest.dir/IoTest.cpp.o.d"
+  "IoTest"
+  "IoTest.pdb"
+  "IoTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/IoTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/LimiterTest.dir/LimiterTest.cpp.o"
+  "CMakeFiles/LimiterTest.dir/LimiterTest.cpp.o.d"
+  "LimiterTest"
+  "LimiterTest.pdb"
+  "LimiterTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/LimiterTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

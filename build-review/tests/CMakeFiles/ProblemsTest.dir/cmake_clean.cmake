@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ProblemsTest.dir/ProblemsTest.cpp.o"
+  "CMakeFiles/ProblemsTest.dir/ProblemsTest.cpp.o.d"
+  "ProblemsTest"
+  "ProblemsTest.pdb"
+  "ProblemsTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ProblemsTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RankineHugoniotTest.dir/RankineHugoniotTest.cpp.o"
+  "CMakeFiles/RankineHugoniotTest.dir/RankineHugoniotTest.cpp.o.d"
+  "RankineHugoniotTest"
+  "RankineHugoniotTest.pdb"
+  "RankineHugoniotTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RankineHugoniotTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ReconstructionTest.dir/ReconstructionTest.cpp.o"
+  "CMakeFiles/ReconstructionTest.dir/ReconstructionTest.cpp.o.d"
+  "ReconstructionTest"
+  "ReconstructionTest.pdb"
+  "ReconstructionTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ReconstructionTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

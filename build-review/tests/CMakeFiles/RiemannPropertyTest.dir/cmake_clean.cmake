@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RiemannPropertyTest.dir/RiemannPropertyTest.cpp.o"
+  "CMakeFiles/RiemannPropertyTest.dir/RiemannPropertyTest.cpp.o.d"
+  "RiemannPropertyTest"
+  "RiemannPropertyTest.pdb"
+  "RiemannPropertyTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RiemannPropertyTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RiemannSolverTest.dir/RiemannSolverTest.cpp.o"
+  "CMakeFiles/RiemannSolverTest.dir/RiemannSolverTest.cpp.o.d"
+  "RiemannSolverTest"
+  "RiemannSolverTest.pdb"
+  "RiemannSolverTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RiemannSolverTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for RiemannSolverTest.
+# This may be replaced when dependencies are built.

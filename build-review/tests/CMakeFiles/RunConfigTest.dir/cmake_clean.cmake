@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RunConfigTest.dir/RunConfigTest.cpp.o"
+  "CMakeFiles/RunConfigTest.dir/RunConfigTest.cpp.o.d"
+  "RunConfigTest"
+  "RunConfigTest.pdb"
+  "RunConfigTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RunConfigTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

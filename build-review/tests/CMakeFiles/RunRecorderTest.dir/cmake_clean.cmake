@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/RunRecorderTest.dir/RunRecorderTest.cpp.o"
+  "CMakeFiles/RunRecorderTest.dir/RunRecorderTest.cpp.o.d"
+  "RunRecorderTest"
+  "RunRecorderTest.pdb"
+  "RunRecorderTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/RunRecorderTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ScheduleTest.dir/ScheduleTest.cpp.o"
+  "CMakeFiles/ScheduleTest.dir/ScheduleTest.cpp.o.d"
+  "ScheduleTest"
+  "ScheduleTest.pdb"
+  "ScheduleTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ScheduleTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

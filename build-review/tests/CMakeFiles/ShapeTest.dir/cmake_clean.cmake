@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ShapeTest.dir/ShapeTest.cpp.o"
+  "CMakeFiles/ShapeTest.dir/ShapeTest.cpp.o.d"
+  "ShapeTest"
+  "ShapeTest.pdb"
+  "ShapeTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ShapeTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Solver1DTest.dir/Solver1DTest.cpp.o"
+  "CMakeFiles/Solver1DTest.dir/Solver1DTest.cpp.o.d"
+  "Solver1DTest"
+  "Solver1DTest.pdb"
+  "Solver1DTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Solver1DTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

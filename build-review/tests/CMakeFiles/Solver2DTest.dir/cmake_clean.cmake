@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Solver2DTest.dir/Solver2DTest.cpp.o"
+  "CMakeFiles/Solver2DTest.dir/Solver2DTest.cpp.o.d"
+  "Solver2DTest"
+  "Solver2DTest.pdb"
+  "Solver2DTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Solver2DTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

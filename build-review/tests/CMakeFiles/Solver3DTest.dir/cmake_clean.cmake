@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/Solver3DTest.dir/Solver3DTest.cpp.o"
+  "CMakeFiles/Solver3DTest.dir/Solver3DTest.cpp.o.d"
+  "Solver3DTest"
+  "Solver3DTest.pdb"
+  "Solver3DTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/Solver3DTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

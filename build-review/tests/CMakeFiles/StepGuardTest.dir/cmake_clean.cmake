@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/StepGuardTest.dir/StepGuardTest.cpp.o"
+  "CMakeFiles/StepGuardTest.dir/StepGuardTest.cpp.o.d"
+  "StepGuardTest"
+  "StepGuardTest.pdb"
+  "StepGuardTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/StepGuardTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TelemetryTest.dir/TelemetryTest.cpp.o"
+  "CMakeFiles/TelemetryTest.dir/TelemetryTest.cpp.o.d"
+  "TelemetryTest"
+  "TelemetryTest.pdb"
+  "TelemetryTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TelemetryTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/TimeIntegratorTest.dir/TimeIntegratorTest.cpp.o"
+  "CMakeFiles/TimeIntegratorTest.dir/TimeIntegratorTest.cpp.o.d"
+  "TimeIntegratorTest"
+  "TimeIntegratorTest.pdb"
+  "TimeIntegratorTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/TimeIntegratorTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for TimeIntegratorTest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/WithLoopTest.dir/WithLoopTest.cpp.o"
+  "CMakeFiles/WithLoopTest.dir/WithLoopTest.cpp.o.d"
+  "WithLoopTest"
+  "WithLoopTest.pdb"
+  "WithLoopTest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/WithLoopTest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
