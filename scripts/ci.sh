@@ -17,6 +17,16 @@ set -eu
 JOBS="${1:-$(nproc 2>/dev/null || echo 4)}"
 cd "$(dirname "$0")/.."
 
+echo "== tracked-tree hygiene =="
+# Build trees are generated; a tracked build*/ path means someone
+# committed one (the .gitignore build*/ rule only covers new files).
+TRACKED_BUILD="$(git ls-files -- 'build*' | head -5)"
+if [ -n "$TRACKED_BUILD" ]; then
+  echo "error: generated build tree files are git-tracked:" >&2
+  echo "$TRACKED_BUILD" >&2
+  exit 1
+fi
+
 for TYPE in Debug Release; do
   BUILD="build-ci-$TYPE"
   echo "== $TYPE =="
@@ -51,4 +61,11 @@ echo "== checkpoint overhead artifact =="
     --threads 2 --dir artifacts/checkpoint_overhead.ckpt \
     --json artifacts/BENCH_checkpoint.json
 echo "wrote artifacts/BENCH_checkpoint.json"
+
+echo "== allocation ablation artifact =="
+# A6 record: pooled vs per-temporary allocation on the Fig. 4 workload.
+# The binary exits nonzero if any pooled steady-state step allocates.
+./build-ci-Release/bench/alloc_overhead --cells 96 --steps 20 \
+    --threads 2 --json artifacts/BENCH_alloc.json
+echo "wrote artifacts/BENCH_alloc.json"
 echo "== CI matrix passed =="

@@ -18,6 +18,7 @@
 #ifndef SACFD_ARRAY_NDARRAY_H
 #define SACFD_ARRAY_NDARRAY_H
 
+#include "array/AllocCounter.h"
 #include "array/Shape.h"
 
 #include <cassert>
@@ -90,7 +91,9 @@ public:
 
 private:
   Shape Dims;
-  std::vector<T> Data;
+  // Buffer allocations are counted (see AllocCounter.h) so the
+  // zero-allocation-per-step regression tests can observe them.
+  std::vector<T, alloctrack::CountingAllocator<T>> Data;
 };
 
 } // namespace sacfd

@@ -23,9 +23,9 @@
 
 #include "array/Expr.h"
 #include "runtime/Backend.h"
+#include "support/InlinePartials.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace sacfd {
 
@@ -56,7 +56,7 @@ T fold(X &&Operand, T Init, Combine Fn, Backend &Exec) {
   if (Exec.tile().Enabled && S.rank() == 2) {
     size_t Cols = S.dim(1);
     TileGrid G(S.dim(0), Cols, Exec.tile());
-    std::vector<T> Partials(G.count(), Init);
+    InlinePartials<T> Partials(G.count(), Init);
     Exec.parallelFor(0, G.count(), [&](size_t TBegin, size_t TEnd) {
       for (size_t Tl = TBegin; Tl != TEnd; ++Tl) {
         TileRect R = G.rect(Tl);
@@ -80,7 +80,7 @@ T fold(X &&Operand, T Init, Combine Fn, Backend &Exec) {
   }
 
   size_t Blocks = std::min<size_t>(Exec.workerCount(), N);
-  std::vector<T> Partials(Blocks, Init);
+  InlinePartials<T> Partials(Blocks, Init);
 
   Exec.parallelFor(0, Blocks, [&](size_t BlockBegin, size_t BlockEnd) {
     for (size_t Block = BlockBegin; Block != BlockEnd; ++Block) {

@@ -88,6 +88,18 @@ auto withLoop(const Shape &S, Backend &Exec, Fn &&Body) {
   return Out;
 }
 
+/// genarray with-loop into an existing buffer — the pooled form of
+/// withLoop().  Every element of \p Out is overwritten with \p Body(Ix),
+/// so a recycled (uninitialized) buffer is safe here.
+template <typename T, typename Fn>
+void withLoopInto(NDArray<T> &Out, Backend &Exec, Fn &&Body) {
+  T *Data = Out.data();
+  forEachIndex(Out.shape(), Exec,
+               [&Body, Data](const Index &Ix, size_t Linear) {
+                 Data[Linear] = Body(Ix);
+               });
+}
+
 /// modarray with-loop: overwrites \p Out with \p Ex element-wise.
 /// This is the fused evaluation point of an expression chain.
 template <typename T, ArrayExprType E>

@@ -24,7 +24,10 @@ bool sacfd::writePgm(const std::string &Path, const NDArray<double> &Field,
       Hi = std::max(Hi, Field[I]);
     }
   }
-  double Scale = Hi > Lo ? 255.0 / (Hi - Lo) : 0.0;
+  // A flat field (Hi == Lo) carries no contrast information; render it
+  // mid-gray rather than collapsing to all-black.
+  bool Flat = !(Hi > Lo);
+  double Scale = Flat ? 0.0 : 255.0 / (Hi - Lo);
 
   size_t Nx = Field.shape().dim(0);
   size_t Ny = Field.shape().dim(1);
@@ -38,10 +41,11 @@ bool sacfd::writePgm(const std::string &Path, const NDArray<double> &Field,
   std::vector<unsigned char> Row(Nx);
   for (size_t J = Ny; J-- > 0;) {
     for (size_t I = 0; I < Nx; ++I) {
-      double V = (Field.at(static_cast<std::ptrdiff_t>(I),
-                           static_cast<std::ptrdiff_t>(J)) -
-                  Lo) *
-                 Scale;
+      double V = Flat ? 128.0
+                      : (Field.at(static_cast<std::ptrdiff_t>(I),
+                                  static_cast<std::ptrdiff_t>(J)) -
+                         Lo) *
+                            Scale;
       Row[I] = static_cast<unsigned char>(std::clamp(V, 0.0, 255.0));
     }
     std::fwrite(Row.data(), 1, Nx, File);

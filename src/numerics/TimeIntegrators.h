@@ -76,6 +76,29 @@ void advanceSsp(TimeIntegratorKind Kind, State &U, double Dt, RhsFn &&Rhs,
   }
 }
 
+/// Buffer-reusing stage driver: the zero-allocation form of advanceSsp.
+///
+/// All scratch states are caller-provided (pool leases, preallocated
+/// arrays), so repeated calls perform no allocations of their own.
+/// Produces exactly the same stage sequence as advanceSsp.
+///
+/// \param Un scratch for the u^n snapshot; overwritten by copy-assignment
+///        from \p U (which reuses its storage once the shapes match).
+/// \param L scratch for the stage residual.
+/// \param RhsInto callable: RhsInto(U, L) writes L(U) into \p L.
+/// \param CombineInto callable: CombineInto(A, Un, B, U, Dt, L) updates
+///        \p U to A*Un + B*(U + Dt*L) in place.
+template <typename State, typename RhsIntoFn, typename CombineIntoFn>
+void advanceSspInto(TimeIntegratorKind Kind, State &U, double Dt, State &Un,
+                    State &L, RhsIntoFn &&RhsInto,
+                    CombineIntoFn &&CombineInto) {
+  Un = U;
+  for (const SspStage &Stage : sspStages(Kind)) {
+    RhsInto(U, L);
+    CombineInto(Stage.PrevWeight, Un, Stage.StageWeight, U, Dt, L);
+  }
+}
+
 } // namespace sacfd
 
 #endif // SACFD_NUMERICS_TIMEINTEGRATORS_H

@@ -24,10 +24,10 @@
 #define SACFD_RUNTIME_BLOCKREDUCE_H
 
 #include "runtime/Backend.h"
+#include "support/InlinePartials.h"
 
 #include <algorithm>
 #include <utility>
-#include <vector>
 
 namespace sacfd {
 
@@ -46,7 +46,7 @@ T blockReduce(size_t N, Backend &Exec, T Identity, FoldBlock Fold,
     return Identity;
 
   size_t Blocks = std::min<size_t>(Exec.workerCount(), N);
-  std::vector<T> Partials(Blocks, Identity);
+  InlinePartials<T> Partials(Blocks, Identity);
 
   // Block b covers [Lo, Lo + Len): the first (N % Blocks) blocks are one
   // element longer, so the partition depends only on N and Blocks.
@@ -83,7 +83,7 @@ T blockReduce2D(size_t Rows, size_t Cols, Backend &Exec, T Identity,
 
   if (Exec.tile().Enabled) {
     TileGrid G(Rows, Cols, Exec.tile());
-    std::vector<T> Partials(G.count(), Identity);
+    InlinePartials<T> Partials(G.count(), Identity);
     Exec.parallelFor(0, G.count(), [&](size_t TB, size_t TE) {
       for (size_t Tl = TB; Tl != TE; ++Tl) {
         TileRect R = G.rect(Tl);

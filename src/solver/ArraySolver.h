@@ -84,9 +84,11 @@ public:
           maxval(mapIndex(Interior, EvAt), this->Exec));
 
     // Materialized: ev is an explicit temporary array, like unoptimized
-    // SaC would allocate for the set notation before reducing it.
-    NDArray<double> Ev = withLoop(Interior, this->Exec, EvAt);
-    return this->dtFromMaxEigen(maxval(Ev, this->Exec));
+    // SaC would allocate for the set notation before reducing it.  The
+    // buffer is leased (every element is written, so uninit is safe).
+    FieldPool::Lease<double> Ev = this->Pool.template acquireUninit<double>(Interior);
+    withLoopInto(*Ev, this->Exec, EvAt);
+    return this->dtFromMaxEigen(maxval(*Ev, this->Exec));
   }
 
 protected:
@@ -98,11 +100,14 @@ protected:
     const Grid<Dim> &G = this->Prob.Domain;
     Shape Interior = G.interiorShape();
 
-    // Q^n snapshot for the convex Runge-Kutta combinations.
-    NDArray<Cons<Dim>> Un;
+    // Q^n snapshot for the convex Runge-Kutta combinations.  Leased
+    // uninitialized: the copy overwrites every element.
+    FieldPool::Lease<Cons<Dim>> UnL =
+        this->Pool.template acquireUninit<Cons<Dim>>(this->U.shape());
+    NDArray<Cons<Dim>> &Un = *UnL;
     {
       telemetry::ScopedSpan S(SpanSnapshot);
-      Un = this->U;
+      std::copy(this->U.begin(), this->U.end(), Un.begin());
     }
 
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
@@ -110,13 +115,14 @@ protected:
         telemetry::ScopedSpan S(SpanBoundary);
         applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
       }
-      NDArray<Cons<Dim>> Res;
+      FieldPool::Lease<Cons<Dim>> ResL;
       {
         // Reconstruction + Riemann fluxes + divergence, fused per the
         // evaluation mode.
         telemetry::ScopedSpan S(SpanFlux);
-        Res = residual();
+        ResL = residual();
       }
+      const NDArray<Cons<Dim>> &Res = *ResL;
 
       // Fused modarray combine:
       //   U = A * Un + B * (U + dt * Res)   on the interior.
@@ -133,8 +139,10 @@ protected:
 
 private:
   /// Numerical flux array over the face index space of \p Axis
-  /// (interior shape extended by one along the axis).
-  NDArray<Cons<Dim>> fluxAlong(unsigned Axis) {
+  /// (interior shape extended by one along the axis).  The result is a
+  /// pooled lease; each axis has a distinct face shape, so the per-axis
+  /// buffers recycle independently.
+  FieldPool::Lease<Cons<Dim>> fluxAlong(unsigned Axis) {
     const Grid<Dim> &G = this->Prob.Domain;
     const Gas &Gas_ = this->Prob.G;
     const SchemeConfig &SC = this->Scheme;
@@ -145,10 +153,12 @@ private:
     Shape Faces = G.interiorShape();
     Faces.dim(Axis) += 1;
 
+    FieldPool::Lease<Cons<Dim>> Out =
+        this->Pool.template acquireUninit<Cons<Dim>>(Faces);
     // genarray with-loop over faces: gather the 6-cell stencil along the
     // axis, reconstruct, solve the face Riemann problem.
-    return withLoop(Faces, this->Exec, [&, Ng, StorageMax,
-                                        Axis](const Index &Fv) {
+    withLoopInto(*Out, this->Exec, [&, Ng, StorageMax,
+                                    Axis](const Index &Fv) {
       std::array<Cons<Dim>, 6> Stencil;
       for (unsigned K = 0; K < 6; ++K) {
         Index C = Fv;
@@ -166,14 +176,16 @@ private:
                                                  Axis);
       return numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis);
     });
+    return Out;
   }
 
-  /// Residual L(U) = -sum_axis dF_axis/dx_axis over the interior.
-  NDArray<Cons<Dim>> residual() {
+  /// Residual L(U) = -sum_axis dF_axis/dx_axis over the interior,
+  /// returned as a pooled lease.
+  FieldPool::Lease<Cons<Dim>> residual() {
     const Grid<Dim> &G = this->Prob.Domain;
     Shape Interior = G.interiorShape();
 
-    std::array<NDArray<Cons<Dim>>, Dim> Flux;
+    std::array<FieldPool::Lease<Cons<Dim>>, Dim> Flux;
     for (unsigned A = 0; A < Dim; ++A)
       Flux[A] = fluxAlong(A);
 
@@ -185,21 +197,28 @@ private:
       // One fused pass: the per-axis dfDx differences are consumed as
       // they are formed (the paper's dfDxNoBoundary, folded into its
       // consumer by the compiler).
-      return withLoop(Interior, this->Exec, [&](const Index &Iv) {
+      FieldPool::Lease<Cons<Dim>> Out =
+          this->Pool.template acquireUninit<Cons<Dim>>(Interior);
+      withLoopInto(*Out, this->Exec, [&](const Index &Iv) {
         Cons<Dim> Acc;
         for (unsigned A = 0; A < Dim; ++A) {
           Index HiFace = Iv;
           HiFace.Coord[A] += 1;
-          Acc -= (Flux[A].at(HiFace) - Flux[A].at(Iv)) * InvDx[A];
+          Acc -= (Flux[A]->at(HiFace) - Flux[A]->at(Iv)) * InvDx[A];
         }
         return Acc;
       });
+      return Out;
     }
 
     // Materialized: each dfDx is an explicit temporary, then summed —
     // the unfused whole-array formulation
     //   res = -dfDx(flux0)/dx0 - dfDx(flux1)/dx1.
-    NDArray<Cons<Dim>> Res(Interior);
+    // The temporaries stay explicit (that is what the A1 ablation
+    // measures); pooling only recycles their storage.  Res needs the
+    // value-initialized acquire: it is read before the first axis sum.
+    FieldPool::Lease<Cons<Dim>> Res =
+        this->Pool.template acquire<Cons<Dim>>(Interior);
     for (unsigned A = 0; A < Dim; ++A) {
       Index DropSpec;
       DropSpec.Rank = Dim;
@@ -211,11 +230,15 @@ private:
       // dfDxNoBoundary(flux, dx) = (drop([1],f) - drop([-1],f)) / dx
       // (multiplied by the reciprocal so both engines and both eval
       // modes produce bit-identical fields).
-      NDArray<Cons<Dim>> DfDx = materialize(
-          (drop(DropSpec, Flux[A]) - drop(DropBack, Flux[A])) * InvDx[A],
-          this->Exec);
-      NDArray<Cons<Dim>> Sum = materialize(
-          toExpr(Res) - toExpr(DfDx), this->Exec);
+      FieldPool::Lease<Cons<Dim>> DfDx =
+          this->Pool.template acquireUninit<Cons<Dim>>(Interior);
+      assignInto(*DfDx,
+                 (drop(DropSpec, *Flux[A]) - drop(DropBack, *Flux[A])) *
+                     InvDx[A],
+                 this->Exec);
+      FieldPool::Lease<Cons<Dim>> Sum =
+          this->Pool.template acquireUninit<Cons<Dim>>(Interior);
+      assignInto(*Sum, toExpr(*Res) - toExpr(*DfDx), this->Exec);
       Res = std::move(Sum);
     }
     return Res;

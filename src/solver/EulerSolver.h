@@ -21,6 +21,7 @@
 #ifndef SACFD_SOLVER_EULERSOLVER_H
 #define SACFD_SOLVER_EULERSOLVER_H
 
+#include "array/FieldPool.h"
 #include "array/NDArray.h"
 #include "runtime/Backend.h"
 #include "solver/Problem.h"
@@ -30,9 +31,22 @@
 #include <algorithm>
 #include <array>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <string>
 
 namespace sacfd {
+
+/// True when the interval [Now, EndTime] is below the rounding noise of
+/// the solver clock — smaller than a few ulps of Now.  Stepping through
+/// such a remainder grinds out denormal-sized dt values (and
+/// `Time += Dt` may not even change Time, looping forever); callers snap
+/// the clock onto EndTime instead.
+inline bool stepRemainderNegligible(double Now, double EndTime) {
+  return EndTime - Now <
+         4.0 * std::numeric_limits<double>::epsilon() *
+             std::max(std::abs(Now), 1.0);
+}
 
 /// Abstract Euler solver: owns the field and the time loop; engines
 /// supply the per-step numerics.
@@ -95,9 +109,16 @@ public:
       advance();
   }
 
-  /// Advances until \p EndTime, clamping the final step onto it.
+  /// Advances until \p EndTime, clamping the final step onto it.  A
+  /// remainder below clock rounding noise is snapped rather than stepped
+  /// (see stepRemainderNegligible) so adversarial end times cannot grind
+  /// the loop through denormal-sized steps.
   void advanceTo(double EndTime) {
     while (Time < EndTime) {
+      if (stepRemainderNegligible(Time, EndTime)) {
+        Time = EndTime;
+        break;
+      }
       double Dt = std::min(computeDt(), EndTime - Time);
       stepWithDt(Dt);
       Time += Dt;
@@ -115,6 +136,11 @@ public:
     Time = NewTime;
     Steps = NewSteps;
   }
+
+  /// The solver's buffer arena.  Engines lease every stage temporary from
+  /// here; the step guard leases its rollback snapshot from it too, so the
+  /// guard must not outlive the solver.
+  FieldPool &fieldPool() { return Pool; }
 
 protected:
   /// One full multi-stage step with the given dt.
@@ -178,6 +204,11 @@ protected:
     for (unsigned A = 0; A < Dim; ++A)
       telemetry::recordGauge(GaugeMom[A], Steps, Momentum[A] * Volume);
     telemetry::recordGauge(GaugeEnergy, Steps, Energy * Volume);
+
+    // Pool stats are a pure function of the step structure (acquisitions
+    // happen only on the driving thread), so these gauges stay
+    // bit-identical across backends and worker counts.
+    Pool.recordTelemetry(Steps);
   }
 
   void initializeField() {
@@ -198,6 +229,10 @@ protected:
   Problem<Dim> Prob;
   SchemeConfig Scheme;
   Backend &Exec;
+  /// Declared before U and before any derived-class lease members: leases
+  /// (destroyed in derived destructors, before this) return their buffers
+  /// here, so the pool must be destroyed last.
+  FieldPool Pool;
   NDArray<Cons<Dim>> U;
   double Time = 0.0;
   unsigned Steps = 0;

@@ -34,7 +34,6 @@
 #include "solver/EulerSolver.h"
 
 #include <algorithm>
-#include <vector>
 
 namespace sacfd {
 
@@ -110,11 +109,15 @@ protected:
     size_t InteriorCount = G.interiorCount();
 
     // QN = QP: whole-array snapshot (one parallel region, as the
-    // auto-parallelizer emits for a Fortran array assignment).
-    if (Un.shape() != this->U.shape())
-      Un.reshapeDiscard(this->U.shape());
-    if (Res.shape() != G.interiorShape())
-      Res.reshapeDiscard(G.interiorShape());
+    // auto-parallelizer emits for a Fortran array assignment).  Both
+    // scratch buffers are leased on first use; every element is written
+    // before being read, so the uninit mode applies.
+    if (!UnL || UnL->shape() != this->U.shape())
+      UnL = this->Pool.template acquireUninit<Cons<Dim>>(this->U.shape());
+    if (!ResL || ResL->shape() != G.interiorShape())
+      ResL = this->Pool.template acquireUninit<Cons<Dim>>(G.interiorShape());
+    NDArray<Cons<Dim>> &Un = *UnL;
+    NDArray<Cons<Dim>> &Res = *ResL;
 
     Cons<Dim> *UnData = Un.data();
     Cons<Dim> *UData = this->U.data();
@@ -218,7 +221,7 @@ private:
         static_cast<std::ptrdiff_t>(StorageDim[Axis]) - 1;
     const size_t Lines = lineCount(Axis);
     const Cons<Dim> *Field = this->U.data();
-    Cons<Dim> *ResData = Res.data();
+    Cons<Dim> *ResData = ResL->data();
 
     // (line, cell-along-axis) is the 2D iteration space; the backend may
     // tile it.  Each cell's update reads faces I and I+1 computed from the
@@ -230,9 +233,17 @@ private:
         [&, Axis](size_t LineBegin, size_t LineEnd, size_t CellBegin,
                   size_t CellEnd) {
           // Faces CellBegin..CellEnd inclusive bound this cell sub-range;
-          // local face f is global face CellBegin + f.
+          // local face f is global face CellBegin + f.  The face-state
+          // scratch is per-worker-thread and grown-only: on persistent
+          // worker pools it is allocated once per thread and then reused
+          // for every region of every step (fork-join teams are transient,
+          // so they re-pay it — part of the per-region cost Fig. 4 is
+          // about).  Every face slot is written before it is read.
           size_t LocalFaces = (CellEnd - CellBegin) + 1;
-          std::vector<Cons<Dim>> FluxLine(LocalFaces);
+          static thread_local NDArray<Cons<Dim>> FluxScratch;
+          if (FluxScratch.size() < LocalFaces)
+            FluxScratch.reshapeDiscard(Shape{LocalFaces});
+          Cons<Dim> *FluxLine = FluxScratch.data();
           for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
             // Base points at interior cell 0; relative cell i sits at
             // Base + i * AxisStride.
@@ -277,8 +288,10 @@ private:
   size_t StorageStride[Dim] = {};
   size_t InteriorStride[Dim] = {};
   unsigned Ng = 0;
-  NDArray<Cons<Dim>> Un;
-  NDArray<Cons<Dim>> Res;
+  /// Snapshot (QN) and RHS scratch, leased from the solver pool on first
+  /// step and held for the solver's lifetime.
+  FieldPool::Lease<Cons<Dim>> UnL;
+  FieldPool::Lease<Cons<Dim>> ResL;
 };
 
 } // namespace sacfd

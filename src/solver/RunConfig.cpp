@@ -71,11 +71,17 @@ void RunConfig::registerScheduleFlags(CommandLine &CL) {
                "how tiles are dealt to workers: static[,N] | dynamic[,N]");
 }
 
+void RunConfig::registerPoolFlag(CommandLine &CL) {
+  CL.addFlag("no-pool", NoPoolFlag,
+             "disable field-buffer recycling (one malloc per temporary)");
+}
+
 void RunConfig::registerAll(CommandLine &CL) {
   registerSchemeFlags(CL);
   registerEngineFlag(CL);
   registerBackendFlags(CL);
   registerScheduleFlags(CL);
+  registerPoolFlag(CL);
   registerGuardFlags(CL);
   registerTelemetryFlags(CL);
   registerCheckpointFlags(CL);
@@ -150,6 +156,8 @@ bool RunConfig::resolve(std::string &Error) {
       return Fail("--tile-dealing: " + P.Error);
     TileCfg.Dealing = *P.Value;
   }
+  if (NoPoolFlag)
+    Pooling = false;
   if (!Checkpoint.resolve(Error))
     return false;
   return true;
@@ -173,5 +181,7 @@ std::string RunConfig::executionStr() const {
   S += "(" + std::to_string(Threads) + ")";
   if (TileCfg.Enabled)
     S += " tile=" + TileCfg.str();
+  if (!Pooling)
+    S += " no-pool";
   return S;
 }

@@ -82,6 +82,10 @@ struct RunConfig {
   GuardCliOptions Guard;
   TelemetryCliOptions Telemetry;
   CheckpointCliOptions Checkpoint;
+  /// Whether the solver's FieldPool recycles stage temporaries (the
+  /// zero-allocation hot path).  Off = one malloc/free per temporary,
+  /// the unpooled arm of the A6 ablation.  Bit-identical either way.
+  bool Pooling = true;
 
   RunConfig();
 
@@ -93,6 +97,8 @@ struct RunConfig {
   void registerBackendFlags(CommandLine &CL);
   /// Binds --schedule, --tile and --tile-dealing.
   void registerScheduleFlags(CommandLine &CL);
+  /// Binds --no-pool (disable field-buffer recycling).
+  void registerPoolFlag(CommandLine &CL);
   /// Binds the step-guard flag group (see GuardOptions.h).
   void registerGuardFlags(CommandLine &CL) { Guard.registerWith(CL); }
   /// Binds the telemetry flag group (see TelemetryOptions.h).
@@ -132,6 +138,7 @@ private:
   std::string ScheduleSpec;
   std::string TileSpec;
   std::string TileDealingSpec;
+  bool NoPoolFlag = false;
 };
 
 } // namespace sacfd

@@ -66,6 +66,7 @@ public:
                                                   Cfg.Scheme, *Exec);
       break;
     }
+    Solver->fieldPool().setEnabled(Cfg.Pooling);
     if (Cfg.Guard.Enabled) {
       Guard = std::make_unique<StepGuard<Dim>>(*Solver, Cfg.Guard.config());
       Cfg.Guard.armFaults(*Guard);
@@ -112,6 +113,10 @@ public:
     while (!failed() && Solver->time() < EndTime) {
       if (Guard) {
         Guard->advanceWindow(EndTime);
+      } else if (stepRemainderNegligible(Solver->time(), EndTime)) {
+        // Snap a sub-rounding-noise remainder, matching
+        // EulerSolver::advanceTo.
+        Solver->restoreClock(EndTime, Solver->stepCount());
       } else {
         double Dt = std::min(Solver->computeDt(), EndTime - Solver->time());
         Solver->advanceWithDt(Dt);

@@ -43,6 +43,7 @@
 #include "runtime/BlockReduce.h"
 #include "solver/EulerSolver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -408,6 +409,12 @@ private:
     for (unsigned I = 0; I < Cfg.Every; ++I) {
       if (S.time() >= ClampTime)
         break;
+      if (stepRemainderNegligible(S.time(), ClampTime)) {
+        // Snap instead of grinding through a sub-rounding-noise
+        // remainder with denormal-sized steps (see EulerSolver::advanceTo).
+        S.restoreClock(ClampTime, S.stepCount());
+        break;
+      }
       double Dt = std::min(S.computeDt() * Scale, ClampTime - S.time());
       S.advanceWithDt(Dt);
       if (I == 0)
@@ -435,13 +442,18 @@ private:
   }
 
   void captureSnapshot() {
-    SnapField = S.field();
+    const NDArray<Cons<Dim>> &U = S.field();
+    if (!Snap || Snap->shape() != U.shape())
+      // Leased from the solver's pool (the guard never outlives its
+      // solver); uninit is safe, the copy writes every element.
+      Snap = S.fieldPool().template acquireUninit<Cons<Dim>>(U.shape());
+    std::copy(U.begin(), U.end(), Snap->begin());
     SnapTime = S.time();
     SnapSteps = S.stepCount();
   }
 
   void restoreSnapshot() {
-    S.field() = SnapField;
+    std::copy(Snap->begin(), Snap->end(), S.field().begin());
     S.restoreClock(SnapTime, SnapSteps);
   }
 
@@ -550,7 +562,9 @@ private:
   EulerSolver<Dim> &S;
   GuardConfig Cfg;
 
-  NDArray<Cons<Dim>> SnapField;
+  /// Rollback snapshot of the last verified healthy field, leased from
+  /// the solver's pool.
+  FieldPool::Lease<Cons<Dim>> Snap;
   double SnapTime = 0.0;
   unsigned SnapSteps = 0;
 

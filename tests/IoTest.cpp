@@ -117,14 +117,16 @@ TEST(PgmWriter, RejectsNon2DFields) {
   EXPECT_FALSE(writePgm(tempPath("bad2.pgm"), F0));
 }
 
-TEST(PgmWriter, ConstantFieldIsMidGrayless) {
-  // Degenerate range: scale collapses to zero, all pixels identical.
+TEST(PgmWriter, ConstantFieldIsMidGray) {
+  // Degenerate range (Hi == Lo): the image must come out mid-gray, not
+  // all-black — a flat field is "no contrast", not "no signal".
   NDArray<double> F(Shape{3, 3}, 2.0);
   std::string Path = tempPath("const.pgm");
   ASSERT_TRUE(writePgm(Path, F));
   std::string Contents = readAll(Path);
+  ASSERT_EQ(Contents.size(), 11u + 9u);
   for (size_t I = 11; I < Contents.size(); ++I)
-    EXPECT_EQ(Contents[I], Contents[11]);
+    EXPECT_EQ(static_cast<unsigned char>(Contents[I]), 128u);
   std::remove(Path.c_str());
 }
 

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 using namespace sacfd;
 
@@ -393,6 +394,31 @@ TEST(Solver1D, AdvanceToLandsExactlyOnEndTime) {
   S.advanceTo(0.05);
   EXPECT_DOUBLE_EQ(S.time(), 0.05);
   EXPECT_GT(S.stepCount(), 0u);
+}
+
+TEST(Solver1D, AdvanceToSnapsDenormalRemainders) {
+  // An end time one ulp past the current clock used to grind the loop:
+  // Dt clamps to the remainder, Time += Dt rounds back to Time, and the
+  // step count spins unbounded.  The remainder snap must finish such a
+  // request in zero additional steps, landing exactly on EndTime.
+  SchemeConfig C = SchemeConfig::benchmarkScheme();
+  ArraySolver<1> S(sodProblem(32), C, Exec);
+  S.advanceSteps(5);
+  double Now = S.time();
+  unsigned StepsBefore = S.stepCount();
+
+  double OneUlp = std::nextafter(Now, 1e300);
+  S.advanceTo(OneUlp);
+  EXPECT_EQ(S.time(), OneUlp);
+  EXPECT_EQ(S.stepCount(), StepsBefore);
+
+  // A remainder just under the snap threshold must also terminate
+  // promptly, not degrade into many denormal-sized steps.
+  double Eps = std::numeric_limits<double>::epsilon();
+  double Near = S.time() + 2.0 * Eps * S.time();
+  S.advanceTo(Near);
+  EXPECT_EQ(S.time(), Near);
+  EXPECT_LE(S.stepCount(), StepsBefore + 2);
 }
 
 TEST(Solver1D, StepCountAndTimeAdvance) {

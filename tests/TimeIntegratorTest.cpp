@@ -41,6 +41,31 @@ class IntegratorSweep
 
 } // namespace
 
+TEST(TimeIntegrators, AdvanceSspIntoMatchesAdvanceSspBitwise) {
+  // The buffer-reusing driver must replay exactly the same stage
+  // arithmetic as the allocating one — same operations, same order — on
+  // a problem where rounding would expose any reassociation.
+  auto Rhs = [](double U) { return std::sin(U) - 0.3 * U * U; };
+  for (TimeIntegratorKind K : AllIntegrators) {
+    double A = 0.8, B = 0.8;
+    double Dt = 0.07;
+    for (int Step = 0; Step < 25; ++Step) {
+      advanceSsp(K, A, Dt, Rhs,
+                 [](double PA, double Un, double PB, double Stage,
+                    double Dt2, double L) {
+                   return PA * Un + PB * (Stage + Dt2 * L);
+                 });
+      double Un = 0.0, L = 0.0;
+      advanceSspInto(
+          K, B, Dt, Un, L,
+          [&Rhs](double U, double &Out) { Out = Rhs(U); },
+          [](double PA, double Un2, double PB, double &U, double Dt2,
+             double L2) { U = PA * Un2 + PB * (U + Dt2 * L2); });
+      ASSERT_EQ(A, B) << timeIntegratorKindName(K) << " step " << Step;
+    }
+  }
+}
+
 TEST_P(IntegratorSweep, StageWeightsAreConvexCombinations) {
   // SSP requirement: A_i + B_i = 1 with both nonnegative (stage 1 has
   // A = 0, B = 1).
