@@ -62,6 +62,21 @@ echo "== checkpoint overhead artifact =="
     --json artifacts/BENCH_checkpoint.json
 echo "wrote artifacts/BENCH_checkpoint.json"
 
+echo "== tasks determinism gate =="
+# The task backend's bit-identity pledge (loop mode and DAG step mode
+# vs serial) is part of the determinism matrix; re-run the label as a
+# named gate so a tasks regression is visible by stage, not just as one
+# failure inside the full Release suite.
+(cd build-ci-Release && ctest --output-on-failure -L determinism)
+
+echo "== tasks ablation artifact =="
+# A7 record: work-stealing tasks (loop + DAG step modes) vs spin-pool
+# and fork-join on FIG4/EXT5 grids.  Acceptance: tasks at the top
+# worker count must not lose to fork-join.
+./build-ci-Release/bench/ablation_tasks --cells 96 --ext5-cells 192 \
+    --steps 20 --threads 1,2,4,8 --json artifacts/BENCH_tasks.json
+echo "wrote artifacts/BENCH_tasks.json"
+
 echo "== allocation ablation artifact =="
 # A6 record: pooled vs per-temporary allocation on the Fig. 4 workload.
 # The binary exits nonzero if any pooled steady-state step allocates.

@@ -72,6 +72,30 @@ CheckpointStatus CheckpointStore::ensureDir() {
   return CheckpointStatus::success();
 }
 
+void CheckpointStore::sweepOrphanedTmp() {
+  // The atomic write path is stage-to-.tmp, fsync, rename; a crash
+  // between stage and rename strands the .tmp forever (discovery ignores
+  // it, rotation prunes only real generations).  Deleting is always safe:
+  // rename is atomic, so a .tmp is never the only copy of durable data.
+  // Only names our own writer stages are swept — a generation file's or
+  // the manifest's — never foreign files that happen to live here.
+  std::error_code Ec;
+  for (const fs::directory_entry &E : fs::directory_iterator(Root, Ec)) {
+    std::string Name = E.path().filename().string();
+    std::string_view View = Name;
+    constexpr std::string_view TmpSuffix = ".tmp";
+    if (View.size() <= TmpSuffix.size() ||
+        View.substr(View.size() - TmpSuffix.size()) != TmpSuffix)
+      continue;
+    std::string_view Stem = View.substr(0, View.size() - TmpSuffix.size());
+    if (!stepsOfGenerationName(Stem) && Stem != ManifestFile)
+      continue;
+    std::error_code RmEc;
+    if (fs::remove(E.path(), RmEc))
+      countStore("checkpoint.tmp_swept");
+  }
+}
+
 std::vector<CheckpointStore::Generation>
 CheckpointStore::generations() const {
   // Steps -> path; the map both dedups the manifest ∪ scan union and
@@ -148,6 +172,9 @@ template <unsigned Dim>
 CheckpointStatus CheckpointStore::write(const EulerSolver<Dim> &S) {
   if (CheckpointStatus St = ensureDir(); !St.ok())
     return St;
+  // Reclaim staging leftovers from a previous crashed writer before
+  // staging our own (ours is not yet on disk, so it cannot be swept).
+  sweepOrphanedTmp();
   std::string Path = Root + "/" + generationFileName(S.stepCount());
   if (CheckpointStatus St = saveCheckpointWithRetry(Path, S, Retry);
       !St.ok())
@@ -158,6 +185,7 @@ CheckpointStatus CheckpointStore::write(const EulerSolver<Dim> &S) {
 template <unsigned Dim>
 CheckpointStore::ResumeOutcome CheckpointStore::resume(EulerSolver<Dim> &S) {
   ResumeOutcome Out;
+  sweepOrphanedTmp();
   std::vector<Generation> Gens = generations();
   if (Gens.empty()) {
     Out.Status = CheckpointStatus::make(

@@ -95,6 +95,10 @@ private:
   CheckpointStatus ensureDir();
   /// Prunes generations beyond keep() and rewrites the manifest.
   CheckpointStatus rotate();
+  /// Deletes staging leftovers (a generation's or the manifest's `.tmp`)
+  /// abandoned by a crash mid-write.  Runs on the write and resume
+  /// paths; foreign files in the directory are never touched.
+  void sweepOrphanedTmp();
 
   std::string Root;
   unsigned Keep;

@@ -3,6 +3,7 @@
 #include "runtime/SpinBarrierPool.h"
 
 #include "runtime/ParallelRegion.h"
+#include "support/Env.h"
 
 #include <cassert>
 
@@ -23,8 +24,9 @@ SpinBarrierPool::SpinBarrierPool(unsigned Threads, unsigned SpinLimit)
   // Oversubscription adaptation: spinning on a shared core starves the
   // thread being waited on.  Only applies to the default limit so tests
   // and ablations can still force pure-spin behavior explicitly.
-  unsigned Hw = std::thread::hardware_concurrency();
-  if (SpinLimit == DefaultSpinLimit && Hw != 0 && Threads > Hw)
+  // defaultWorkerCount() clamps an unknown core count to 1, which makes
+  // any multi-worker pool go cooperative there — the safe direction.
+  if (SpinLimit == DefaultSpinLimit && Threads > defaultWorkerCount())
     this->SpinLimit = 0;
   if (Threads == 1)
     return;

@@ -1,0 +1,302 @@
+//===- runtime/TaskBackend.cpp - Work-stealing task scheduler ------------===//
+
+#include "runtime/TaskBackend.h"
+
+#include "runtime/ParallelRegion.h"
+#include "support/Env.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace sacfd;
+
+/// Hint to the CPU that we are in a busy-wait loop.
+static inline void cpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#endif
+}
+
+TaskBackend::TaskBackend(unsigned Threads, Schedule Sched, unsigned SpinLimit)
+    : Threads(Threads), Sched(Sched), SpinLimit(SpinLimit) {
+  assert(Threads >= 1 && "pool needs at least the calling thread");
+  // Same oversubscription adaptation as the spin pool: spinning on a
+  // shared core starves the worker being waited on.
+  if (SpinLimit == DefaultSpinLimit && Threads > defaultWorkerCount())
+    this->SpinLimit = 0;
+  Deques = std::make_unique<WorkerDeque[]>(Threads);
+  if (Threads == 1)
+    return;
+  Done = std::make_unique<DoneFlag[]>(Threads - 1);
+  Workers.reserve(Threads - 1);
+  for (unsigned W = 1; W < Threads; ++W)
+    Workers.emplace_back([this, W] { workerMain(W); });
+}
+
+TaskBackend::~TaskBackend() {
+  if (Workers.empty())
+    return;
+  Stopping.store(true, std::memory_order_release);
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+template <typename Pred> void TaskBackend::spinUntil(Pred &&IsDone) const {
+  unsigned Spins = 0;
+  while (!IsDone()) {
+    if (Spins < SpinLimit) {
+      ++Spins;
+      cpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+size_t TaskBackend::taskChunk(size_t N) const {
+  if (Sched.ChunkSize != 0)
+    return Sched.ChunkSize;
+  // Default granularity: ~8 tasks per worker.  Coarser than this and
+  // stealing has nothing to balance; finer and deque traffic starts to
+  // show up against the body cost.
+  return std::max<size_t>(1, N / (8 * static_cast<size_t>(Threads)));
+}
+
+bool TaskBackend::popOwn(unsigned W, size_t &Item) {
+  WorkerDeque &D = Deques[W];
+  std::lock_guard<std::mutex> Lock(D.M);
+  if (D.Items.empty())
+    return false;
+  Item = D.Items.back();
+  D.Items.pop_back();
+  return true;
+}
+
+bool TaskBackend::stealInto(unsigned W, size_t &Item) {
+  // Steal-half from the front of a victim's deque: the owner works the
+  // back (LIFO, cache-warm), thieves take the oldest half in one lock
+  // acquisition so a load imbalance is halved per steal, not nibbled.
+  std::vector<size_t> &Scratch = Deques[W].Scratch;
+  for (unsigned Hop = 1; Hop < Threads; ++Hop) {
+    unsigned V = (W + Hop) % Threads;
+    WorkerDeque &D = Deques[V];
+    {
+      std::lock_guard<std::mutex> Lock(D.M);
+      size_t N = D.Items.size();
+      if (N == 0)
+        continue;
+      size_t K = (N + 1) / 2;
+      Scratch.assign(D.Items.begin(),
+                     D.Items.begin() + static_cast<std::ptrdiff_t>(K));
+      D.Items.erase(D.Items.begin(),
+                    D.Items.begin() + static_cast<std::ptrdiff_t>(K));
+    }
+    // Run the first stolen item directly; bank the rest in our own deque.
+    // Staging through Scratch keeps the two deque locks from ever being
+    // held together (two thieves stealing from each other would deadlock
+    // otherwise).
+    Item = Scratch.front();
+    if (Scratch.size() > 1) {
+      WorkerDeque &Own = Deques[W];
+      std::lock_guard<std::mutex> Lock(Own.M);
+      Own.Items.insert(Own.Items.end(), Scratch.begin() + 1, Scratch.end());
+    }
+    return true;
+  }
+  return false;
+}
+
+void TaskBackend::runItem(unsigned W, size_t Item) {
+  if (Kind == JobKind::Range) {
+    size_t B = JobBegin + Item * Chunk;
+    size_t E = std::min(B + Chunk, JobEnd);
+    ParallelRegionGuard Guard;
+    Body(B, E);
+    return;
+  }
+  {
+    ParallelRegionGuard Guard;
+    DagRun(Dag->Payloads[Item]);
+  }
+  // Release successors; newly-ready tasks go onto the finishing worker's
+  // own deque (depth-first through the graph, warm data stays local —
+  // thieves re-balance whatever piles up).
+  for (uint32_t S : Dag->Succs[Item])
+    if (Remaining[S].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      WorkerDeque &D = Deques[W];
+      std::lock_guard<std::mutex> Lock(D.M);
+      D.Items.push_back(S);
+    }
+}
+
+void TaskBackend::participate(unsigned W) {
+  unsigned Idle = 0;
+  while (Pending.load(std::memory_order_acquire) != 0) {
+    size_t Item;
+    if (popOwn(W, Item) || stealInto(W, Item)) {
+      Idle = 0;
+      runItem(W, Item);
+      // acq_rel: publishes the item's side effects to whoever observes
+      // Pending reach 0 (the master's return is the completion barrier).
+      Pending.fetch_sub(1, std::memory_order_acq_rel);
+    } else if (Idle < SpinLimit) {
+      ++Idle;
+      cpuRelax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void TaskBackend::workerMain(unsigned W) {
+  uint64_t SeenSeq = 0;
+  while (true) {
+    spinUntil([this, SeenSeq] {
+      return JobSeq.load(std::memory_order_acquire) != SeenSeq ||
+             Stopping.load(std::memory_order_acquire);
+    });
+    uint64_t NewSeq = JobSeq.load(std::memory_order_acquire);
+    if (NewSeq == SeenSeq) {
+      assert(Stopping.load(std::memory_order_acquire) && "spurious wakeup");
+      return;
+    }
+    SeenSeq = NewSeq;
+    participate(W);
+    Done[W - 1].Seq.store(SeenSeq, std::memory_order_release);
+  }
+}
+
+void TaskBackend::dispatch() {
+  uint64_t Seq = JobSeq.load(std::memory_order_relaxed) + 1;
+  JobSeq.store(Seq, std::memory_order_release);
+  participate(0);
+  // Wait for every helper to check in: they may still be mid-item after
+  // the master saw Pending reach 0 is impossible (Pending is decremented
+  // after the item body), but they can still be scanning for work, and
+  // the next dispatch must not reseed the deques under them.
+  for (unsigned W = 1; W < Threads; ++W)
+    spinUntil([this, W, Seq] {
+      return Done[W - 1].Seq.load(std::memory_order_acquire) == Seq;
+    });
+}
+
+void TaskBackend::parallelFor(size_t Begin, size_t End, RangeBody Body) {
+  if (Begin >= End)
+    return;
+  if (inParallelRegion()) {
+    Body(Begin, End);
+    return;
+  }
+  countRegion();
+  static const unsigned Region = telemetry::spanId("region.tasks");
+  telemetry::ScopedSpan Span(Region);
+  if (Threads == 1) {
+    ParallelRegionGuard Guard;
+    Body(Begin, End);
+    return;
+  }
+
+  size_t N = End - Begin;
+  size_t C = taskChunk(N);
+  size_t NumChunks = (N + C - 1) / C;
+  this->Kind = JobKind::Range;
+  this->Body = Body;
+  JobBegin = Begin;
+  JobEnd = End;
+  Chunk = C;
+  Pending.store(NumChunks, std::memory_order_relaxed);
+  // Seed contiguous chunk runs per worker (static-block locality); the
+  // helpers are quiescent here (dispatch() waited for their Done flags),
+  // so the deques are safe to fill.
+  size_t Base = NumChunks / Threads;
+  size_t Extra = NumChunks % Threads;
+  size_t Next = 0;
+  for (unsigned W = 0; W < Threads; ++W) {
+    size_t Take = Base + (W < Extra ? 1 : 0);
+    WorkerDeque &D = Deques[W];
+    std::lock_guard<std::mutex> Lock(D.M);
+    for (size_t I = 0; I < Take; ++I)
+      D.Items.push_back(Next++);
+  }
+  dispatch();
+}
+
+void TaskBackend::parallelFor2D(size_t Rows, size_t Cols, RangeBody2D Body) {
+  if (Rows == 0 || Cols == 0)
+    return;
+  if (!tile().Enabled || inParallelRegion()) {
+    Backend::parallelFor2D(Rows, Cols, Body);
+    return;
+  }
+  // Tiles become the task granule: the tile range goes through
+  // parallelFor, so each task is one or a few whole tiles and stealing
+  // re-deals them under load imbalance.
+  runTileGrid(TileGrid(Rows, Cols, tile()), tile().Dealing, Body);
+}
+
+void TaskBackend::runDagInline(TaskDag &D, DagNodeBody Run) {
+  // Sequential fallback for nested calls: plain worklist in dependency
+  // order on the calling thread.
+  size_t N = D.size();
+  std::vector<unsigned> Deps(D.DepCount.begin(),
+                             D.DepCount.begin() + static_cast<std::ptrdiff_t>(N));
+  std::vector<size_t> Ready;
+  for (size_t I = 0; I < N; ++I)
+    if (Deps[I] == 0)
+      Ready.push_back(I);
+  size_t Ran = 0;
+  while (!Ready.empty()) {
+    size_t Item = Ready.back();
+    Ready.pop_back();
+    Run(D.Payloads[Item]);
+    ++Ran;
+    for (uint32_t S : D.Succs[Item])
+      if (--Deps[S] == 0)
+        Ready.push_back(S);
+  }
+  assert(Ran == N && "task DAG has a cycle");
+  (void)Ran;
+}
+
+void TaskBackend::runDag(TaskDag &D, DagNodeBody Run) {
+  size_t N = D.size();
+  if (N == 0)
+    return;
+  if (inParallelRegion()) {
+    runDagInline(D, Run);
+    return;
+  }
+  countRegion();
+  static const unsigned Region = telemetry::spanId("region.task_dag");
+  telemetry::ScopedSpan Span(Region);
+  if (telemetry::enabled()) {
+    static const unsigned TasksRun = telemetry::counterId("runtime.tasks");
+    telemetry::addCounter(TasksRun, N);
+  }
+
+  if (RemainingCap < N) {
+    Remaining = std::make_unique<std::atomic<unsigned>[]>(N);
+    RemainingCap = N;
+  }
+  for (size_t I = 0; I < N; ++I)
+    Remaining[I].store(D.DepCount[I], std::memory_order_relaxed);
+
+  Kind = JobKind::Dag;
+  Dag = &D;
+  DagRun = Run;
+  Pending.store(N, std::memory_order_relaxed);
+  // Deal the initially-ready nodes round-robin so every worker has a
+  // seed to start from; the dependency releases and stealing take it
+  // from there.
+  unsigned W = 0;
+  for (size_t I = 0; I < N; ++I)
+    if (D.DepCount[I] == 0) {
+      WorkerDeque &Dq = Deques[W];
+      std::lock_guard<std::mutex> Lock(Dq.M);
+      Dq.Items.push_back(I);
+      W = (W + 1) % Threads;
+    }
+  dispatch();
+}

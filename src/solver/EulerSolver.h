@@ -131,10 +131,13 @@ public:
   virtual const char *engineName() const = 0;
 
   /// Overwrites the solver clock; checkpoint-restore hook (the field is
-  /// restored through the mutable field() accessor).
+  /// restored through the mutable field() accessor).  Fires
+  /// onClockRestored() so engines can drop any state derived from the
+  /// pre-restore field (e.g. a cached GetDT result).
   void restoreClock(double NewTime, unsigned NewSteps) {
     Time = NewTime;
     Steps = NewSteps;
+    onClockRestored();
   }
 
   /// The solver's buffer arena.  Engines lease every stage temporary from
@@ -145,6 +148,11 @@ public:
 protected:
   /// One full multi-stage step with the given dt.
   virtual void stepWithDt(double Dt) = 0;
+
+  /// Called whenever restoreClock rewinds or overwrites the clock (step-
+  /// guard rollback, checkpoint resume, end-time snapping).  Engines that
+  /// cache anything derived from the field state must invalidate it here.
+  virtual void onClockRestored() {}
 
   /// Engines route their GetDT reduction result through this instead of
   /// SchemeConfig::dtFromMaxEigen directly, so the max eigenvalue is

@@ -21,9 +21,23 @@
 ///     those pays the thread-team setup cost, which is the scaling
 ///     collapse of Fig. 4.
 ///
+/// On a TaskBackend the engine additionally offers a dependency-DAG step
+/// mode (enableDagStepping): one step becomes per-tile snapshot, flux and
+/// update tasks linked by exact data dependencies, so a tile can run
+/// stage s+1 while a distant tile is still in stage s — no global
+/// barrier between the ~27 regions.  The GetDT reduction rides along as
+/// per-tile max-eigenvalue tasks released by each tile's final update,
+/// merged in row-major tile order; the merged value is cached and served
+/// by the next computeDt() call, overlapping GetDT with independent
+/// work instead of dedicating a barrier-bounded region to it.
+///
 /// The numerics (reconstruction, Riemann solver, stage table) are shared
 /// with ArraySolver, so for identical settings the two engines produce
-/// bit-identical fields.
+/// bit-identical fields.  The DAG mode preserves that: every task covers
+/// the same cell sub-ranges a tiled loop run would, per-cell arithmetic
+/// order within the RHS is fixed by tile-local axis ordering, and the
+/// max-reduction is grouping-independent — so fields stay bit-identical
+/// to serial at every worker count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,9 +45,12 @@
 #define SACFD_SOLVER_FUSEDSOLVER_H
 
 #include "runtime/BlockReduce.h"
+#include "runtime/TaskBackend.h"
 #include "solver/EulerSolver.h"
 
 #include <algorithm>
+#include <optional>
+#include <vector>
 
 namespace sacfd {
 
@@ -60,39 +77,41 @@ public:
 
   const char *engineName() const override { return "fused"; }
 
+  /// Switches stepWithDt to the dependency-DAG pipeline.  Requires the
+  /// backend to support DAG dispatch (Backend::taskBackend) and Dim <= 2.
+  /// \returns false (leaving the loop mode active) when unsupported.
+  bool enableDagStepping() {
+    if constexpr (Dim > 2)
+      return false;
+    DagExec = this->Exec.taskBackend();
+    return DagExec != nullptr;
+  }
+
+  /// True when steps run as a task DAG rather than barrier-ed regions.
+  bool dagStepping() const { return DagExec != nullptr; }
+
   /// The Fortran GetDT: nested DO loops, rectangle maxima in parallel,
   /// then a serial max over rectangles.  The max chain is exact under any
   /// grouping, so tiled and flattened runs produce bit-identical dt.
+  /// In DAG mode the previous step already merged the per-tile maxima
+  /// (cache keyed on the clock, invalidated by onClockRestored), so this
+  /// usually returns without touching the field.
   double computeDt() override {
+    if (DagExec && DtCacheValid && this->Steps == DtCacheSteps &&
+        this->Time == DtCacheTime)
+      return this->dtFromMaxEigen(CachedEvMax);
     static const unsigned SpanGetDt = telemetry::spanId("solver.get_dt");
     telemetry::ScopedSpan Span(SpanGetDt);
-    const Gas &Gas_ = this->Prob.G;
-    const Grid<Dim> &G = this->Prob.Domain;
-    double InvDx[Dim];
-    for (unsigned A = 0; A < Dim; ++A)
-      InvDx[A] = 1.0 / G.dx(A);
 
     // Lines run along the last (contiguous) axis.
     constexpr unsigned LineAxis = Dim - 1;
     size_t Lines = lineCount(LineAxis);
-    const Cons<Dim> *Field = this->U.data();
 
     double EvMax = blockReduce2D(
         Lines, N[LineAxis], this->Exec, 0.0,
         [&](size_t LineBegin, size_t LineEnd, size_t CellBegin,
             size_t CellEnd) {
-          double Acc = 0.0;
-          for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
-            size_t Base = lineStorageBase(LineAxis, Line);
-            for (size_t I = CellBegin; I != CellEnd; ++I) {
-              Prim<Dim> W = toPrim(Field[Base + I], Gas_);
-              double Ev = 0.0;
-              for (unsigned A = 0; A < Dim; ++A)
-                Ev += maxWaveSpeed(W, Gas_, A) * InvDx[A];
-              Acc = std::max(Acc, Ev);
-            }
-          }
-          return Acc;
+          return maxEigenRange(LineBegin, LineEnd, CellBegin, CellEnd);
         },
         [](double A, double B) { return std::max(A, B); });
     return this->dtFromMaxEigen(EvMax);
@@ -100,6 +119,12 @@ public:
 
 protected:
   void stepWithDt(double Dt) override {
+    if (DagExec) {
+      if constexpr (Dim <= 2) {
+        stepWithDtDag(Dt);
+        return;
+      }
+    }
     static const unsigned SpanSnapshot = telemetry::spanId("solver.snapshot");
     static const unsigned SpanBoundary = telemetry::spanId("solver.boundary");
     static const unsigned SpanFlux = telemetry::spanId("solver.flux");
@@ -112,14 +137,8 @@ protected:
     // auto-parallelizer emits for a Fortran array assignment).  Both
     // scratch buffers are leased on first use; every element is written
     // before being read, so the uninit mode applies.
-    if (!UnL || UnL->shape() != this->U.shape())
-      UnL = this->Pool.template acquireUninit<Cons<Dim>>(this->U.shape());
-    if (!ResL || ResL->shape() != G.interiorShape())
-      ResL = this->Pool.template acquireUninit<Cons<Dim>>(G.interiorShape());
-    NDArray<Cons<Dim>> &Un = *UnL;
-    NDArray<Cons<Dim>> &Res = *ResL;
-
-    Cons<Dim> *UnData = Un.data();
+    acquireStepBuffers();
+    Cons<Dim> *UnData = UnL->data();
     Cons<Dim> *UData = this->U.data();
     {
       telemetry::ScopedSpan S(SpanSnapshot);
@@ -134,7 +153,7 @@ protected:
         applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
       }
 
-      Cons<Dim> *ResData = Res.data();
+      Cons<Dim> *ResData = ResL->data();
       {
         // RHS zeroing plus the directional sweeps (reconstruction +
         // Riemann fluxes + divergence, one region per axis).
@@ -142,31 +161,35 @@ protected:
         this->Exec.parallelFor(0, InteriorCount, [&](size_t B, size_t E) {
           std::fill(ResData + B, ResData + E, Cons<Dim>());
         });
-        for (unsigned Axis = 0; Axis < Dim; ++Axis)
-          sweepAxis(Axis);
+        for (unsigned Axis = 0; Axis < Dim; ++Axis) {
+          // (line, cell-along-axis) is the 2D iteration space; the
+          // backend may tile it.  Faces are recomputed at sub-range
+          // seams, so tiled and flattened sweeps are bit-identical.
+          this->Exec.parallelFor2D(
+              lineCount(Axis), N[Axis],
+              [&, Axis](size_t LineBegin, size_t LineEnd, size_t CellBegin,
+                        size_t CellEnd) {
+                sweepRange(Axis, LineBegin, LineEnd, CellBegin, CellEnd);
+              });
+        }
       }
 
       // Update loop (one region): U = A*Un + B*(U + dt*Res) on interior.
       // Runs through the 2D boundary as (line, cell) so the backend can
       // tile it; per-element results are grouping-independent.
-      double A = Stage.PrevWeight, B = Stage.StageWeight;
       constexpr unsigned LineAxis = Dim - 1;
       size_t Lines = lineCount(LineAxis);
       telemetry::ScopedSpan UpdateSpan(SpanUpdate);
       this->Exec.parallelFor2D(
           Lines, N[LineAxis],
-          [&, A, B, Dt](size_t LB, size_t LE, size_t CB, size_t CE) {
-            for (size_t Line = LB; Line != LE; ++Line) {
-              size_t SBase = lineStorageBase(LineAxis, Line);
-              size_t RBase = Line * N[LineAxis];
-              for (size_t I = CB; I != CE; ++I) {
-                Cons<Dim> &Q = UData[SBase + I];
-                Q = UnData[SBase + I] * A + (Q + ResData[RBase + I] * Dt) * B;
-              }
-            }
+          [&](size_t LB, size_t LE, size_t CB, size_t CE) {
+            updateRange(Stage.PrevWeight, Stage.StageWeight, Dt, LB, LE, CB,
+                        CE);
           });
     }
   }
+
+  void onClockRestored() override { DtCacheValid = false; }
 
 private:
   /// Number of tangential lines perpendicular to \p Axis.
@@ -207,11 +230,25 @@ private:
     return Base;
   }
 
-  /// One directional sweep: per line, compute all face fluxes into a
-  /// scratch buffer, then accumulate the flux differences into the RHS.
-  /// This is the fused Fortran structure: flux and difference in one pass
-  /// over the line, no global flux array.
-  void sweepAxis(unsigned Axis) {
+  void acquireStepBuffers() {
+    const Grid<Dim> &G = this->Prob.Domain;
+    if (!UnL || UnL->shape() != this->U.shape())
+      UnL = this->Pool.template acquireUninit<Cons<Dim>>(this->U.shape());
+    if (!ResL || ResL->shape() != G.interiorShape())
+      ResL = this->Pool.template acquireUninit<Cons<Dim>>(G.interiorShape());
+  }
+
+  /// One directional sweep over lines [LineBegin, LineEnd) x cells
+  /// [CellBegin, CellEnd): per line, compute all bounding face fluxes
+  /// into a scratch buffer, then accumulate the flux differences into
+  /// the RHS.  This is the fused Fortran structure: flux and difference
+  /// in one pass over the line, no global flux array.  Each cell's
+  /// update reads faces I and I+1 computed from the same clamped
+  /// stencils regardless of the sub-range, so tiled, flattened and
+  /// task-decomposed sweeps are bit-identical (sub-range boundary faces
+  /// are recomputed, not communicated).
+  void sweepRange(unsigned Axis, size_t LineBegin, size_t LineEnd,
+                  size_t CellBegin, size_t CellEnd) {
     const Gas &Gas_ = this->Prob.G;
     const SchemeConfig &SC = this->Scheme;
     const double InvDx = 1.0 / this->Prob.Domain.dx(Axis);
@@ -219,68 +256,340 @@ private:
         static_cast<std::ptrdiff_t>(StorageStride[Axis]);
     const std::ptrdiff_t AxisMax =
         static_cast<std::ptrdiff_t>(StorageDim[Axis]) - 1;
-    const size_t Lines = lineCount(Axis);
     const Cons<Dim> *Field = this->U.data();
     Cons<Dim> *ResData = ResL->data();
 
-    // (line, cell-along-axis) is the 2D iteration space; the backend may
-    // tile it.  Each cell's update reads faces I and I+1 computed from the
-    // same clamped stencils regardless of the sub-range, so tiled and
-    // flattened sweeps are bit-identical (column-tile boundary faces are
-    // recomputed, not communicated).
-    this->Exec.parallelFor2D(
-        Lines, N[Axis],
-        [&, Axis](size_t LineBegin, size_t LineEnd, size_t CellBegin,
-                  size_t CellEnd) {
-          // Faces CellBegin..CellEnd inclusive bound this cell sub-range;
-          // local face f is global face CellBegin + f.  The face-state
-          // scratch is per-worker-thread and grown-only: on persistent
-          // worker pools it is allocated once per thread and then reused
-          // for every region of every step (fork-join teams are transient,
-          // so they re-pay it — part of the per-region cost Fig. 4 is
-          // about).  Every face slot is written before it is read.
-          size_t LocalFaces = (CellEnd - CellBegin) + 1;
-          static thread_local NDArray<Cons<Dim>> FluxScratch;
-          if (FluxScratch.size() < LocalFaces)
-            FluxScratch.reshapeDiscard(Shape{LocalFaces});
-          Cons<Dim> *FluxLine = FluxScratch.data();
-          for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
-            // Base points at interior cell 0; relative cell i sits at
-            // Base + i * AxisStride.
-            size_t Base = lineStorageBase(Axis, Line);
+    // Faces CellBegin..CellEnd inclusive bound this cell sub-range;
+    // local face f is global face CellBegin + f.  The face-state
+    // scratch is per-worker-thread and grown-only: on persistent
+    // worker pools it is allocated once per thread and then reused
+    // for every region of every step (fork-join teams are transient,
+    // so they re-pay it — part of the per-region cost Fig. 4 is
+    // about).  Every face slot is written before it is read.
+    size_t LocalFaces = (CellEnd - CellBegin) + 1;
+    static thread_local NDArray<Cons<Dim>> FluxScratch;
+    if (FluxScratch.size() < LocalFaces)
+      FluxScratch.reshapeDiscard(Shape{LocalFaces});
+    Cons<Dim> *FluxLine = FluxScratch.data();
+    for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
+      // Base points at interior cell 0; relative cell i sits at
+      // Base + i * AxisStride.
+      size_t Base = lineStorageBase(Axis, Line);
 
-            for (size_t F = 0; F < LocalFaces; ++F) {
-              std::array<Cons<Dim>, 6> Stencil;
-              for (unsigned K = 0; K < 6; ++K) {
-                // Window cell K at axis offset f - 3 + K from interior 0,
-                // clamped into storage (outermost cells are never read by
-                // the implemented schemes).
-                std::ptrdiff_t Off =
-                    static_cast<std::ptrdiff_t>(CellBegin + F) +
-                    static_cast<std::ptrdiff_t>(K) - 3;
-                Off = std::clamp<std::ptrdiff_t>(
-                    Off, -static_cast<std::ptrdiff_t>(Ng),
-                    AxisMax - static_cast<std::ptrdiff_t>(Ng));
-                Stencil[K] = Field[static_cast<std::ptrdiff_t>(Base) +
-                                   Off * AxisStride];
-              }
-              FaceStates<Dim> FS = reconstructFaceStates(
-                  SC.Recon, SC.Limiter, SC.Vars, Stencil, Gas_, Axis);
-              FluxLine[F] =
-                  numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis);
-            }
+      for (size_t F = 0; F < LocalFaces; ++F) {
+        std::array<Cons<Dim>, 6> Stencil;
+        for (unsigned K = 0; K < 6; ++K) {
+          // Window cell K at axis offset f - 3 + K from interior 0,
+          // clamped into storage (outermost cells are never read by
+          // the implemented schemes).
+          std::ptrdiff_t Off = static_cast<std::ptrdiff_t>(CellBegin + F) +
+                               static_cast<std::ptrdiff_t>(K) - 3;
+          Off = std::clamp<std::ptrdiff_t>(
+              Off, -static_cast<std::ptrdiff_t>(Ng),
+              AxisMax - static_cast<std::ptrdiff_t>(Ng));
+          Stencil[K] =
+              Field[static_cast<std::ptrdiff_t>(Base) + Off * AxisStride];
+        }
+        FaceStates<Dim> FS = reconstructFaceStates(SC.Recon, SC.Limiter,
+                                                   SC.Vars, Stencil, Gas_,
+                                                   Axis);
+        FluxLine[F] = numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis);
+      }
 
-            size_t RBase = lineInteriorBase(Axis, Line);
-            std::ptrdiff_t RStride =
-                static_cast<std::ptrdiff_t>(InteriorStride[Axis]);
-            for (size_t I = CellBegin; I != CellEnd; ++I) {
-              size_t LocalF = I - CellBegin;
-              ResData[static_cast<std::ptrdiff_t>(RBase) +
-                      static_cast<std::ptrdiff_t>(I) * RStride] -=
-                  (FluxLine[LocalF + 1] - FluxLine[LocalF]) * InvDx;
-            }
+      size_t RBase = lineInteriorBase(Axis, Line);
+      std::ptrdiff_t RStride =
+          static_cast<std::ptrdiff_t>(InteriorStride[Axis]);
+      for (size_t I = CellBegin; I != CellEnd; ++I) {
+        size_t LocalF = I - CellBegin;
+        ResData[static_cast<std::ptrdiff_t>(RBase) +
+                static_cast<std::ptrdiff_t>(I) * RStride] -=
+            (FluxLine[LocalF + 1] - FluxLine[LocalF]) * InvDx;
+      }
+    }
+  }
+
+  /// U = A*Un + B*(U + dt*Res) over lines [LB, LE) x cells [CB, CE) of
+  /// the update space (lines along the last axis).
+  void updateRange(double A, double B, double Dt, size_t LB, size_t LE,
+                   size_t CB, size_t CE) {
+    constexpr unsigned LineAxis = Dim - 1;
+    Cons<Dim> *UData = this->U.data();
+    const Cons<Dim> *UnData = UnL->data();
+    const Cons<Dim> *ResData = ResL->data();
+    for (size_t Line = LB; Line != LE; ++Line) {
+      size_t SBase = lineStorageBase(LineAxis, Line);
+      size_t RBase = Line * N[LineAxis];
+      for (size_t I = CB; I != CE; ++I) {
+        Cons<Dim> &Q = UData[SBase + I];
+        Q = UnData[SBase + I] * A + (Q + ResData[RBase + I] * Dt) * B;
+      }
+    }
+  }
+
+  /// Max CFL eigenvalue over lines [LineBegin, LineEnd) x cells
+  /// [CellBegin, CellEnd) of the update space (the GetDT kernel body).
+  double maxEigenRange(size_t LineBegin, size_t LineEnd, size_t CellBegin,
+                       size_t CellEnd) const {
+    constexpr unsigned LineAxis = Dim - 1;
+    const Gas &Gas_ = this->Prob.G;
+    const Grid<Dim> &G = this->Prob.Domain;
+    double InvDx[Dim];
+    for (unsigned A = 0; A < Dim; ++A)
+      InvDx[A] = 1.0 / G.dx(A);
+    const Cons<Dim> *Field = this->U.data();
+    double Acc = 0.0;
+    for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
+      size_t Base = lineStorageBase(LineAxis, Line);
+      for (size_t I = CellBegin; I != CellEnd; ++I) {
+        Prim<Dim> W = toPrim(Field[Base + I], Gas_);
+        double Ev = 0.0;
+        for (unsigned A = 0; A < Dim; ++A)
+          Ev += maxWaveSpeed(W, Gas_, A) * InvDx[A];
+        Acc = std::max(Acc, Ev);
+      }
+    }
+    return Acc;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Dependency-DAG step mode (TaskBackend only, Dim <= 2)
+  //
+  // The interior is carved once into the backend's TileGrid over the
+  // update space (lines x cells-along-last-axis; automatic tile sizes
+  // when --tile is off).  One step becomes, per tile T:
+  //
+  //   Snap(T)                 copy U -> Un on T's interior cells
+  //   per stage s:
+  //     Bnd(s)                ghost fill, serial inside one task
+  //     Flux(s, axis, T)      zero T's RHS (first axis only), then the
+  //                           directional sweep restricted to T
+  //     Upd(s, T)             the SSP update on T
+  //   DtPart(T)               max eigenvalue over T (next step's GetDT)
+  //   DtMerge                 row-major-ordered max over the tile partials
+  //
+  // Edges encode exact data dependencies, including the anti-dependencies
+  // "every flux task reading a tile's U runs before that tile's update
+  // overwrites it" and "a stage's boundary task waits for the previous
+  // stage's updates of every edge-band tile".  Ghost-reading flux tasks
+  // depend on their stage's boundary task; interior tiles don't, which is
+  // precisely the pipelining headroom.  Determinism: each task covers the
+  // same cell sub-ranges as a tiled loop run, the per-cell RHS sequence
+  // (zero, -axis0, -axis1) is fixed by the tile-local flux chain, and the
+  // dt merge is an exact max in tile order — so any steal order yields
+  // bit-identical fields and telemetry gauges.
+  //===--------------------------------------------------------------------===//
+
+  enum DagNodeKind : uint64_t {
+    KSnap = 0,
+    KBnd = 1,
+    KFlux = 2,
+    KUpd = 3,
+    KDtPart = 4,
+    KDtMerge = 5,
+  };
+
+  static uint64_t dagPayload(DagNodeKind Kind, unsigned Axis, size_t Stage,
+                             size_t TileIndex) {
+    return static_cast<uint64_t>(Kind) | (static_cast<uint64_t>(Axis) << 3) |
+           (static_cast<uint64_t>(Stage) << 6) |
+           (static_cast<uint64_t>(TileIndex) << 16);
+  }
+
+  /// Tile-row/col index of interior coordinate \p C along an axis with
+  /// nominal tile size \p TileDim (TileGrid tiles cover
+  /// [i*TileDim, min((i+1)*TileDim, Extent))).
+  static size_t tileIndexOf(size_t C, size_t TileDim) { return C / TileDim; }
+
+  /// True when \p R contains interior cells within Ng of any domain
+  /// face — the cells applyBoundaries reads (and, for periodic, copies
+  /// from the opposite band, which is also covered).
+  bool rectTouchesEdgeBand(const TileRect &R, const TileGrid &G) const {
+    if (Dim >= 2 && (R.RowBegin < Ng || R.RowEnd + Ng > G.rows()))
+      return true;
+    return R.ColBegin < Ng || R.ColEnd + Ng > G.cols();
+  }
+
+  /// The update-space tile indices whose U cells a flux task over tile
+  /// \p Ti along \p Axis reads (its own tile plus up to a 3-cell stencil
+  /// reach into neighbors), appended to \p Out.  \p GhostRead reports
+  /// whether the clamped stencil extends into ghost cells.
+  void fluxReadTiles(const TileGrid &G, unsigned Axis, size_t Ti,
+                     std::vector<size_t> &Out, bool &GhostRead) const {
+    TileRect R = G.rect(Ti);
+    constexpr unsigned LineAxis = Dim - 1;
+    if (Axis == LineAxis) {
+      // Sweep along columns: reads cols [ColBegin-3, ColEnd+2] of its
+      // own tile rows.
+      size_t Lo = R.ColBegin < 3 ? 0 : R.ColBegin - 3;
+      size_t Hi = std::min(R.ColEnd + 2, G.cols() - 1);
+      GhostRead = R.ColBegin < 3 || R.ColEnd + 2 > G.cols() - 1;
+      size_t TRow = Ti / G.colTiles();
+      for (size_t TC = tileIndexOf(Lo, G.tileCols());
+           TC <= tileIndexOf(Hi, G.tileCols()); ++TC)
+        Out.push_back(TRow * G.colTiles() + TC);
+      return;
+    }
+    // 2D axis-0 sweep along rows: reads rows [RowBegin-3, RowEnd+2] of
+    // its own tile columns.
+    size_t Lo = R.RowBegin < 3 ? 0 : R.RowBegin - 3;
+    size_t Hi = std::min(R.RowEnd + 2, G.rows() - 1);
+    GhostRead = R.RowBegin < 3 || R.RowEnd + 2 > G.rows() - 1;
+    size_t TCol = Ti % G.colTiles();
+    for (size_t TR = tileIndexOf(Lo, G.tileRows());
+         TR <= tileIndexOf(Hi, G.tileRows()); ++TR)
+      Out.push_back(TR * G.colTiles() + TCol);
+  }
+
+  void buildStepDag() {
+    constexpr unsigned LineAxis = Dim - 1;
+    size_t Lines = lineCount(LineAxis);
+    Tile T = this->Exec.tile();
+    if (!T.Enabled)
+      T = Tile::automatic();
+    DagGrid.emplace(Lines, N[LineAxis], T);
+    const TileGrid &G = *DagGrid;
+    size_t K = G.count();
+    DtPartials.assign(K, 0.0);
+    Dag.clear();
+
+    std::span<const SspStage> Stages = sspStages(this->Scheme.Integrator);
+    std::vector<size_t> Snap(K), PrevUpd(K), Upd(K), LastFlux(K);
+    std::vector<size_t> Reads;
+
+    for (size_t Ti = 0; Ti < K; ++Ti)
+      Snap[Ti] = Dag.add(dagPayload(KSnap, 0, 0, Ti));
+
+    for (size_t S = 0; S < Stages.size(); ++S) {
+      size_t Bnd = Dag.add(dagPayload(KBnd, 0, S, 0));
+      if (S > 0)
+        for (size_t Ti = 0; Ti < K; ++Ti)
+          if (rectTouchesEdgeBand(G.rect(Ti), G))
+            Dag.addDep(PrevUpd[Ti], Bnd);
+
+      for (size_t Ti = 0; Ti < K; ++Ti) {
+        Upd[Ti] = Dag.add(dagPayload(KUpd, 0, S, Ti));
+        if (S == 0)
+          // Stage 0 overwrites U that Snap still reads (and reads Un
+          // that Snap writes); later stages inherit the order through
+          // the flux chain.
+          Dag.addDep(Snap[Ti], Upd[Ti]);
+      }
+
+      for (unsigned Axis = 0; Axis < Dim; ++Axis)
+        for (size_t Ti = 0; Ti < K; ++Ti) {
+          size_t F = Dag.add(dagPayload(KFlux, Axis, S, Ti));
+          if (Axis > 0)
+            // Per-cell RHS sequence: zero, -axis0, -axis1 — same order
+            // as the loop mode, hence bit-identical accumulation.
+            Dag.addDep(LastFlux[Ti], F);
+          LastFlux[Ti] = F;
+          bool GhostRead = false;
+          Reads.clear();
+          fluxReadTiles(G, Axis, Ti, Reads, GhostRead);
+          for (size_t R : Reads) {
+            if (S > 0)
+              Dag.addDep(PrevUpd[R], F); // U produced by previous stage
+            Dag.addDep(F, Upd[R]);       // before R's update overwrites U
           }
-        });
+          if (GhostRead)
+            Dag.addDep(Bnd, F); // ghosts filled by this stage's boundary
+        }
+      PrevUpd = Upd;
+    }
+
+    // Next step's GetDT: per-tile partials released tile-by-tile as the
+    // final-stage updates land, merged in row-major tile order.
+    size_t Merge = Dag.add(dagPayload(KDtMerge, 0, 0, 0));
+    for (size_t Ti = 0; Ti < K; ++Ti) {
+      size_t P = Dag.add(dagPayload(KDtPart, 0, 0, Ti));
+      Dag.addDep(PrevUpd[Ti], P);
+      Dag.addDep(P, Merge);
+    }
+  }
+
+  void runDagNode(uint64_t Payload, double Dt) {
+    const TileGrid &G = *DagGrid;
+    auto Kind = static_cast<DagNodeKind>(Payload & 0x7);
+    auto Axis = static_cast<unsigned>((Payload >> 3) & 0x7);
+    auto Stage = static_cast<size_t>((Payload >> 6) & 0x3FF);
+    auto Ti = static_cast<size_t>(Payload >> 16);
+    constexpr unsigned LineAxis = Dim - 1;
+
+    switch (Kind) {
+    case KSnap: {
+      TileRect R = G.rect(Ti);
+      Cons<Dim> *UnData = UnL->data();
+      const Cons<Dim> *UData = this->U.data();
+      for (size_t Line = R.RowBegin; Line != R.RowEnd; ++Line) {
+        size_t Base = lineStorageBase(LineAxis, Line);
+        std::copy(UData + Base + R.ColBegin, UData + Base + R.ColEnd,
+                  UnData + Base + R.ColBegin);
+      }
+      return;
+    }
+    case KBnd:
+      // Runs serially inside this one task (nested parallelFor calls
+      // from a task body execute inline).
+      applyBoundaries(this->U, this->Prob.Domain, this->Prob.Boundary,
+                      this->Exec);
+      return;
+    case KFlux: {
+      TileRect R = G.rect(Ti);
+      if (Axis == 0) {
+        // First axis of the stage zeroes this tile's RHS before
+        // accumulating into it.
+        Cons<Dim> *ResData = ResL->data();
+        for (size_t Line = R.RowBegin; Line != R.RowEnd; ++Line) {
+          size_t Base = Line * N[LineAxis];
+          std::fill(ResData + Base + R.ColBegin, ResData + Base + R.ColEnd,
+                    Cons<Dim>());
+        }
+      }
+      if (Axis == LineAxis)
+        sweepRange(Axis, R.RowBegin, R.RowEnd, R.ColBegin, R.ColEnd);
+      else
+        // The 2D axis-0 sweep space is (lines = cols, cells = rows);
+        // the update-space tile maps onto it transposed.
+        sweepRange(Axis, R.ColBegin, R.ColEnd, R.RowBegin, R.RowEnd);
+      return;
+    }
+    case KUpd: {
+      TileRect R = G.rect(Ti);
+      const SspStage &St = sspStages(this->Scheme.Integrator)[Stage];
+      updateRange(St.PrevWeight, St.StageWeight, Dt, R.RowBegin, R.RowEnd,
+                  R.ColBegin, R.ColEnd);
+      return;
+    }
+    case KDtPart: {
+      TileRect R = G.rect(Ti);
+      DtPartials[Ti] = maxEigenRange(R.RowBegin, R.RowEnd, R.ColBegin,
+                                     R.ColEnd);
+      return;
+    }
+    case KDtMerge: {
+      double M = 0.0;
+      for (double V : DtPartials)
+        M = std::max(M, V);
+      DagEvMax = M;
+      return;
+    }
+    }
+  }
+
+  void stepWithDtDag(double Dt) {
+    static const unsigned SpanStep = telemetry::spanId("solver.step_dag");
+    telemetry::ScopedSpan Span(SpanStep);
+    acquireStepBuffers();
+    if (!DagGrid)
+      buildStepDag();
+    DagExec->runDag(Dag,
+                    [&](uint64_t Payload) { runDagNode(Payload, Dt); });
+    // The DAG already reduced next step's max eigenvalue; serve it from
+    // the cache when the clock arrives where this step put it.
+    CachedEvMax = DagEvMax;
+    DtCacheValid = true;
+    DtCacheSteps = this->Steps + 1;
+    DtCacheTime = this->Time + Dt;
   }
 
   size_t N[Dim] = {};
@@ -292,6 +601,22 @@ private:
   /// step and held for the solver's lifetime.
   FieldPool::Lease<Cons<Dim>> UnL;
   FieldPool::Lease<Cons<Dim>> ResL;
+
+  /// Non-null when DAG stepping is enabled (the backend, downcast once).
+  TaskBackend *DagExec = nullptr;
+  /// The reusable step graph and its tile decomposition.
+  TaskDag Dag;
+  std::optional<TileGrid> DagGrid;
+  /// Per-tile GetDT partials (indexed by tile, merged in tile order).
+  std::vector<double> DtPartials;
+  /// Where the DtMerge task parks the merged maximum.
+  double DagEvMax = 0.0;
+  /// One-step dt cache: valid when the clock matches (Steps, Time)
+  /// recorded at the end of the producing step.
+  double CachedEvMax = 0.0;
+  bool DtCacheValid = false;
+  unsigned DtCacheSteps = 0;
+  double DtCacheTime = 0.0;
 };
 
 } // namespace sacfd

@@ -32,6 +32,25 @@ std::optional<EngineKind> sacfd::parseEngineKind(std::string_view Text) {
   return std::nullopt;
 }
 
+const char *sacfd::stepModeName(StepMode Mode) {
+  switch (Mode) {
+  case StepMode::Loops:
+    return "loops";
+  case StepMode::Dag:
+    return "dag";
+  }
+  sacfdUnreachable("covered switch");
+}
+
+std::optional<StepMode> sacfd::parseStepMode(std::string_view Text) {
+  std::string_view Name = trim(Text);
+  if (equalsLower(Name, "loops") || equalsLower(Name, "loop"))
+    return StepMode::Loops;
+  if (equalsLower(Name, "dag") || equalsLower(Name, "tasks-dag"))
+    return StepMode::Dag;
+  return std::nullopt;
+}
+
 RunConfig::RunConfig() : Threads(defaultThreadCount()) {}
 
 void RunConfig::registerSchemeFlags(CommandLine &CL) {
@@ -55,8 +74,16 @@ void RunConfig::registerEngineFlag(CommandLine &CL) {
 void RunConfig::registerBackendFlags(CommandLine &CL) {
   BackendName = backendKindName(Backend);
   CL.addString("backend", BackendName,
-               "serial|spin-pool|fork-join|openmp");
-  CL.addUnsigned("threads", Threads, "worker threads");
+               "serial|spin-pool|fork-join|openmp|tasks");
+  // Alias: "execution model" is the paper's vocabulary; seeded empty so
+  // resolve() can tell whether it was given.
+  CL.addString("execution", ExecutionName,
+               "alias for --backend (overrides it when both are given)");
+  CL.addUnsigned("threads", Threads, "worker threads (>= 1)");
+  StepModeName = stepModeName(Step);
+  CL.addString("step-mode", StepModeName,
+               "loops (one barrier per loop nest) | dag (task pipeline; "
+               "needs --backend=tasks --engine=fused)");
 }
 
 void RunConfig::registerScheduleFlags(CommandLine &CL) {
@@ -133,7 +160,34 @@ bool RunConfig::resolve(std::string &Error) {
       Backend = *K;
     else
       return Fail("unknown --backend value '" + BackendName +
-                  "' (expected serial|spin-pool|fork-join|openmp)");
+                  "' (expected serial|spin-pool|fork-join|openmp|tasks)");
+  }
+  if (!ExecutionName.empty()) {
+    if (auto K = parseBackendKind(ExecutionName))
+      Backend = *K;
+    else
+      return Fail("unknown --execution value '" + ExecutionName +
+                  "' (expected serial|spin-pool|fork-join|openmp|tasks)");
+  }
+  if (!StepModeName.empty()) {
+    if (auto K = parseStepMode(StepModeName))
+      Step = *K;
+    else
+      return Fail("unknown --step-mode value '" + StepModeName +
+                  "' (expected loops|dag)");
+  }
+  if (Threads == 0)
+    return Fail("--threads must be at least 1 (0 workers cannot run "
+                "anything; omit the flag for auto-detection)");
+  if (Step == StepMode::Dag) {
+    if (Backend != BackendKind::Tasks)
+      return Fail(std::string("--step-mode=dag requires --backend=tasks "
+                              "(got --backend=") +
+                  backendKindName(Backend) + ")");
+    if (Engine != EngineKind::Fused)
+      return Fail(std::string("--step-mode=dag requires --engine=fused "
+                              "(got --engine=") +
+                  engineKindName(Engine) + ")");
   }
   if (!ScheduleSpec.empty()) {
     SpecParse<Schedule> P = Schedule::parseSpec(ScheduleSpec);
@@ -179,6 +233,10 @@ std::string RunConfig::executionStr() const {
   S += "/";
   S += backendKindName(Backend);
   S += "(" + std::to_string(Threads) + ")";
+  if (Step != StepMode::Loops) {
+    S += " step=";
+    S += stepModeName(Step);
+  }
   if (TileCfg.Enabled)
     S += " tile=" + TileCfg.str();
   if (!Pooling)

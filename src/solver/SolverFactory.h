@@ -61,10 +61,19 @@ public:
       Solver = std::make_unique<ArraySolver<Dim>>(
           std::move(Prob), Cfg.Scheme, *Exec, ArrayEvalMode::Materialized);
       break;
-    case EngineKind::Fused:
-      Solver = std::make_unique<FusedSolver<Dim>>(std::move(Prob),
-                                                  Cfg.Scheme, *Exec);
+    case EngineKind::Fused: {
+      auto Fused = std::make_unique<FusedSolver<Dim>>(std::move(Prob),
+                                                      Cfg.Scheme, *Exec);
+      if (Cfg.Step == StepMode::Dag && !Fused->enableDagStepping()) {
+        // resolve() validated backend/engine, so the only ways here are a
+        // 3D problem or a hand-built RunConfig that skipped resolve().
+        if constexpr (Dim > 2)
+          reportFatalError("--step-mode=dag supports 1D/2D problems only");
+        reportFatalError("--step-mode=dag requires the tasks backend");
+      }
+      Solver = std::move(Fused);
       break;
+    }
     }
     Solver->fieldPool().setEnabled(Cfg.Pooling);
     if (Cfg.Guard.Enabled) {

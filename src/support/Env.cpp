@@ -23,10 +23,12 @@ std::optional<long long> sacfd::getEnvInt(const char *Name) {
   return parseInt(*Value);
 }
 
-unsigned sacfd::hardwareThreadCount() {
+unsigned sacfd::defaultWorkerCount() {
   unsigned N = std::thread::hardware_concurrency();
   return N == 0 ? 1 : N;
 }
+
+unsigned sacfd::hardwareThreadCount() { return defaultWorkerCount(); }
 
 unsigned sacfd::defaultThreadCount() {
   if (std::optional<long long> N = getEnvInt("SACFD_THREADS"))

@@ -29,7 +29,15 @@ std::optional<std::string> getEnvString(const char *Name);
 /// \returns \p Name parsed as integer, or nullopt when unset/malformed.
 std::optional<long long> getEnvInt(const char *Name);
 
-/// \returns the number of hardware threads, at least 1.
+/// \returns the number of workers to run when the user did not say:
+/// std::thread::hardware_concurrency() clamped to at least 1.  The
+/// standard allows hardware_concurrency() to return 0 ("not computable");
+/// every auto-detection path must go through this helper so a 0-worker
+/// pool can never be constructed.
+unsigned defaultWorkerCount();
+
+/// \returns the number of hardware threads, at least 1 (alias of
+/// defaultWorkerCount(), kept for call sites that read better this way).
 unsigned hardwareThreadCount();
 
 /// \returns the default worker count: SACFD_THREADS when set and positive,

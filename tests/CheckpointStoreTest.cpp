@@ -87,6 +87,55 @@ TEST(CheckpointStore, RotationKeepsOnlyTheLastK) {
   fs::remove_all(Dir);
 }
 
+TEST(CheckpointStore, WriteSweepsOrphanedTmpFiles) {
+  // A SIGKILL between "stage to .tmp" and "rename into place" strands the
+  // .tmp forever (DurabilityTest manufactures exactly this with its
+  // kill-write fault).  The next writer must reclaim such leftovers —
+  // and must never touch foreign files that happen to live in the
+  // directory or the real generations.
+  std::string Dir = freshDir("store_tmp_sweep");
+  CheckpointStore Store(Dir, /*Keep=*/3);
+  ArraySolver<1> S(sodProblem(32), SchemeConfig::benchmarkScheme(), Exec);
+  S.advanceSteps(2);
+  ASSERT_TRUE(Store.write(S).ok());
+
+  std::ofstream(Dir + "/ckpt-00000099.sacfd.tmp") << "torn payload";
+  std::ofstream(Dir + "/manifest.txt.tmp") << "torn manifest";
+  std::ofstream(Dir + "/unrelated.tmp") << "not ours";
+  std::ofstream(Dir + "/notes.txt") << "not ours either";
+
+  S.advanceSteps(2);
+  ASSERT_TRUE(Store.write(S).ok());
+  EXPECT_FALSE(fs::exists(Dir + "/ckpt-00000099.sacfd.tmp"));
+  EXPECT_FALSE(fs::exists(Dir + "/manifest.txt.tmp"));
+  EXPECT_TRUE(fs::exists(Dir + "/unrelated.tmp"))
+      << "only our own staging names may be swept";
+  EXPECT_TRUE(fs::exists(Dir + "/notes.txt"));
+
+  auto Gens = Store.generations();
+  ASSERT_EQ(Gens.size(), 2u) << "real generations survive the sweep";
+  EXPECT_EQ(Gens[0].Steps, 4u);
+  EXPECT_EQ(Gens[1].Steps, 2u);
+  fs::remove_all(Dir);
+}
+
+TEST(CheckpointStore, ResumeSweepsOrphanedTmpFiles) {
+  std::string Dir = freshDir("store_tmp_sweep_resume");
+  CheckpointStore Store(Dir, /*Keep=*/3);
+  ArraySolver<1> S(sodProblem(32), SchemeConfig::benchmarkScheme(), Exec);
+  S.advanceSteps(3);
+  ASSERT_TRUE(Store.write(S).ok());
+  std::ofstream(Dir + "/ckpt-00000007.sacfd.tmp") << "torn";
+
+  ArraySolver<1> R(sodProblem(32), SchemeConfig::benchmarkScheme(), Exec);
+  auto Out = Store.resume(R);
+  ASSERT_TRUE(Out.resumed());
+  EXPECT_EQ(Out.LoadedSteps, 3u);
+  EXPECT_FALSE(fs::exists(Dir + "/ckpt-00000007.sacfd.tmp"))
+      << "resume reclaims crash leftovers";
+  fs::remove_all(Dir);
+}
+
 TEST(CheckpointStore, DiscoveryUnionsManifestWithDirectoryScan) {
   std::string Dir = freshDir("store_union");
   CheckpointStore Store(Dir, /*Keep=*/3);

@@ -53,11 +53,15 @@ template <> Problem<2> killProblem<2>() { return riemann2D(16); }
 
 template <unsigned Dim>
 RunConfig durableConfig(BackendKind Backend, unsigned Threads,
-                        const std::string &Dir, unsigned Every) {
+                        const std::string &Dir, unsigned Every,
+                        StepMode Step = StepMode::Loops) {
   RunConfig Cfg;
   Cfg.Scheme = SchemeConfig::benchmarkScheme();
   Cfg.Backend = Backend;
   Cfg.Threads = Threads;
+  Cfg.Step = Step;
+  if (Step == StepMode::Dag)
+    Cfg.Engine = EngineKind::Fused;
   Cfg.Checkpoint.Dir = Dir;
   Cfg.Checkpoint.Every = Every;
   Cfg.Checkpoint.Keep = 2;
@@ -77,7 +81,8 @@ template <unsigned Dim>
 void runKillResumeScenario(BackendKind Backend, unsigned Threads,
                            unsigned TotalSteps, unsigned Every,
                            unsigned KillWriteNth, unsigned ExpectResumeSteps,
-                           const char *DirName) {
+                           const char *DirName,
+                           StepMode Step = StepMode::Loops) {
   FaultGuard FG;
   std::string Dir = freshDir(DirName);
 
@@ -86,7 +91,7 @@ void runKillResumeScenario(BackendKind Backend, unsigned Threads,
   std::vector<Cons<Dim>> RefField;
   double RefTime = 0.0;
   {
-    RunConfig Cfg = durableConfig<Dim>(Backend, Threads, "", 0);
+    RunConfig Cfg = durableConfig<Dim>(Backend, Threads, "", 0, Step);
     SolverRun<Dim> Ref(killProblem<Dim>(), Cfg);
     ASSERT_TRUE(Ref.advanceSteps(TotalSteps));
     const NDArray<Cons<Dim>> &U = Ref.solver().field();
@@ -104,7 +109,7 @@ void runKillResumeScenario(BackendKind Backend, unsigned Threads,
     iofault::Plan P;
     P.KillWriteNth = KillWriteNth;
     iofault::setPlan(P);
-    RunConfig Cfg = durableConfig<Dim>(Backend, Threads, Dir, Every);
+    RunConfig Cfg = durableConfig<Dim>(Backend, Threads, Dir, Every, Step);
     SolverRun<Dim> Run(killProblem<Dim>(), Cfg);
     setupDurableRun(Run);
     Run.advanceSteps(TotalSteps);
@@ -120,7 +125,7 @@ void runKillResumeScenario(BackendKind Backend, unsigned Threads,
 
   // Resume in the parent: discover the newest intact generation, finish
   // the run, and match the uninterrupted reference bit for bit.
-  RunConfig Cfg = durableConfig<Dim>(Backend, Threads, Dir, Every);
+  RunConfig Cfg = durableConfig<Dim>(Backend, Threads, Dir, Every, Step);
   Cfg.Checkpoint.Resume = true;
   SolverRun<Dim> Run(killProblem<Dim>(), Cfg);
   DurabilitySetup Setup = setupDurableRun(Run);
@@ -128,6 +133,12 @@ void runKillResumeScenario(BackendKind Backend, unsigned Threads,
   ASSERT_TRUE(Setup.Resumed) << "a generation must have survived the kill";
   EXPECT_EQ(Setup.ResumeSteps, ExpectResumeSteps);
   EXPECT_EQ(Run.solver().stepCount(), ExpectResumeSteps);
+
+  // The SIGKILL stranded a staged .tmp (that is the point of the fault);
+  // resume must have swept it.
+  for (const fs::directory_entry &E : fs::directory_iterator(Dir))
+    EXPECT_NE(E.path().extension(), ".tmp")
+        << "orphaned staging file survived resume: " << E.path();
 
   ASSERT_TRUE(Run.advanceSteps(TotalSteps - Setup.ResumeSteps));
   const NDArray<Cons<Dim>> &U = Run.solver().field();
@@ -180,6 +191,22 @@ TEST(Durability, KillMidPayloadWrite2DThreaded) {
   runKillResumeScenario<2>(BackendKind::SpinPool, 2, /*TotalSteps=*/30,
                            /*Every=*/5, /*KillWriteNth=*/8,
                            /*ExpectResumeSteps=*/10, "kill_2d_spinpool");
+}
+
+TEST(Durability, KillMidPayloadWrite2DTasks) {
+  runKillResumeScenario<2>(BackendKind::Tasks, 2, /*TotalSteps=*/30,
+                           /*Every=*/5, /*KillWriteNth=*/8,
+                           /*ExpectResumeSteps=*/10, "kill_2d_tasks");
+}
+
+TEST(Durability, KillMidPayloadWrite2DTasksDagMode) {
+  // The DAG pipeline's cached GetDT must be invalidated by the resume's
+  // restoreClock, or the post-resume trajectory diverges from the
+  // uninterrupted reference.
+  runKillResumeScenario<2>(BackendKind::Tasks, 2, /*TotalSteps=*/30,
+                           /*Every=*/5, /*KillWriteNth=*/8,
+                           /*ExpectResumeSteps=*/10, "kill_2d_tasks_dag",
+                           StepMode::Dag);
 }
 
 //===----------------------------------------------------------------------===//

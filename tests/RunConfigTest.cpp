@@ -144,6 +144,8 @@ TEST(RunConfigResolve, RejectsBadValuesWithStructuredErrors) {
       {{"--integrator", "rk4"}, "--integrator"},
       {{"--engine", "fortran"}, "--engine"},
       {{"--backend", "gpu"}, "--backend"},
+      {{"--execution", "gpu"}, "--execution"},
+      {{"--step-mode", "pipeline"}, "--step-mode"},
       {{"--schedule", "guided"}, "--schedule"},
       {{"--schedule", "static,0"}, "--schedule"},
       {{"--tile", "0x4"}, "--tile"},
@@ -158,6 +160,72 @@ TEST(RunConfigResolve, RejectsBadValuesWithStructuredErrors) {
     EXPECT_NE(Error.find(C.MustMention), std::string::npos)
         << "error for " << C.Args[1] << " was: " << Error;
   }
+}
+
+TEST(RunConfigResolve, RejectsZeroThreadsWithStructuredError) {
+  // 0 parses fine as an unsigned, so it reaches resolve() — which must
+  // reject it by name instead of handing a zero-worker pool to a backend.
+  RunConfig Cfg;
+  std::string Error;
+  EXPECT_FALSE(parseAndResolve(Cfg, {"--threads", "0"}, &Error));
+  EXPECT_NE(Error.find("--threads"), std::string::npos) << Error;
+}
+
+TEST(RunConfigResolve, RejectsUnparseableUnsignedAtTheCliLayer) {
+  // Trailing garbage, signs, overflow and empty values never reach
+  // resolve(): the CLI layer itself refuses them.
+  for (const char *Bad : {"4x", "-3", "+2", "99999999999999999999", "", " "}) {
+    RunConfig Cfg;
+    EXPECT_FALSE(parseAndResolve(Cfg, {"--threads", Bad}))
+        << "'" << Bad << "' must not parse";
+  }
+}
+
+TEST(RunConfigResolve, ExecutionAliasSelectsTheBackend) {
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg, {"--execution", "tasks"}, &Error))
+      << Error;
+  EXPECT_EQ(Cfg.Backend, BackendKind::Tasks);
+
+  // When both are given, the alias wins.
+  RunConfig Both;
+  ASSERT_TRUE(parseAndResolve(
+      Both, {"--backend", "serial", "--execution", "fork-join"}, &Error))
+      << Error;
+  EXPECT_EQ(Both.Backend, BackendKind::ForkJoin);
+}
+
+TEST(RunConfigResolve, StepModeParsesAndShowsInExecutionStr) {
+  for (StepMode M : {StepMode::Loops, StepMode::Dag})
+    EXPECT_EQ(parseStepMode(stepModeName(M)), M);
+  EXPECT_FALSE(parseStepMode("barrier").has_value());
+
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg,
+                              {"--engine", "fused", "--backend", "tasks",
+                               "--step-mode", "dag"},
+                              &Error))
+      << Error;
+  EXPECT_EQ(Cfg.Step, StepMode::Dag);
+  EXPECT_NE(Cfg.executionStr().find("step=dag"), std::string::npos)
+      << Cfg.executionStr();
+}
+
+TEST(RunConfigResolve, DagStepModeValidatesBackendAndEngine) {
+  RunConfig WrongBackend;
+  std::string Error;
+  EXPECT_FALSE(parseAndResolve(WrongBackend,
+                               {"--step-mode", "dag", "--engine", "fused",
+                                "--backend", "spin-pool"},
+                               &Error));
+  EXPECT_NE(Error.find("--backend=tasks"), std::string::npos) << Error;
+
+  RunConfig WrongEngine;
+  EXPECT_FALSE(parseAndResolve(
+      WrongEngine, {"--step-mode", "dag", "--backend", "tasks"}, &Error));
+  EXPECT_NE(Error.find("--engine=fused"), std::string::npos) << Error;
 }
 
 TEST(RunConfigResolve, TileDealingSurvivesTileRespec) {
@@ -201,6 +269,22 @@ TEST(SolverFactory, BuildsEachEngine) {
     EXPECT_TRUE(Run.advanceSteps(3));
     EXPECT_EQ(Run.solver().stepCount(), 3u);
   }
+}
+
+TEST(SolverFactory, BuildsDagSteppingFusedRun) {
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg,
+                              {"--engine", "fused", "--backend", "tasks",
+                               "--threads", "2", "--step-mode", "dag"},
+                              &Error))
+      << Error;
+  SolverRun<2> Run = makeSolverRun(riemann2D(12), Cfg);
+  auto *F = dynamic_cast<FusedSolver<2> *>(&Run.solver());
+  ASSERT_NE(F, nullptr);
+  EXPECT_TRUE(F->dagStepping()) << "factory must arm the DAG pipeline";
+  EXPECT_TRUE(Run.advanceSteps(3));
+  EXPECT_EQ(Run.solver().stepCount(), 3u);
 }
 
 TEST(SolverFactory, BuildsArmedGuard) {
