@@ -66,8 +66,12 @@ inline double runOneScalingConfig(const ScalingOptions &Opt, bool SacModel,
   TimingSamples Samples;
   for (unsigned Rep = 0; Rep < Opt.Repeats; ++Rep) {
     // dx = 1 at every size, like the paper's 400x400 reference grid.
-    Problem<2> Prob = shockInteraction2D(
-        Opt.Cells, 2.2, static_cast<double>(Opt.Cells) / 2.0);
+    // --scenario (when the bench registered it) swaps in any 2D gallery
+    // workload at the sweep resolution instead.
+    Problem<2> Prob = resolveProblem(
+        shockInteraction2D(Opt.Cells, 2.2,
+                           static_cast<double>(Opt.Cells) / 2.0),
+        Opt.Base);
 
     RunConfig Cfg = Opt.Base;
     Cfg.Engine = SacModel ? EngineKind::Array : EngineKind::Fused;

@@ -42,6 +42,7 @@ int main(int Argc, const char **Argv) {
                "restrict the sweep to one model: sac or fortran");
   // Engine/backend/threads are what the sweep varies, so only the other
   // RunConfig groups are exposed.
+  Opt.Base.registerScenarioFlag(CL);
   Opt.Base.registerScheduleFlags(CL);
   Opt.Base.registerGuardFlags(CL);
   Opt.Base.registerTelemetryFlags(CL);

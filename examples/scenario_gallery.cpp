@@ -1,0 +1,172 @@
+//===- examples/scenario_gallery.cpp - The workload gallery matrix --------===//
+//
+// Renders the scenario registry: every registered workload's pinned
+// regression run, executed on both engines and checked against the
+// checked-in reference hashes.  The tool behind the `scenario` ctest
+// tier and the CI regression matrix.
+//
+// Usage:
+//   scenario_gallery                 run + check the full matrix
+//   scenario_gallery --only sedov    one scenario
+//   scenario_gallery --json out.json machine-readable matrix (CI artifact)
+//   scenario_gallery --rebaseline    emit a fresh PinnedReferences table
+//
+// Exit status: 0 when every pinned run matches its reference (or when
+// rebaselining), 1 on any mismatch or failed run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Scenario.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace sacfd;
+
+namespace {
+
+struct MatrixRow {
+  ScenarioInfo Info;
+  PinnedResult Array;
+  PinnedResult Fused;
+  bool Ran = false;
+  std::string Error;
+
+  bool ok() const {
+    return Ran && Array.matched() && Fused.matched() &&
+           Array.Hash == Fused.Hash;
+  }
+};
+
+void writeJson(const char *Path, const std::vector<MatrixRow> &Rows) {
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "scenario_gallery: cannot write '%s'\n", Path);
+    return;
+  }
+  std::fprintf(F, "{\n  \"scenarios\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const MatrixRow &R = Rows[I];
+    std::fprintf(F, "    {\"name\": \"%s\", \"dim\": %u, ",
+                 R.Info.Name.c_str(), R.Info.Dim);
+    std::fprintf(F, "\"summary\": \"%s\", ", R.Info.Summary.c_str());
+    std::fprintf(F, "\"pinned_cells\": %zu, \"pinned_steps\": %u, ",
+                 R.Info.Pinned.Cells, R.Info.Pinned.Steps);
+    if (R.Ran) {
+      std::fprintf(F,
+                   "\"hash\": \"0x%016llx\", \"fused_hash\": \"0x%016llx\", ",
+                   static_cast<unsigned long long>(R.Array.Hash),
+                   static_cast<unsigned long long>(R.Fused.Hash));
+      std::fprintf(F, "\"time\": %.17g, \"wall_ms\": %.3f, ", R.Array.Time,
+                   R.Array.WallMs + R.Fused.WallMs);
+    }
+    if (R.Info.Reference)
+      std::fprintf(F, "\"reference\": \"0x%016llx\", ",
+                   static_cast<unsigned long long>(*R.Info.Reference));
+    std::fprintf(F, "\"status\": \"%s\"}%s\n",
+                 R.ok() ? "ok" : (R.Ran ? "mismatch" : "error"),
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("wrote %s\n", Path);
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  std::string Only;
+  std::string JsonPath;
+  bool Rebaseline = false;
+
+  CommandLine CL("scenario_gallery",
+                 "run the workload gallery's pinned regression matrix");
+  CL.addString("only", Only, "run a single scenario by name");
+  CL.addString("json", JsonPath, "write the matrix as JSON to this path");
+  CL.addFlag("rebaseline", Rebaseline,
+             "emit a fresh reference table instead of checking");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+
+  const ScenarioRegistry &Registry = ScenarioRegistry::instance();
+  std::vector<MatrixRow> Rows;
+  for (const ScenarioInfo &Info : Registry.infos()) {
+    if (!Only.empty() && Info.Name != Only)
+      continue;
+    MatrixRow Row;
+    Row.Info = Info;
+    SpecParse<PinnedResult> A =
+        runPinnedScenario(Info.Name, EngineKind::Array);
+    SpecParse<PinnedResult> F =
+        runPinnedScenario(Info.Name, EngineKind::Fused);
+    if (!A || !F) {
+      Row.Error = !A ? A.Error : F.Error;
+    } else {
+      Row.Array = *A.Value;
+      Row.Fused = *F.Value;
+      Row.Ran = true;
+    }
+    Rows.push_back(std::move(Row));
+  }
+  if (Rows.empty()) {
+    std::fprintf(stderr,
+                 "scenario_gallery: no scenario named '%s'; known: %s\n",
+                 Only.c_str(), Registry.namesStr().c_str());
+    return 1;
+  }
+
+  if (Rebaseline) {
+    // Paste-ready rows for scenarios/PinnedReferences.cpp (array engine;
+    // the fused hash is identical whenever the matrix is healthy).
+    std::printf("  static constexpr Row Table[] = {\n");
+    for (const MatrixRow &R : Rows) {
+      if (!R.Ran) {
+        std::fprintf(stderr, "scenario_gallery: %s failed: %s\n",
+                     R.Info.Name.c_str(), R.Error.c_str());
+        return 1;
+      }
+      std::printf("      {\"%s\", 0x%016llxull},\n", R.Info.Name.c_str(),
+                  static_cast<unsigned long long>(R.Array.Hash));
+    }
+    std::printf("  };\n");
+    if (!JsonPath.empty())
+      writeJson(JsonPath.c_str(), Rows);
+    return 0;
+  }
+
+  std::printf("%-20s %3s %7s %5s %-18s %-9s %8s\n", "scenario", "dim",
+              "cells", "steps", "hash", "status", "ms");
+  bool AllOk = true;
+  for (const MatrixRow &R : Rows) {
+    if (!R.Ran) {
+      std::printf("%-20s %3u %7zu %5u %-18s %-9s\n", R.Info.Name.c_str(),
+                  R.Info.Dim, R.Info.Pinned.Cells, R.Info.Pinned.Steps,
+                  "-", "error");
+      std::fprintf(stderr, "  %s\n", R.Error.c_str());
+      AllOk = false;
+      continue;
+    }
+    const char *Status = "ok";
+    if (R.Array.Hash != R.Fused.Hash)
+      Status = "engines!"; // engine divergence outranks a stale reference
+    else if (!R.Info.Reference)
+      Status = "new";
+    else if (!R.Array.matched())
+      Status = "MISMATCH";
+    if (std::string(Status) != "ok")
+      AllOk = false;
+    std::printf("%-20s %3u %7zu %5u 0x%016llx %-9s %8.2f\n",
+                R.Info.Name.c_str(), R.Info.Dim, R.Array.Cells,
+                R.Array.Steps,
+                static_cast<unsigned long long>(R.Array.Hash), Status,
+                R.Array.WallMs + R.Fused.WallMs);
+  }
+  if (!JsonPath.empty())
+    writeJson(JsonPath.c_str(), Rows);
+  if (!AllOk)
+    std::fprintf(stderr, "scenario_gallery: matrix check failed; %s\n",
+                 rebaselineHint().c_str());
+  return AllOk ? 0 : 1;
+}

@@ -65,8 +65,11 @@ int main(int Argc, const char **Argv) {
   // resolution by scaling the channel width with the cell count so
   // dx = 1 as in the 400x400 reference setup.
   double ChannelWidth = static_cast<double>(Cells) / 2.0;
-  Problem<2> Prob = shockInteraction2D(static_cast<size_t>(Cells), Ms,
-                                       ChannelWidth);
+  // --scenario swaps in any registered 2D workload (e.g. sedov,
+  // double-mach, riemann2d:config=3) in place of the default setup.
+  Problem<2> Prob = resolveProblem(
+      shockInteraction2D(static_cast<size_t>(Cells), Ms, ChannelWidth),
+      Cfg);
   SolverRun<2> Run = makeSolverRun(Prob, Cfg);
   DurabilitySetup Durable = setupDurableRun(Run);
   if (!Durable.Ok)
@@ -78,10 +81,10 @@ int main(int Argc, const char **Argv) {
                 Solver.stepCount());
 
   double EndTime = Prob.EndTime * TimeFraction;
-  std::printf("shock_interaction_2d: %dx%d, Ms=%.2f, h=%.0f, t_end=%.2f, "
-              "scheme %s, %s\n",
-              Cells, Cells, Ms, ChannelWidth, EndTime,
-              Cfg.Scheme.str().c_str(), Cfg.executionStr().c_str());
+  std::printf("%s: %zux%zu, t_end=%.2f, scheme %s, %s\n",
+              Prob.Name.c_str(), Prob.Domain.cells(0), Prob.Domain.cells(1),
+              EndTime, Cfg.Scheme.str().c_str(),
+              Cfg.executionStr().c_str());
 
   WallTimer Timer;
   RunRecorder<2> Recorder(/*Stride=*/5);

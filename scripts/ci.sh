@@ -2,7 +2,8 @@
 # Local mirror of the CI matrix: build Debug and Release and run the
 # labeled test tiers (see tests/CMakeLists.txt):
 #
-#   Debug    unit + property + smoke   (fast correctness on every build)
+#   Debug    unit + property + smoke + scenario  (fast correctness on
+#            every build, including the pinned workload-gallery matrix)
 #   Release  everything, including the "slow" tier — the determinism
 #            matrix and the closed-box conservation regression
 #
@@ -34,11 +35,25 @@ for TYPE in Debug Release; do
   cmake --build "$BUILD" -j "$JOBS"
   if [ "$TYPE" = Debug ]; then
     (cd "$BUILD" && ctest --output-on-failure -j "$JOBS" \
-        -L 'unit|property|smoke')
+        -L 'unit|property|smoke|scenario')
   else
     (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
   fi
 done
+
+echo "== scenario regression matrix =="
+# The workload gallery gate: every registered scenario's pinned run must
+# reproduce its checked-in reference hash on both engines (label covers
+# the ScenarioRegressionTest binary and the scenario_matrix end-to-end
+# run of the gallery tool).
+(cd build-ci-Release && ctest --output-on-failure -L scenario)
+
+echo "== scenario gallery artifact =="
+# CI-tracked record of the full matrix: name, pinned hash per engine,
+# reference, status.
+mkdir -p artifacts
+./build-ci-Release/examples/scenario_gallery --json artifacts/SCENARIOS.json
+echo "wrote artifacts/SCENARIOS.json"
 
 echo "== telemetry artifact =="
 mkdir -p artifacts

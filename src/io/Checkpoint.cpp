@@ -3,6 +3,7 @@
 #include "io/Checkpoint.h"
 
 #include "support/FaultInjection.h"
+#include "support/Hash.h"
 #include "telemetry/Telemetry.h"
 
 #include <algorithm>
@@ -57,17 +58,6 @@ struct HeaderV2 {
 };
 static_assert(sizeof(HeaderV2) == sizeof(HeaderPrefix) + 24,
               "frozen on-disk layout");
-
-uint64_t fnv1a(const void *Data, size_t Bytes,
-               uint64_t Seed = 0xcbf29ce484222325ull) {
-  const uint8_t *P = static_cast<const uint8_t *>(Data);
-  uint64_t H = Seed;
-  for (size_t I = 0; I < Bytes; ++I) {
-    H ^= P[I];
-    H *= 0x100000001b3ull;
-  }
-  return H;
-}
 
 uint64_t headerChecksum(const HeaderV2 &H) {
   return fnv1a(&H, offsetof(HeaderV2, HeaderChecksum));

@@ -113,7 +113,8 @@ protected:
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
       {
         telemetry::ScopedSpan S(SpanBoundary);
-        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
+        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec,
+                        this->Time);
       }
       FieldPool::Lease<Cons<Dim>> ResL;
       {

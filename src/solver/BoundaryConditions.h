@@ -14,6 +14,13 @@
 ///   Inflow        frozen supersonic state (the Rankine-Hugoniot channel
 ///                 exits of the 2D configuration)
 ///
+/// plus, for the workload gallery beyond the paper:
+///
+///   Periodic      wrap-around copies (smooth convergence cases)
+///   Prescribed    ghost state as a function of the tangential coordinate
+///                 and the solver time — the time-dependent shock trace
+///                 the double-Mach-reflection top boundary needs
+///
 /// A boundary side may be split into segments along its tangential
 /// coordinate — exactly the paper's left/bottom boundaries, which are
 /// part channel exit and part solid wall (Fig. 2).
@@ -36,6 +43,7 @@
 
 #include <array>
 #include <cassert>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -50,6 +58,11 @@ enum class BcKind {
   /// sides of an axis must be periodic; used by the smooth-advection
   /// convergence studies.
   Periodic,
+  /// Ghost state prescribed as a function of (tangential coordinate,
+  /// time): the time-dependent exact-shock trace of the double Mach
+  /// reflection's top boundary.  Every ghost layer of a column gets the
+  /// same value (like Inflow, but varying along the side and in time).
+  Prescribed,
 };
 
 /// One stretch of a boundary side with a single condition.
@@ -61,6 +74,12 @@ template <unsigned Dim> struct BcSegment {
   double TangentialHi = std::numeric_limits<double>::infinity();
   /// Frozen ghost state for Inflow.
   Cons<Dim> InflowState = {};
+  /// Ghost state for Prescribed; called per tangential column per
+  /// application with the time the engines pass to applyBoundaries (the
+  /// start-of-step solver clock, the same value in every RK stage — see
+  /// the note on applyBoundaries).  Must be a pure function so parallel
+  /// ghost fills stay deterministic.
+  std::function<Cons<Dim>(double Tangential, double Time)> StateAt;
 };
 
 /// Side numbering: side = 2*axis + (0 low / 1 high).
@@ -110,7 +129,7 @@ template <unsigned Dim>
 void applyBoundarySide(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
                        const BoundarySpec<Dim> &Spec, unsigned Axis,
                        bool High, bool IncludeTangentialGhosts,
-                       Backend &Exec) {
+                       Backend &Exec, double Time) {
   const unsigned Ng = G.ghost();
   const unsigned SideIndex = boundarySide(Axis, High);
   const std::ptrdiff_t N = static_cast<std::ptrdiff_t>(G.cells(Axis));
@@ -172,6 +191,10 @@ void applyBoundarySide(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
         Source.Coord[Axis] = High ? NgS + (Layer - 1) : NgS + N - Layer;
         U.at(Ghost) = U.at(Source);
         break;
+      case BcKind::Prescribed:
+        assert(Seg.StateAt && "Prescribed segment without a state function");
+        U.at(Ghost) = Seg.StateAt(TangentialCoord, Time);
+        break;
       }
     }
   });
@@ -184,16 +207,22 @@ void applyBoundarySide(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
 /// Passes run axis by axis; later axes iterate the full tangential
 /// storage extent so corner ghosts receive the composition of both
 /// conditions (wall mirror of an inflow column, etc.).
+///
+/// \p Time feeds Prescribed segments only.  Engines pass the solver
+/// clock at the start of the step for every RK stage fill of that step —
+/// a deliberate (documented) first-order-in-time treatment that keeps
+/// loops and DAG step modes, and both engines, bit-identical.
 template <unsigned Dim>
 void applyBoundaries(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
-                     const BoundarySpec<Dim> &Spec, Backend &Exec) {
+                     const BoundarySpec<Dim> &Spec, Backend &Exec,
+                     double Time = 0.0) {
   assert(U.shape() == G.storageShape() && "field/grid mismatch");
   for (unsigned Axis = 0; Axis < Dim; ++Axis) {
     bool IncludeTangentialGhosts = Axis > 0;
     detail::applyBoundarySide(U, G, Spec, Axis, /*High=*/false,
-                              IncludeTangentialGhosts, Exec);
+                              IncludeTangentialGhosts, Exec, Time);
     detail::applyBoundarySide(U, G, Spec, Axis, /*High=*/true,
-                              IncludeTangentialGhosts, Exec);
+                              IncludeTangentialGhosts, Exec, Time);
   }
 }
 

@@ -231,7 +231,7 @@ protected:
         U.at(G.toStorage(Iv)) = toCons(Prob.InitialState(X), Prob.G);
       } while (Interior.increment(Iv));
     }
-    applyBoundaries(U, G, Prob.Boundary, Exec);
+    applyBoundaries(U, G, Prob.Boundary, Exec, Time);
   }
 
   Problem<Dim> Prob;

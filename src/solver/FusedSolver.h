@@ -150,7 +150,8 @@ protected:
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
       {
         telemetry::ScopedSpan S(SpanBoundary);
-        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec);
+        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec,
+                        this->Time);
       }
 
       Cons<Dim> *ResData = ResL->data();
@@ -529,9 +530,10 @@ private:
     }
     case KBnd:
       // Runs serially inside this one task (nested parallelFor calls
-      // from a task body execute inline).
+      // from a task body execute inline).  Same start-of-step Time for
+      // every stage, matching the loops mode bit for bit.
       applyBoundaries(this->U, this->Prob.Domain, this->Prob.Boundary,
-                      this->Exec);
+                      this->Exec, this->Time);
       return;
     case KFlux: {
       TileRect R = G.rect(Ti);

@@ -35,7 +35,14 @@ template <unsigned Dim> struct Problem {
   /// Initial primitive state as a function of the cell-center position.
   std::function<Prim<Dim>(const std::array<double, Dim> &)> InitialState;
   /// The physically interesting duration (benchmarks may override).
-  double EndTime = 1.0;
+  /// Defaults to 0 = unset: a problem that forgets to choose one is
+  /// rejected by the scenario registry with a structured error instead
+  /// of silently simulating to an arbitrary time (scenario factories
+  /// must produce hasEndTime() problems).
+  double EndTime = 0.0;
+
+  /// True when a positive end time has been chosen.
+  bool hasEndTime() const { return EndTime > 0.0; }
 };
 
 } // namespace sacfd

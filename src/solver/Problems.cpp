@@ -166,6 +166,13 @@ Problem<2> sacfd::riemann2D(size_t CellsPerAxis, unsigned GhostLayers,
   };
   Quadrants Q;
   switch (Configuration) {
+  case 3: // four shocks, the classic mushroom-jet case
+    Q.NE = prim2(1.5, 0.0, 0.0, 1.5);
+    Q.NW = prim2(0.5323, 1.206, 0.0, 0.3);
+    Q.SW = prim2(0.138, 1.206, 1.206, 0.029);
+    Q.SE = prim2(0.5323, 0.0, 1.206, 0.3);
+    Q.EndTime = 0.3;
+    break;
   case 6: // four contacts rolling into a spiral
     Q.NE = prim2(1.0, 0.75, -0.5, 1.0);
     Q.NW = prim2(2.0, 0.75, 0.5, 1.0);
@@ -202,6 +209,126 @@ Problem<2> sacfd::riemann2D(size_t CellsPerAxis, unsigned GhostLayers,
     return Q.SE;
   };
   P.EndTime = Q.EndTime;
+  return P;
+}
+
+Problem<2> sacfd::sedovBlast2D(size_t CellsPerAxis, unsigned GhostLayers) {
+  Problem<2> P;
+  P.Name = "sedov";
+  P.Domain = Grid<2>({CellsPerAxis, CellsPerAxis}, {-0.5, -0.5},
+                     {0.5, 0.5}, GhostLayers);
+  P.Boundary = BoundarySpec<2>::uniform(BcKind::Transmissive);
+  // Total blast energy 1 deposited as pressure in a disc of radius 0.1:
+  // p = (gamma - 1) E / (pi r0^2).  The ambient pressure is small but
+  // finite so the pre-shock sound speed stays representable.
+  double Gamma = P.G.Gamma;
+  double R0 = 0.1;
+  double PIn = (Gamma - 1.0) * 1.0 / (M_PI * R0 * R0);
+  P.InitialState = [R0, PIn](const std::array<double, 2> &X) {
+    double R2 = X[0] * X[0] + X[1] * X[1];
+    return prim2(1.0, 0.0, 0.0, R2 < R0 * R0 ? PIn : 0.01);
+  };
+  P.EndTime = 0.1; // shock reaches ~80% of the half-width
+  return P;
+}
+
+Problem<2> sacfd::doubleMachReflection(size_t CellsPerUnit,
+                                       unsigned GhostLayers) {
+  Problem<2> P;
+  P.Name = "double-mach";
+  P.Domain = Grid<2>({4 * CellsPerUnit, CellsPerUnit}, {0.0, 0.0},
+                     {4.0, 1.0}, GhostLayers);
+
+  // Mach 10 shock at 60 degrees to the wall.  Pre-shock gas (1.4, 0, 0,
+  // 1); the post-shock state follows from the Rankine-Hugoniot relations
+  // with the velocity rotated onto the shock normal.
+  const double Sqrt3 = std::sqrt(3.0);
+  const double X0 = 1.0 / 6.0; // foot of the shock / start of the wall
+  Prim<2> Pre = prim2(1.4, 0.0, 0.0, 1.0);
+  Prim<2> Post = prim2(8.0, 8.25 * Sqrt3 / 2.0, -8.25 * 0.5, 116.5);
+  const Gas &G = P.G;
+  Cons<2> PreC = toCons(Pre, G);
+  Cons<2> PostC = toCons(Post, G);
+
+  // Initial shock line: x = x0 + y / sqrt(3).
+  P.InitialState = [Pre, Post, X0, Sqrt3](const std::array<double, 2> &X) {
+    return X[0] < X0 + X[1] / Sqrt3 ? Post : Pre;
+  };
+
+  // Left: frozen post-shock inflow.  Right: outflow.
+  BcSegment<2> Left;
+  Left.Kind = BcKind::Inflow;
+  Left.InflowState = PostC;
+  P.Boundary.setSide(boundarySide(0, false), Left);
+  BcSegment<2> Right;
+  Right.Kind = BcKind::Transmissive;
+  P.Boundary.setSide(boundarySide(0, true), Right);
+
+  // Bottom: post-shock inflow ahead of the wall start, reflecting wall
+  // from x0 on.
+  BcSegment<2> BottomPost;
+  BottomPost.Kind = BcKind::Inflow;
+  BottomPost.InflowState = PostC;
+  BottomPost.TangentialLo = -std::numeric_limits<double>::infinity();
+  BottomPost.TangentialHi = X0;
+  BcSegment<2> BottomWall;
+  BottomWall.Kind = BcKind::Reflective;
+  BottomWall.TangentialLo = X0;
+  BottomWall.TangentialHi = std::numeric_limits<double>::infinity();
+  P.Boundary.Side[boundarySide(1, false)] = {BottomPost, BottomWall};
+
+  // Top: the exact shock trace x_s(t) = x0 + (1 + 20 t) / sqrt(3) at
+  // y = 1 — post-shock to its left, pre-shock to its right.  The shock
+  // speed along the top is 10 c_pre / sin(60), i.e. ds/dt = 20 / sqrt(3)
+  // with c_pre = sqrt(gamma p / rho) = 1.
+  BcSegment<2> Top;
+  Top.Kind = BcKind::Prescribed;
+  Top.StateAt = [PreC, PostC, X0, Sqrt3](double Tangential, double Time) {
+    double ShockX = X0 + (1.0 + 20.0 * Time) / Sqrt3;
+    return Tangential < ShockX ? PostC : PreC;
+  };
+  P.Boundary.setSide(boundarySide(1, true), Top);
+
+  P.EndTime = 0.2;
+  return P;
+}
+
+Problem<2> sacfd::shockBubble2D(size_t CellsPerUnit, unsigned GhostLayers) {
+  Problem<2> P;
+  P.Name = "shock-bubble";
+  P.Domain = Grid<2>({2 * CellsPerUnit, CellsPerUnit}, {0.0, 0.0},
+                     {2.0, 1.0}, GhostLayers);
+
+  Prim<2> Quiescent = prim2(1.0, 0.0, 0.0, 1.0);
+  Prim<2> Post = postShockInflow(2.0, Quiescent, 0, P.G);
+  const double ShockX = 0.25;
+  const double BubbleX = 0.8, BubbleY = 0.5, BubbleR = 0.2;
+  const double BubbleRho = 0.1387; // helium-like density contrast
+
+  P.InitialState = [=](const std::array<double, 2> &X) {
+    if (X[0] < ShockX)
+      return Post;
+    double Dx = X[0] - BubbleX, Dy = X[1] - BubbleY;
+    if (Dx * Dx + Dy * Dy < BubbleR * BubbleR)
+      return prim2(BubbleRho, 0.0, 0.0, 1.0);
+    return Quiescent;
+  };
+
+  // Left: frozen post-shock inflow.  Right: outflow.  Channel walls top
+  // and bottom.
+  BcSegment<2> Left;
+  Left.Kind = BcKind::Inflow;
+  Left.InflowState = toCons(Post, P.G);
+  P.Boundary.setSide(boundarySide(0, false), Left);
+  BcSegment<2> Right;
+  Right.Kind = BcKind::Transmissive;
+  P.Boundary.setSide(boundarySide(0, true), Right);
+  BcSegment<2> Wall;
+  Wall.Kind = BcKind::Reflective;
+  P.Boundary.setSide(boundarySide(1, false), Wall);
+  P.Boundary.setSide(boundarySide(1, true), Wall);
+
+  P.EndTime = 0.4; // shock crosses the bubble and the wake develops
   return P;
 }
 

@@ -59,11 +59,33 @@ Problem<2> shockInteraction2D(size_t Cells, double Ms = 2.2,
 
 /// Four-quadrant 2D Riemann problems of Schulz-Rinne/Lax-Liu on
 /// [0, 1]^2.  Supported configurations:
+///   3   four shocks, the classic mushroom-jet case (run to t = 0.3)
 ///   4   four shocks, diagonal-symmetric (default; run to t = 0.25)
 ///   6   four contacts forming a spiral (run to t = 0.3)
 ///   12  two shocks + two contacts (run to t = 0.25)
 Problem<2> riemann2D(size_t CellsPerAxis, unsigned GhostLayers = 2,
                      unsigned Configuration = 4);
+
+/// Sedov-style cylindrical blast on [-0.5, 0.5]^2: unit-density gas with
+/// a finite-energy hot disc of radius 0.1 at the origin driving a
+/// radially expanding shock into a cold ambient; run to t = 0.1.  The
+/// diverging-shock positivity workload of the gallery.
+Problem<2> sedovBlast2D(size_t CellsPerAxis, unsigned GhostLayers = 2);
+
+/// Woodward-Colella double Mach reflection: a Mach 10 shock inclined 60
+/// degrees to a reflecting wall that starts at x = 1/6, on [0, 4] x
+/// [0, 1] (\p CellsPerUnit cells per unit length, so the grid is
+/// 4N x N); run to t = 0.2.  The top boundary prescribes the exact
+/// moving-shock trace as a time-dependent state — the workload that
+/// forces BcKind::Prescribed.
+Problem<2> doubleMachReflection(size_t CellsPerUnit,
+                                unsigned GhostLayers = 2);
+
+/// Shock-bubble interaction on [0, 2] x [0, 1]: a Mach 2 planar shock
+/// (initially at x = 0.25) sweeps over a low-density circular bubble at
+/// (0.8, 0.5), radius 0.2, between reflecting channel walls; run to
+/// t = 0.4.  \p CellsPerUnit cells per unit length (grid 2N x N).
+Problem<2> shockBubble2D(size_t CellsPerUnit, unsigned GhostLayers = 2);
 
 /// Uniform free stream in \p Dim dimensions (any scheme must preserve it
 /// to round-off).

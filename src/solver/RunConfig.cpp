@@ -2,6 +2,7 @@
 
 #include "solver/RunConfig.h"
 
+#include "solver/Scenario.h"
 #include "support/Env.h"
 #include "support/Error.h"
 #include "support/StrUtil.h"
@@ -63,6 +64,18 @@ void RunConfig::registerSchemeFlags(CommandLine &CL) {
   CL.addString("riemann", RiemannName, "rusanov|hll|hllc|roe");
   CL.addString("integrator", IntegratorName, "rk1|rk2|rk3");
   CL.addDouble("cfl", Scheme.Cfl, "CFL number");
+  BoundCL = &CL;
+}
+
+void RunConfig::registerScenarioFlag(CommandLine &CL) {
+  CL.addString("scenario", ScenarioSpecText,
+               "workload selector: name[:key=val,...], e.g. "
+               "riemann2d:config=3 or sedov:cells=400");
+  BoundCL = &CL;
+}
+
+bool RunConfig::flagWasSet(std::string_view Flag) const {
+  return BoundCL && BoundCL->wasSet(Flag);
 }
 
 void RunConfig::registerEngineFlag(CommandLine &CL) {
@@ -105,6 +118,7 @@ void RunConfig::registerPoolFlag(CommandLine &CL) {
 
 void RunConfig::registerAll(CommandLine &CL) {
   registerSchemeFlags(CL);
+  registerScenarioFlag(CL);
   registerEngineFlag(CL);
   registerBackendFlags(CL);
   registerScheduleFlags(CL);
@@ -147,6 +161,23 @@ bool RunConfig::resolve(std::string &Error) {
     else
       return Fail("unknown --integrator value '" + IntegratorName +
                   "' (expected rk1|rk2|rk3)");
+  }
+  if (!ScenarioSpecText.empty()) {
+    SpecParse<ScenarioSpec> Spec = ScenarioSpec::parse(ScenarioSpecText);
+    if (!Spec)
+      return Fail("--scenario: " + Spec.Error);
+    const ScenarioRegistry &Registry = ScenarioRegistry::instance();
+    SpecParse<ScenarioSpec> Checked = Registry.validate(*Spec.Value);
+    if (!Checked)
+      return Fail("--scenario: " + Checked.Error);
+    // Apply the scenario's recommended scheme tuning, but never over an
+    // explicit user flag.
+    if (const ScenarioTuning *T = Registry.tuningFor(Spec.Value->Name)) {
+      if (T->Cfl && !flagWasSet("cfl"))
+        Scheme.Cfl = *T->Cfl;
+      if (T->Recon && !flagWasSet("recon"))
+        Scheme.Recon = *T->Recon;
+    }
   }
   if (!EngineName.empty()) {
     if (auto K = parseEngineKind(EngineName))

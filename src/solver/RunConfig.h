@@ -110,6 +110,11 @@ struct RunConfig {
 
   /// Binds --recon, --limiter, --riemann, --integrator, --cfl.
   void registerSchemeFlags(CommandLine &CL);
+  /// Binds --scenario (workload selector, `name[:key=val,...]` — see
+  /// solver/Scenario.h).  resolve() validates the spec against the
+  /// registry and applies the scenario's recommended scheme tuning to
+  /// any scheme knob the user did not set explicitly.
+  void registerScenarioFlag(CommandLine &CL);
   /// Binds --engine.
   void registerEngineFlag(CommandLine &CL);
   /// Binds --backend, --execution (an alias of --backend that wins when
@@ -146,6 +151,22 @@ struct RunConfig {
   /// "array/spin-pool(4) tile=32x128".
   std::string executionStr() const;
 
+  /// True when a --scenario spec was given (or seeded via
+  /// setScenarioSpec).  Tools route through
+  /// SolverFactory.h resolveProblem() to honor it.
+  bool hasScenario() const { return !ScenarioSpecText.empty(); }
+  /// The raw spec text (validated by resolve(); parsed again by
+  /// resolveProblem(), which owns the value errors).
+  const std::string &scenarioSpecText() const { return ScenarioSpecText; }
+  /// Seeds the spec without a CommandLine (tests, embedding code).
+  void setScenarioSpec(std::string Spec) {
+    ScenarioSpecText = std::move(Spec);
+  }
+
+  /// True when the user passed --\p Flag explicitly on the bound command
+  /// line (false when no CommandLine was ever bound).
+  bool flagWasSet(std::string_view Flag) const;
+
 private:
   // CLI staging: registrars seed these from the current typed values (so
   // --help shows real defaults) and resolve() parses them back.
@@ -160,7 +181,11 @@ private:
   std::string ScheduleSpec;
   std::string TileSpec;
   std::string TileDealingSpec;
+  std::string ScenarioSpecText;
   bool NoPoolFlag = false;
+  /// The CommandLine the register*() calls bound to, for
+  /// flagWasSet() — scenario tuning must lose to explicit user flags.
+  const CommandLine *BoundCL = nullptr;
 };
 
 } // namespace sacfd

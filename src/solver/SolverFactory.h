@@ -33,6 +33,7 @@
 #include "solver/ArraySolver.h"
 #include "solver/FusedSolver.h"
 #include "solver/RunConfig.h"
+#include "solver/Scenario.h"
 #include "solver/StepGuard.h"
 #include "support/Error.h"
 
@@ -190,6 +191,28 @@ private:
 template <unsigned Dim>
 SolverRun<Dim> makeSolverRun(Problem<Dim> Prob, const RunConfig &Cfg) {
   return SolverRun<Dim>(std::move(Prob), Cfg);
+}
+
+/// The workload a tool should actually run: \p Default when no
+/// --scenario was given, otherwise the problem the scenario registry
+/// builds for the spec (cells override, scheme-sized ghost layers,
+/// EndTime validated).  Fatal error with the registry's structured
+/// message on an unknown scenario, a rank mismatch, or bad parameter
+/// values — matching the tools' treatment of other malformed flags.
+template <unsigned Dim>
+Problem<Dim> resolveProblem(Problem<Dim> Default, const RunConfig &Cfg) {
+  if (!Cfg.hasScenario())
+    return Default;
+  SpecParse<ScenarioSpec> Spec =
+      ScenarioSpec::parse(Cfg.scenarioSpecText());
+  if (!Spec)
+    reportFatalError(("--scenario: " + Spec.Error).c_str());
+  SpecParse<Problem<Dim>> Built =
+      ScenarioRegistry::instance().buildProblem<Dim>(*Spec.Value,
+                                                     Cfg.Scheme);
+  if (!Built)
+    reportFatalError(("--scenario: " + Built.Error).c_str());
+  return std::move(*Built.Value);
 }
 
 } // namespace sacfd

@@ -1,0 +1,42 @@
+//===- solver/scenarios/BuiltinScenarios.h - Registration hooks -*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registration entry points of the built-in scenario translation units.
+/// ScenarioRegistry::instance() calls each exactly once, in this order —
+/// explicit calls, so a static archive cannot dead-strip a workload and
+/// registration order is deterministic.  Adding a scenario family means
+/// adding a TU under scenarios/, declaring its hook here, and calling it
+/// from Scenario.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SOLVER_SCENARIOS_BUILTINSCENARIOS_H
+#define SACFD_SOLVER_SCENARIOS_BUILTINSCENARIOS_H
+
+namespace sacfd {
+
+class ScenarioRegistry;
+
+/// 1D tube family: sod, lax, shu-osher, blast-waves, moving-contact,
+/// smooth-advection, uniform-1d.
+void registerTubes1DScenarios(ScenarioRegistry &R);
+/// Classic 2D family: shock-interaction, riemann2d, smooth-advection-2d,
+/// isentropic-vortex, uniform-2d.
+void registerClassic2DScenarios(ScenarioRegistry &R);
+/// Sedov-style cylindrical blast.
+void registerSedovScenario(ScenarioRegistry &R);
+/// Woodward-Colella double Mach reflection.
+void registerDoubleMachScenario(ScenarioRegistry &R);
+/// Shock-bubble interaction.
+void registerShockBubbleScenario(ScenarioRegistry &R);
+/// The checked-in pinned-run reference hashes (see rebaselineHint()).
+void registerPinnedReferences(ScenarioRegistry &R);
+
+} // namespace sacfd
+
+#endif // SACFD_SOLVER_SCENARIOS_BUILTINSCENARIOS_H

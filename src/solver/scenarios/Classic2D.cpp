@@ -1,0 +1,87 @@
+//===- solver/scenarios/Classic2D.cpp - Established 2D scenarios ----------===//
+//
+// The paper's 2D experiment plus the standard 2D validation workloads
+// that predate the gallery, as registry scenarios.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Problems.h"
+#include "solver/Scenario.h"
+#include "solver/scenarios/BuiltinScenarios.h"
+
+using namespace sacfd;
+
+namespace {
+
+Scenario<2> simple2(std::string Name, std::string Summary,
+                    size_t DefaultCells, PinnedRun Pinned,
+                    Problem<2> (*Factory)(size_t, unsigned)) {
+  Scenario<2> S;
+  S.Name = std::move(Name);
+  S.Summary = std::move(Summary);
+  S.DefaultCells = DefaultCells;
+  S.Pinned = Pinned;
+  S.Build = [Factory](const ScenarioArgs &A) {
+    return SpecParse<Problem<2>>::ok(Factory(A.cells(), A.ghostLayers()));
+  };
+  return S;
+}
+
+} // namespace
+
+void sacfd::registerClassic2DScenarios(ScenarioRegistry &R) {
+  {
+    Scenario<2> S;
+    S.Name = "shock-interaction";
+    S.Summary =
+        "the paper's two-channel shock interaction (Figs. 2/3, Fig. 4 "
+        "benchmark)";
+    S.DefaultCells = 400;
+    S.Pinned = {32, 4};
+    S.Params = {{"ms", "shock Mach number >= 1 (default 2.2)"}};
+    S.Build = [](const ScenarioArgs &A) {
+      using Result = SpecParse<Problem<2>>;
+      SpecParse<double> Ms = A.getDouble("ms", 2.2);
+      if (!Ms)
+        return Result::fail(Ms.Error);
+      if (!(*Ms.Value >= 1.0))
+        return Result::fail(
+            "scenario 'shock-interaction': ms must be >= 1, got " +
+            std::to_string(*Ms.Value));
+      return Result::ok(
+          shockInteraction2D(A.cells(), *Ms.Value, 200.0, A.ghostLayers()));
+    };
+    R.add(std::move(S));
+  }
+  {
+    Scenario<2> S;
+    S.Name = "riemann2d";
+    S.Summary = "four-quadrant Riemann problems (Schulz-Rinne/Lax-Liu)";
+    S.DefaultCells = 400;
+    S.Pinned = {32, 4};
+    S.Params = {{"config", "quadrant configuration: 3, 4, 6 or 12 "
+                           "(default 4)"}};
+    S.Build = [](const ScenarioArgs &A) {
+      using Result = SpecParse<Problem<2>>;
+      SpecParse<unsigned> Config = A.getUnsigned("config", 4);
+      if (!Config)
+        return Result::fail(Config.Error);
+      unsigned C = *Config.Value;
+      if (C != 3 && C != 4 && C != 6 && C != 12)
+        return Result::fail(
+            "scenario 'riemann2d': unsupported config " + std::to_string(C) +
+            "; supported: 3, 4, 6, 12");
+      return Result::ok(riemann2D(A.cells(), A.ghostLayers(), C));
+    };
+    R.add(std::move(S));
+  }
+  R.add(simple2("smooth-advection-2d",
+                "smooth density wave advecting diagonally (2D order test)",
+                64, {16, 4}, smoothAdvection2D));
+  R.add(simple2("isentropic-vortex",
+                "Shu's isentropic vortex on a periodic box (Euler order "
+                "test)",
+                64, {16, 4}, isentropicVortex2D));
+  R.add(simple2("uniform-2d", "uniform free stream (exactness check)", 64,
+                {16, 4}, uniformFlow2D));
+}

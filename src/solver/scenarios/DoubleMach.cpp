@@ -1,0 +1,24 @@
+//===- solver/scenarios/DoubleMach.cpp - Double Mach reflection -----------===//
+
+#include "solver/Problems.h"
+#include "solver/Scenario.h"
+#include "solver/scenarios/BuiltinScenarios.h"
+
+using namespace sacfd;
+
+void sacfd::registerDoubleMachScenario(ScenarioRegistry &R) {
+  Scenario<2> S;
+  S.Name = "double-mach";
+  S.Summary = "Woodward-Colella double Mach reflection (Mach 10 ramp, "
+              "time-dependent top boundary)";
+  // Cells per unit length; the domain is 4 x 1 so the grid is 4N x N.
+  S.DefaultCells = 120;
+  S.Pinned = {16, 4};
+  // Mach 10 wants a conservative step at startup.
+  S.Tuning.Cfl = 0.3;
+  S.Build = [](const ScenarioArgs &A) {
+    return SpecParse<Problem<2>>::ok(
+        doubleMachReflection(A.cells(), A.ghostLayers()));
+  };
+  R.add(std::move(S));
+}

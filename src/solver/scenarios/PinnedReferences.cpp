@@ -1,0 +1,49 @@
+//===- solver/scenarios/PinnedReferences.cpp - Checked-in run hashes ------===//
+//
+// The reference field-state hashes of every scenario's pinned run
+// (fieldStateHash after PinnedRun steps of the frozen pinned
+// configuration — see runPinnedScenario).  The engines are bit-identical
+// and the pinned runner is serial, so one hash per scenario covers both
+// engines on every backend.
+//
+// Regenerate after an INTENTIONAL numerics change with:
+//
+//   scenario_gallery --rebaseline
+//
+// and paste the emitted table over the one below.  An unexplained
+// mismatch is a regression, not a rebaseline opportunity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Scenario.h"
+#include "solver/scenarios/BuiltinScenarios.h"
+
+using namespace sacfd;
+
+void sacfd::registerPinnedReferences(ScenarioRegistry &R) {
+  struct Row {
+    const char *Name;
+    uint64_t Hash;
+  };
+  // clang-format off
+  static constexpr Row Table[] = {
+      {"blast-waves",         0x081cb53abefc8d17ull},
+      {"lax",                 0xf9a49a4451bb3c85ull},
+      {"moving-contact",      0xe46c476226070e35ull},
+      {"shu-osher",           0xe781baba777d9da9ull},
+      {"smooth-advection",    0x658f883cb98217e1ull},
+      {"sod",                 0x4d52ee875c6cd090ull},
+      {"uniform-1d",          0x46d36c5ef8939f70ull},
+      {"double-mach",         0xc72c1f4e2995c447ull},
+      {"isentropic-vortex",   0xba9ac3611aa598dcull},
+      {"riemann2d",           0xc39da78df76be75aull},
+      {"sedov",               0x5997535478c8b3e5ull},
+      {"shock-bubble",        0x015ee80fb0f3a3d1ull},
+      {"shock-interaction",   0x3d55ff4af24849d8ull},
+      {"smooth-advection-2d", 0x2a610f79c9c4d121ull},
+      {"uniform-2d",          0xcc7ef18ea8264716ull},
+  };
+  // clang-format on
+  for (const Row &E : Table)
+    R.setReferenceHash(E.Name, E.Hash);
+}

@@ -1,0 +1,24 @@
+//===- solver/scenarios/Sedov.cpp - Sedov-style blast scenario ------------===//
+
+#include "solver/Problems.h"
+#include "solver/Scenario.h"
+#include "solver/scenarios/BuiltinScenarios.h"
+
+using namespace sacfd;
+
+void sacfd::registerSedovScenario(ScenarioRegistry &R) {
+  Scenario<2> S;
+  S.Name = "sedov";
+  S.Summary = "Sedov-style cylindrical blast (diverging shock, positivity "
+              "stress)";
+  S.DefaultCells = 200;
+  S.Pinned = {32, 6};
+  // The hot disc drives a strong shock into near-vacuum; a conservative
+  // step keeps the first expansion positive at low resolution.
+  S.Tuning.Cfl = 0.3;
+  S.Build = [](const ScenarioArgs &A) {
+    return SpecParse<Problem<2>>::ok(
+        sedovBlast2D(A.cells(), A.ghostLayers()));
+  };
+  R.add(std::move(S));
+}

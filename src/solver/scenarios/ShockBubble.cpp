@@ -1,0 +1,22 @@
+//===- solver/scenarios/ShockBubble.cpp - Shock-bubble interaction --------===//
+
+#include "solver/Problems.h"
+#include "solver/Scenario.h"
+#include "solver/scenarios/BuiltinScenarios.h"
+
+using namespace sacfd;
+
+void sacfd::registerShockBubbleScenario(ScenarioRegistry &R) {
+  Scenario<2> S;
+  S.Name = "shock-bubble";
+  S.Summary = "Mach 2 planar shock sweeping a low-density bubble in a "
+              "channel";
+  // Cells per unit length; the domain is 2 x 1 so the grid is 2N x N.
+  S.DefaultCells = 100;
+  S.Pinned = {24, 4};
+  S.Build = [](const ScenarioArgs &A) {
+    return SpecParse<Problem<2>>::ok(
+        shockBubble2D(A.cells(), A.ghostLayers()));
+  };
+  R.add(std::move(S));
+}

@@ -1,0 +1,78 @@
+//===- solver/scenarios/Tubes1D.cpp - 1D tube scenario family -------------===//
+//
+// The classical 1D validation tubes as registry scenarios.  Cells are
+// per unit length of the tube.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Problems.h"
+#include "solver/Scenario.h"
+#include "solver/scenarios/BuiltinScenarios.h"
+
+using namespace sacfd;
+
+namespace {
+
+/// Wraps a (Cells, GhostLayers) problem factory as a scenario Build.
+template <typename FactoryT>
+std::function<SpecParse<Problem<1>>(const ScenarioArgs &)>
+build1(FactoryT Factory) {
+  return [Factory](const ScenarioArgs &A) {
+    return SpecParse<Problem<1>>::ok(Factory(A.cells(), A.ghostLayers()));
+  };
+}
+
+Scenario<1> tube(std::string Name, std::string Summary, size_t DefaultCells,
+                 PinnedRun Pinned,
+                 std::function<SpecParse<Problem<1>>(const ScenarioArgs &)>
+                     Build) {
+  Scenario<1> S;
+  S.Name = std::move(Name);
+  S.Summary = std::move(Summary);
+  S.DefaultCells = DefaultCells;
+  S.Pinned = Pinned;
+  S.Build = std::move(Build);
+  return S;
+}
+
+} // namespace
+
+void sacfd::registerTubes1DScenarios(ScenarioRegistry &R) {
+  R.add(tube("sod", "Sod shock tube, the paper's 1D experiment (Fig. 1)",
+             400, {64, 8}, build1([](size_t N, unsigned G) {
+               return sodProblem(N, G);
+             })));
+  R.add(tube("lax", "Lax shock tube (strong contact + shock)", 400,
+             {64, 8}, build1([](size_t N, unsigned G) {
+               return laxProblem(N, G);
+             })));
+  R.add(tube("shu-osher", "Shu-Osher shock / entropy-wave interaction",
+             400, {64, 8}, build1([](size_t N, unsigned G) {
+               return shuOsherProblem(N, G);
+             })));
+  {
+    Scenario<1> S = tube(
+        "blast-waves",
+        "Woodward-Colella interacting blast waves between walls", 800,
+        {64, 8}, build1([](size_t N, unsigned G) {
+          return blastWavesProblem(N, G);
+        }));
+    // The 1000:1 pressure jumps want a conservative step.
+    S.Tuning.Cfl = 0.4;
+    R.add(std::move(S));
+  }
+  R.add(tube("moving-contact",
+             "isolated contact advecting at u = 1 (contact preservation)",
+             400, {64, 8}, build1([](size_t N, unsigned G) {
+               return movingContactProblem(N, G);
+             })));
+  R.add(tube("smooth-advection",
+             "smooth density wave on a periodic tube (convergence order)",
+             128, {64, 8}, build1([](size_t N, unsigned G) {
+               return smoothAdvectionProblem(N, G);
+             })));
+  R.add(tube("uniform-1d", "uniform free stream (exactness check)", 64,
+             {64, 8}, build1([](size_t N, unsigned G) {
+               return uniformFlow1D(N, G);
+             })));
+}

@@ -71,6 +71,13 @@ CommandLine::Option *CommandLine::findOption(std::string_view Name) {
   return nullptr;
 }
 
+bool CommandLine::wasSet(std::string_view Name) const {
+  for (const Option &Opt : Options)
+    if (Opt.Name == Name)
+      return Opt.Seen;
+  return false;
+}
+
 bool CommandLine::applyValue(Option &Opt, std::string_view Value) {
   switch (Opt.Kind) {
   case OptionKind::Flag: {
@@ -117,6 +124,8 @@ bool CommandLine::applyValue(Option &Opt, std::string_view Value) {
 
 bool CommandLine::parse(int Argc, const char *const *Argv) {
   SawHelp = false;
+  for (Option &Opt : Options)
+    Opt.Seen = false;
   for (int I = 1; I < Argc; ++I) {
     std::string_view Arg = Argv[I];
     if (Arg == "--help" || Arg == "-h") {
@@ -167,6 +176,7 @@ bool CommandLine::parse(int Argc, const char *const *Argv) {
                    Value.data(), Opt->Name.c_str());
       return false;
     }
+    Opt->Seen = true;
   }
   return true;
 }

@@ -60,6 +60,11 @@ public:
   /// \returns true when the last parse() stopped because of --help.
   bool helpRequested() const { return SawHelp; }
 
+  /// \returns true when the user gave --\p Name explicitly in the last
+  /// parse() (layered defaults — e.g. a scenario's recommended CFL —
+  /// consult this so an explicit flag always wins).
+  bool wasSet(std::string_view Name) const;
+
   /// Prints the usage text to stdout.
   void printHelp() const;
 
@@ -71,6 +76,7 @@ private:
     std::string Help;
     OptionKind Kind;
     void *Target;
+    bool Seen = false;
     std::string defaultText() const;
   };
 

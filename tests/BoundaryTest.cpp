@@ -209,6 +209,39 @@ TEST(Boundary2D, SegmentedSideSelectsByTangentialCoordinate) {
   }
 }
 
+TEST(Boundary2D, PrescribedStateFollowsTangentialAndTime) {
+  // The double-Mach top boundary: the ghost state is a function of the
+  // tangential coordinate AND the solver clock, so the same spec must
+  // fill different ghosts as time advances.
+  Field2D F;
+  SerialBackend Exec;
+  Cons<2> Pre = cons2(1.4, 0.0, 0.0, 1.0);
+  Cons<2> Post = cons2(8.0, 7.14, -4.125, 116.5);
+
+  BoundarySpec<2> Spec = BoundarySpec<2>::uniform(BcKind::Transmissive);
+  BcSegment<2> Top;
+  Top.Kind = BcKind::Prescribed;
+  // Moving front: post-shock left of x = 0.3 + t, pre-shock right of it.
+  Top.StateAt = [Pre, Post](double Tangential, double Time) {
+    return Tangential < 0.3 + Time ? Post : Pre;
+  };
+  Spec.setSide(boundarySide(1, true), Top);
+
+  applyBoundaries(F.U, F.Gr, Spec, Exec, /*Time=*/0.0);
+  // dx = 1/6: interior x cells 0,1 (centers 1/12, 3/12) are post-shock,
+  // the rest pre-shock.
+  EXPECT_TRUE(F.U.at(Index{2, 8}) == Post);
+  EXPECT_TRUE(F.U.at(Index{3, 8}) == Post);
+  EXPECT_TRUE(F.U.at(Index{4, 8}) == Pre);
+  EXPECT_TRUE(F.U.at(Index{7, 9}) == Pre);
+
+  // Advance the clock: the front has swept past x = 0.75.
+  applyBoundaries(F.U, F.Gr, Spec, Exec, /*Time=*/0.5);
+  EXPECT_TRUE(F.U.at(Index{4, 8}) == Post);
+  EXPECT_TRUE(F.U.at(Index{6, 8}) == Post);
+  EXPECT_TRUE(F.U.at(Index{7, 8}) == Pre);
+}
+
 TEST(Boundary2D, IdenticalAcrossBackends) {
   SerialBackend Serial;
   auto Pool = createBackend(BackendKind::SpinPool, 4);

@@ -262,6 +262,59 @@ TEST_F(DeterminismTest, DagTiledInteraction2DFusedSolver) {
                     SchemeConfig::benchmarkScheme(), 6, Tile::sized(5, 7));
 }
 
+namespace {
+
+/// Sedov wants the blast CFL the gallery recommends; a handful of steps
+/// keeps the strong point blast finite on the coarse matrix grid.
+SchemeConfig sedovScheme() {
+  SchemeConfig C = SchemeConfig::figureScheme();
+  C.Cfl = 0.3;
+  return C;
+}
+
+} // namespace
+
+TEST_F(DeterminismTest, Sedov2DArraySolver) {
+  // The gallery's strong point blast: near-vacuum ambient state and a
+  // steep pressure spike stress the positivity path of every backend.
+  checkMatrix<ArraySolver<2>>(sedovBlast2D(24), sedovScheme(), 5);
+}
+
+TEST_F(DeterminismTest, Sedov2DFusedSolver) {
+  checkMatrix<FusedSolver<2>>(sedovBlast2D(24), sedovScheme(), 5);
+}
+
+TEST_F(DeterminismTest, TiledSedov2DFusedSolver) {
+  checkMatrix<FusedSolver<2>>(sedovBlast2D(24), sedovScheme(), 5,
+                              Tile::sized(5, 7));
+}
+
+TEST_F(DeterminismTest, DagSedov2DFusedSolver) {
+  checkDagMatrix<2>(sedovBlast2D(24), sedovScheme(), 5);
+}
+
+TEST_F(DeterminismTest, Riemann2DConfig3ArraySolver) {
+  // Four-quadrant Riemann problem: contacts and shocks meet at the
+  // center, so every quadrant seam crosses worker partitions.
+  checkMatrix<ArraySolver<2>>(riemann2D(24, 2, 3),
+                              SchemeConfig::figureScheme(), 5);
+}
+
+TEST_F(DeterminismTest, Riemann2DConfig3FusedSolver) {
+  checkMatrix<FusedSolver<2>>(riemann2D(24, 2, 3),
+                              SchemeConfig::figureScheme(), 5);
+}
+
+TEST_F(DeterminismTest, TiledRiemann2DConfig3ArraySolver) {
+  checkMatrix<ArraySolver<2>>(riemann2D(24, 2, 3),
+                              SchemeConfig::figureScheme(), 5,
+                              Tile::sized(5, 7));
+}
+
+TEST_F(DeterminismTest, DagRiemann2DConfig3FusedSolver) {
+  checkDagMatrix<2>(riemann2D(24, 2, 3), SchemeConfig::figureScheme(), 5);
+}
+
 TEST_F(DeterminismTest, TiledDynamicDealingInteraction2DArraySolver) {
   // Dynamic tile dealing changes which worker runs which tile run to
   // run; per-tile reduction partials merged in tile order must make the

@@ -151,6 +151,9 @@ TEST(RunConfigResolve, RejectsBadValuesWithStructuredErrors) {
       {{"--tile", "0x4"}, "--tile"},
       {{"--tile", "huge"}, "--tile"},
       {{"--tile-dealing", "guided"}, "--tile-dealing"},
+      {{"--scenario", "sod:"}, "--scenario"},
+      {{"--scenario", "no-such-workload"}, "--scenario"},
+      {{"--scenario", "sod:mach=3"}, "--scenario"},
   };
   for (const BadCase &C : Cases) {
     RunConfig Cfg;
@@ -160,6 +163,25 @@ TEST(RunConfigResolve, RejectsBadValuesWithStructuredErrors) {
     EXPECT_NE(Error.find(C.MustMention), std::string::npos)
         << "error for " << C.Args[1] << " was: " << Error;
   }
+}
+
+TEST(RunConfigResolve, ScenarioSpecIsValidatedAndTuningApplied) {
+  // A valid spec resolves, is kept verbatim for SolverFactory, and its
+  // workload tuning fills scheme knobs the user left at defaults.
+  RunConfig Cfg;
+  std::string Error;
+  ASSERT_TRUE(parseAndResolve(Cfg, {"--scenario", "blast-waves"}, &Error))
+      << Error;
+  EXPECT_TRUE(Cfg.hasScenario());
+  EXPECT_EQ(Cfg.scenarioSpecText(), "blast-waves");
+  EXPECT_DOUBLE_EQ(Cfg.Scheme.Cfl, 0.4); // blast-waves' recommended CFL
+
+  // An explicit --cfl beats the scenario's recommendation.
+  RunConfig Explicit;
+  ASSERT_TRUE(parseAndResolve(
+      Explicit, {"--scenario", "blast-waves", "--cfl", "0.5"}, &Error))
+      << Error;
+  EXPECT_DOUBLE_EQ(Explicit.Scheme.Cfl, 0.5);
 }
 
 TEST(RunConfigResolve, RejectsZeroThreadsWithStructuredError) {

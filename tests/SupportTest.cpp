@@ -244,6 +244,26 @@ TEST(CommandLine, UnsignedRangeBoundaries) {
   EXPECT_EQ(Opts.Threads, 4294967295u);
 }
 
+TEST(CommandLine, WasSetTracksExplicitFlagsOnly) {
+  // wasSet distinguishes "user passed --cfl" from "default survived" —
+  // the hook scenario tuning uses to avoid clobbering explicit choices.
+  ParsedOptions Opts;
+  CommandLine CL("test", "test tool");
+  CL.addInt("nx", Opts.Nx, "grid size");
+  CL.addDouble("cfl", Opts.Cfl, "CFL number");
+  const char *Argv[] = {"test", "--cfl", "0.9"};
+  EXPECT_TRUE(CL.parse(3, Argv));
+  EXPECT_TRUE(CL.wasSet("cfl"));
+  EXPECT_FALSE(CL.wasSet("nx"));
+  EXPECT_FALSE(CL.wasSet("no-such-flag"));
+
+  // A fresh parse resets the record.
+  const char *Argv2[] = {"test", "--nx=64"};
+  EXPECT_TRUE(CL.parse(2, Argv2));
+  EXPECT_TRUE(CL.wasSet("nx"));
+  EXPECT_FALSE(CL.wasSet("cfl"));
+}
+
 TEST(CommandLine, HelpStopsParsing) {
   ParsedOptions Opts;
   CommandLine CL("test", "test tool");
