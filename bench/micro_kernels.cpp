@@ -12,8 +12,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "array/Layout.h"
 #include "array/Reductions.h"
 #include "array/WithLoop.h"
+#include "kernels/Kernels.h"
 #include "numerics/Reconstruction.h"
 #include "numerics/RiemannSolvers.h"
 #include "runtime/ForkJoinBackend.h"
@@ -21,6 +23,8 @@
 #include "runtime/SpinBarrierPool.h"
 
 #include <benchmark/benchmark.h>
+
+#include <cmath>
 
 using namespace sacfd;
 
@@ -147,5 +151,110 @@ BENCHMARK(BM_RiemannFlux<RiemannKind::Rusanov>)
 BENCHMARK(BM_RiemannFlux<RiemannKind::Hll>)->Name("BM_RiemannFlux/hll");
 BENCHMARK(BM_RiemannFlux<RiemannKind::Hllc>)->Name("BM_RiemannFlux/hllc");
 BENCHMARK(BM_RiemannFlux<RiemannKind::Roe>)->Name("BM_RiemannFlux/roe");
+
+//===----------------------------------------------------------------------===//
+// kernels:: scalar vs SIMD (per-kernel speedup rows)
+//===----------------------------------------------------------------------===//
+//
+// Paired rows over the same SoA (unit-stride) buffers: .../scalar runs the
+// -fno-tree-vectorize TU, .../simd the host-ISA TU.  The ratio per pair is
+// the per-kernel vectorization speedup A8 reports; ablation_simd re-measures
+// the same pairs and writes them to artifacts/BENCH_simd.json.
+
+namespace {
+
+/// Aligned SoA planes over \p Cells cells filled with a smooth positive
+/// state (so maxEigen's sqrt sees valid pressures).
+struct SoaField2 {
+  NDArray<double> Buf;
+  size_t Plane;
+  explicit SoaField2(size_t Cells)
+      : Buf(Shape{static_cast<size_t>(NumVars<2>), paddedCount(Cells)}),
+        Plane(paddedCount(Cells)) {
+    Gas G;
+    kernels::Run<2> R = run();
+    for (size_t I = 0; I < Cells; ++I) {
+      Prim<2> W;
+      W.Rho = 1.0 + 0.2 * std::sin(0.01 * static_cast<double>(I));
+      W.Vel = {0.4 * std::cos(0.02 * static_cast<double>(I)), 0.1};
+      W.P = 1.0 + 0.1 * std::sin(0.03 * static_cast<double>(I) + 1.0);
+      kernels::storeCons(R, I, toCons(W, G));
+    }
+  }
+  kernels::Run<2> run() { return kernels::soaRun<2>(Buf.data(), Plane, 0); }
+  kernels::ConstRun<2> crun() const {
+    return kernels::soaRun<2>(Buf.data(), Plane, 0);
+  }
+};
+
+} // namespace
+
+static void BM_KernelFluxFaces(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const bool Simd = State.range(1) != 0;
+  Gas G;
+  SoaField2 U(N + 1), F(N);
+  kernels::ConstRun<2> L = U.crun();
+  kernels::ConstRun<2> R = kernels::advance(U.crun(), 1);
+  for (auto _ : State) {
+    kernels::fluxFaces<2>(L, R, F.run(), G, 0, RiemannKind::Hllc, N, Simd);
+    benchmark::DoNotOptimize(F.Buf.data());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_KernelFluxFaces)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Name("BM_Kernel/fluxFaces");
+
+static void BM_KernelMaxEigen(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const bool Simd = State.range(1) != 0;
+  Gas G;
+  SoaField2 U(N);
+  const double InvDx[2] = {128.0, 128.0};
+  for (auto _ : State) {
+    double Ev = kernels::maxEigen<2>(U.crun(), G, InvDx, 0.0, N, Simd);
+    benchmark::DoNotOptimize(Ev);
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_KernelMaxEigen)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Name("BM_Kernel/maxEigen");
+
+static void BM_KernelSspUpdate(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const bool Simd = State.range(1) != 0;
+  SoaField2 U(N), Un(N), Res(N);
+  for (auto _ : State) {
+    kernels::sspUpdate<2>(U.run(), Un.crun(), Res.crun(), 0.5, 0.5, 1e-3, N,
+                          Simd);
+    benchmark::DoNotOptimize(U.Buf.data());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_KernelSspUpdate)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Name("BM_Kernel/sspUpdate");
+
+static void BM_KernelAccumDivergence(benchmark::State &State) {
+  const size_t N = static_cast<size_t>(State.range(0));
+  const bool Simd = State.range(1) != 0;
+  SoaField2 Res(N), F(N + 1);
+  kernels::ConstRun<2> Lo = F.crun();
+  kernels::ConstRun<2> Hi = kernels::advance(F.crun(), 1);
+  for (auto _ : State) {
+    kernels::accumDivergence<2>(Res.run(), Lo, Hi, 128.0, N, Simd);
+    benchmark::DoNotOptimize(Res.Buf.data());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+BENCHMARK(BM_KernelAccumDivergence)
+    ->Args({1 << 14, 0})
+    ->Args({1 << 14, 1})
+    ->Name("BM_Kernel/accumDivergence");
 
 BENCHMARK_MAIN();

@@ -27,10 +27,12 @@
 #ifndef SACFD_ARRAY_ALLOCCOUNTER_H
 #define SACFD_ARRAY_ALLOCCOUNTER_H
 
+#include "array/Layout.h"
+
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <memory>
+#include <new>
 
 namespace sacfd {
 namespace alloctrack {
@@ -50,11 +52,17 @@ inline uint64_t allocationBytes() {
   return detail::AllocBytes.load(std::memory_order_relaxed);
 }
 
-/// std::allocator with allocation accounting; the allocator NDArray's
-/// storage vector uses.  Stateless, so all instances compare equal and
-/// container moves/swaps behave exactly as with std::allocator.
+/// Counting allocator for NDArray's storage vector.  Stateless, so all
+/// instances compare equal and container moves/swaps behave exactly as
+/// with std::allocator.  Every allocation is kFieldAlign-aligned — the
+/// SIMD kernels assume-align pooled buffers, and std::allocator would
+/// only guarantee alignof(T), so alignment is owed here, on the one path
+/// every NDArray (pooled or not) funnels through.
 template <typename T> struct CountingAllocator {
   using value_type = T;
+
+  static_assert(alignof(T) <= kFieldAlign,
+                "CountingAllocator aligns to kFieldAlign");
 
   CountingAllocator() = default;
   template <typename U> CountingAllocator(const CountingAllocator<U> &) {}
@@ -62,9 +70,12 @@ template <typename T> struct CountingAllocator {
   T *allocate(size_t N) {
     detail::AllocCount.fetch_add(1, std::memory_order_relaxed);
     detail::AllocBytes.fetch_add(N * sizeof(T), std::memory_order_relaxed);
-    return std::allocator<T>().allocate(N);
+    return static_cast<T *>(
+        ::operator new(N * sizeof(T), std::align_val_t(kFieldAlign)));
   }
-  void deallocate(T *P, size_t N) { std::allocator<T>().deallocate(P, N); }
+  void deallocate(T *P, size_t N) {
+    ::operator delete(P, N * sizeof(T), std::align_val_t(kFieldAlign));
+  }
 
   friend bool operator==(const CountingAllocator &, const CountingAllocator &) {
     return true;

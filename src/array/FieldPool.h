@@ -43,6 +43,7 @@
 #ifndef SACFD_ARRAY_FIELDPOOL_H
 #define SACFD_ARRAY_FIELDPOOL_H
 
+#include "array/Layout.h"
 #include "array/NDArray.h"
 #include "array/Shape.h"
 
@@ -50,6 +51,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -68,6 +70,25 @@ template <typename T> unsigned fieldPoolTypeId() {
 /// Shape-keyed arena of reusable NDArray buffers with RAII leases.
 class FieldPool {
 public:
+  /// Structured outcome of pool operations that can be refused; replaces
+  /// asserting on misuse so callers can surface the reason.
+  enum class PoolError : unsigned char {
+    None = 0,
+    /// A lease was asked to be reused under a layout other than the one
+    /// it was acquired with.
+    LayoutMismatch,
+  };
+  struct PoolStatus {
+    PoolError Err = PoolError::None;
+    std::string Detail;
+    explicit operator bool() const { return Err == PoolError::None; }
+
+    static PoolStatus success() { return {}; }
+    static PoolStatus make(PoolError E, std::string D) {
+      return {E, std::move(D)};
+    }
+  };
+
   /// Pool accounting; monotonic counters plus the current/peak residency.
   struct Stats {
     /// Total acquire/acquireUninit calls.
@@ -89,7 +110,8 @@ public:
   template <typename T> class Lease {
   public:
     Lease() = default;
-    Lease(Lease &&O) noexcept : Pool(O.Pool), Buf(std::move(O.Buf)) {
+    Lease(Lease &&O) noexcept
+        : Pool(O.Pool), Buf(std::move(O.Buf)), L(O.L), Align(O.Align) {
       O.Pool = nullptr;
     }
     Lease &operator=(Lease &&O) noexcept {
@@ -97,6 +119,8 @@ public:
         reset();
         Pool = O.Pool;
         Buf = std::move(O.Buf);
+        L = O.L;
+        Align = O.Align;
         O.Pool = nullptr;
       }
       return *this;
@@ -108,8 +132,31 @@ public:
     /// Returns the buffer to the pool; the Lease becomes empty.
     void reset() {
       if (Buf)
-        Pool->release<T>(std::move(Buf));
+        Pool->release<T>(std::move(Buf), L, Align);
       Pool = nullptr;
+    }
+
+    /// Layout the buffer was acquired under; part of its pool key.
+    Layout layout() const { return L; }
+    /// Alignment the buffer was acquired under.
+    size_t alignment() const { return Align; }
+
+    /// Checks that this lease's buffer may be reused in place under
+    /// \p NewLayout.  A buffer keyed for one layout must not be
+    /// reinterpreted under another — the plane geometry differs — so a
+    /// mismatch is a structured error naming both layouts, not an
+    /// assert.
+    PoolStatus reuseAs(Layout NewLayout) const {
+      if (!Buf)
+        return PoolStatus::make(PoolError::LayoutMismatch,
+                                "empty lease cannot be reused");
+      if (NewLayout != L)
+        return PoolStatus::make(
+            PoolError::LayoutMismatch,
+            std::string("lease acquired as ") + layoutName(L) +
+                " cannot be reused as " + layoutName(NewLayout) +
+                "; release it and acquire under the new layout");
+      return PoolStatus::success();
     }
 
     explicit operator bool() const { return Buf != nullptr; }
@@ -123,11 +170,14 @@ public:
 
   private:
     friend class FieldPool;
-    Lease(FieldPool *Pool, std::unique_ptr<NDArray<T>> Buf)
-        : Pool(Pool), Buf(std::move(Buf)) {}
+    Lease(FieldPool *Pool, std::unique_ptr<NDArray<T>> Buf, Layout L,
+          size_t Align)
+        : Pool(Pool), Buf(std::move(Buf)), L(L), Align(Align) {}
 
     FieldPool *Pool = nullptr;
     std::unique_ptr<NDArray<T>> Buf;
+    Layout L = Layout::AoS;
+    size_t Align = kFieldAlign;
   };
 
   FieldPool() = default;
@@ -136,18 +186,29 @@ public:
   FieldPool &operator=(const FieldPool &) = delete;
 
   /// Leases a value-initialized buffer of shape \p S (recycled buffers
-  /// are re-zeroed, matching NDArray(Shape) semantics).
-  template <typename T> Lease<T> acquire(const Shape &S) {
-    Lease<T> L = acquireImpl<T>(S, /*Recycled=*/nullptr);
-    return L;
+  /// are re-zeroed, matching NDArray(Shape) semantics).  \p L and
+  /// \p Align are part of the bucket key: buffers only recycle within
+  /// the same (shape, layout, alignment) class.
+  template <typename T>
+  Lease<T> acquire(const Shape &S, Layout L = Layout::AoS,
+                   size_t Align = kFieldAlign) {
+    return acquireImpl<T>(S, L, Align, /*Recycled=*/nullptr);
   }
 
   /// Leases a buffer of shape \p S with unspecified contents.  Only for
   /// buffers that are fully overwritten before being read.
-  template <typename T> Lease<T> acquireUninit(const Shape &S) {
+  template <typename T>
+  Lease<T> acquireUninit(const Shape &S, Layout L = Layout::AoS,
+                         size_t Align = kFieldAlign) {
     bool Recycled = false;
-    return acquireImpl<T>(S, &Recycled);
+    return acquireImpl<T>(S, L, Align, &Recycled);
   }
+
+  /// Declares the layout the owning solver runs its state field under.
+  /// Purely descriptive (exported as the "pool.layout" gauge); acquire
+  /// calls still name their layout explicitly.
+  void setLayout(Layout L);
+  Layout layout() const;
 
   /// Turns recycling on or off.  Disabling drains the free lists, so an
   /// "unpooled" run really pays one malloc/free per temporary.
@@ -173,15 +234,17 @@ private:
   template <typename T> struct SubPool final : SubPoolBase {
     struct Bucket {
       Shape Dims;
+      Layout L = Layout::AoS;
+      size_t Align = kFieldAlign;
       std::vector<std::unique_ptr<NDArray<T>>> Free;
     };
     std::vector<Bucket> Buckets;
 
-    Bucket &bucket(const Shape &S) {
+    Bucket &bucket(const Shape &S, Layout L, size_t Align) {
       for (Bucket &B : Buckets)
-        if (B.Dims == S)
+        if (B.Dims == S && B.L == L && B.Align == Align)
           return B;
-      Buckets.push_back(Bucket{S, {}});
+      Buckets.push_back(Bucket{S, L, Align, {}});
       return Buckets.back();
     }
 
@@ -206,13 +269,15 @@ private:
   /// \p Recycled distinguishes the modes: null means value-init (re-zero
   /// a recycled buffer); non-null means uninit (leave contents) and
   /// receives whether the buffer came off a free list.
-  template <typename T> Lease<T> acquireImpl(const Shape &S, bool *Recycled) {
+  template <typename T>
+  Lease<T> acquireImpl(const Shape &S, Layout L, size_t Align,
+                       bool *Recycled) {
     std::unique_ptr<NDArray<T>> Buf;
     {
       std::lock_guard<std::mutex> Lock(M);
       ++St.Acquisitions;
       if (Enabled) {
-        typename SubPool<T>::Bucket &B = subPool<T>().bucket(S);
+        typename SubPool<T>::Bucket &B = subPool<T>().bucket(S, L, Align);
         if (!B.Free.empty()) {
           Buf = std::move(B.Free.back());
           B.Free.pop_back();
@@ -230,21 +295,22 @@ private:
         *Recycled = true;
       else
         Buf->fill(T());
-      return Lease<T>(this, std::move(Buf));
+      return Lease<T>(this, std::move(Buf), L, Align);
     }
     // Fresh NDArray(Shape) storage is value-initialized either way; the
     // uninit mode only skips the re-zeroing of recycled buffers.
-    return Lease<T>(this, std::make_unique<NDArray<T>>(S));
+    return Lease<T>(this, std::make_unique<NDArray<T>>(S), L, Align);
   }
 
-  template <typename T> void release(std::unique_ptr<NDArray<T>> Buf) {
+  template <typename T>
+  void release(std::unique_ptr<NDArray<T>> Buf, Layout L, size_t Align) {
     std::lock_guard<std::mutex> Lock(M);
     --St.LiveLeases;
     if (!Enabled) {
       St.BytesResident -= Buf->size() * sizeof(T);
       return; // unique_ptr frees the buffer
     }
-    subPool<T>().bucket(Buf->shape()).Free.push_back(std::move(Buf));
+    subPool<T>().bucket(Buf->shape(), L, Align).Free.push_back(std::move(Buf));
   }
 
   /// Frees every pooled (idle) buffer; leased buffers are unaffected and
@@ -255,6 +321,7 @@ private:
   std::vector<std::unique_ptr<SubPoolBase>> Subs;
   Stats St;
   bool Enabled = true;
+  Layout FieldLayout = Layout::AoS;
 };
 
 } // namespace sacfd

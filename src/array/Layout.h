@@ -1,0 +1,69 @@
+//===- array/Layout.h - Field memory-layout descriptor ---------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The field memory-layout vocabulary shared by FieldPool, Field, and the
+/// kernels:: layer.
+///
+/// AoS keeps one Cons<Dim> record per cell (the layout the with-loop
+/// engine has always used); SoA stores each conserved component in its
+/// own contiguous plane so the inner kernels see unit-stride streams the
+/// compiler can vectorize.  Every pooled buffer is aligned to kFieldAlign
+/// and SoA planes are tail-padded to a whole number of alignment blocks,
+/// so each component plane starts on a 64-byte boundary regardless of the
+/// cell count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_ARRAY_LAYOUT_H
+#define SACFD_ARRAY_LAYOUT_H
+
+#include <cstddef>
+#include <string_view>
+
+namespace sacfd {
+
+/// How a field's conserved components are arranged in memory.
+enum class Layout : unsigned char {
+  AoS = 0, ///< interleaved Cons records, one per cell
+  SoA = 1, ///< one contiguous, padded plane per conserved component
+};
+
+/// Alignment of every pooled buffer, and the SoA plane boundary.  One
+/// cache line; wide enough for any vector ISA this code targets.
+inline constexpr size_t kFieldAlign = 64;
+
+/// Doubles per alignment block.
+inline constexpr size_t kAlignDoubles = kFieldAlign / sizeof(double);
+
+/// Rounds an element count up to a whole number of alignment blocks so
+/// consecutive SoA planes all start kFieldAlign-aligned.
+constexpr size_t paddedCount(size_t N) {
+  return (N + kAlignDoubles - 1) / kAlignDoubles * kAlignDoubles;
+}
+
+constexpr const char *layoutName(Layout L) {
+  return L == Layout::SoA ? "soa" : "aos";
+}
+
+/// Parses "aos"/"soa"; returns false (leaving \p Out untouched) on
+/// anything else.
+inline bool parseLayout(std::string_view Name, Layout &Out) {
+  if (Name == "aos") {
+    Out = Layout::AoS;
+    return true;
+  }
+  if (Name == "soa") {
+    Out = Layout::SoA;
+    return true;
+  }
+  return false;
+}
+
+} // namespace sacfd
+
+#endif // SACFD_ARRAY_LAYOUT_H

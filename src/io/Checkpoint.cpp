@@ -201,9 +201,13 @@ CheckpointStatus sacfd::saveCheckpoint(const std::string &Path,
                                   std::move(Detail));
   };
 
-  const NDArray<Cons<Dim>> &U = S.field();
   static_assert(std::is_trivially_copyable_v<Cons<Dim>>,
                 "checkpoint writes raw state bytes");
+  // Stage through the AoS interchange format: the on-disk payload is
+  // layout-independent, so a run checkpointed under --layout soa resumes
+  // bit-exactly under aos and vice versa.
+  std::vector<Cons<Dim>> U(S.field().size());
+  S.field().exportTo(U.data());
   size_t PayloadBytes = U.size() * sizeof(Cons<Dim>);
 
   HeaderV2 H = {};
@@ -310,9 +314,8 @@ CheckpointStatus sacfd::loadCheckpoint(const std::string &Path,
         Path + " is format v" + std::to_string(Prefix.Version) +
             "; this build reads v1-v2");
 
-  const NDArray<Cons<Dim>> &U = S.field();
   uint64_t ExpectedPayload =
-      static_cast<uint64_t>(U.size()) * sizeof(Cons<Dim>);
+      static_cast<uint64_t>(S.field().size()) * sizeof(Cons<Dim>);
   uint64_t HeaderBytes = Prefix.Version == VersionV2 ? sizeof(HeaderV2)
                                                      : sizeof(HeaderPrefix);
   uint64_t PayloadChecksum = 0;
@@ -365,7 +368,7 @@ CheckpointStatus sacfd::loadCheckpoint(const std::string &Path,
   // Stage the payload: a failed load must leave the live field
   // bit-identical, so nothing is copied in before every check has
   // passed.
-  std::vector<Cons<Dim>> Staged(U.size());
+  std::vector<Cons<Dim>> Staged(S.field().size());
   if (iofault::freadChecked(Staged.data(), sizeof(Cons<Dim>), Staged.size(),
                             File.get()) != Staged.size())
     return CheckpointStatus::make(CheckpointError::Truncated,
@@ -375,7 +378,7 @@ CheckpointStatus sacfd::loadCheckpoint(const std::string &Path,
     return CheckpointStatus::make(CheckpointError::ChecksumMismatch,
                                   "payload checksum mismatch in " + Path);
 
-  std::copy(Staged.begin(), Staged.end(), S.field().data());
+  S.field().importFrom(Staged.data());
   S.restoreClock(Prefix.Time, Prefix.Steps);
   return CheckpointStatus::success();
 }
@@ -390,7 +393,8 @@ CheckpointStatus sacfd::saveCheckpointLegacyV1(const std::string &Path,
     return CheckpointStatus::make(CheckpointError::WriteFailed,
                                   "cannot open " + Path);
   HeaderPrefix H = makePrefix(S, VersionV1);
-  const NDArray<Cons<Dim>> &U = S.field();
+  std::vector<Cons<Dim>> U(S.field().size());
+  S.field().exportTo(U.data());
   if (std::fwrite(&H, sizeof(H), 1, File.get()) != 1 ||
       std::fwrite(U.data(), sizeof(Cons<Dim>), U.size(), File.get()) !=
           U.size())

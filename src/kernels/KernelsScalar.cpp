@@ -1,0 +1,15 @@
+//===- kernels/KernelsScalar.cpp - Scalar-baseline kernel build -----------===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+//
+// The honest scalar baseline: compiled with auto-vectorization disabled
+// (see kernels/CMakeLists.txt) so `--no-simd` and the A8 ablation
+// measure scalar code, not whatever the optimizer felt like widening.
+//
+//===----------------------------------------------------------------------===//
+
+#define SACFD_KERNEL_NS scalarimpl
+#include "kernels/KernelsTU.inc"

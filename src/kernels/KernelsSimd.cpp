@@ -1,0 +1,31 @@
+//===- kernels/KernelsSimd.cpp - Host-ISA vectorized kernel build ---------===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+//
+// Compiled with the host ISA, OpenMP SIMD pragmas honored, and FP
+// contraction off (see kernels/CMakeLists.txt): wide instructions are
+// welcome, silent FMA fusion — the one codegen freedom that changes
+// bits — is not.  When the toolchain lacks the flags, this TU is a plain
+// recompile of the same source and simdAccelerated() reports false.
+//
+//===----------------------------------------------------------------------===//
+
+#define SACFD_KERNEL_NS simdimpl
+#include "kernels/KernelsTU.inc"
+
+namespace sacfd {
+namespace kernels {
+
+bool simdAccelerated() {
+#ifdef SACFD_SIMD_ACCEL
+  return true;
+#else
+  return false;
+#endif
+}
+
+} // namespace kernels
+} // namespace sacfd

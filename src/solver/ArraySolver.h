@@ -8,21 +8,27 @@
 /// \file
 /// The SaC port: the solver expressed as whole-array definitions.
 ///
-/// Every numerical stage is a with-loop (withLoop / mapIndex / maxval)
-/// over an index space, exactly mirroring the SaC listing in the paper:
-/// getDt() is the paper's getDt (set notation + maxval reduction), the
-/// face sweep is a genarray with-loop over the face index space, and the
-/// Runge-Kutta combine is one fused modarray.  The code is rank-generic:
-/// this single class instantiates the 1D Sod tube and the 2D interaction
-/// ("our code makes use of this fact to reuse function bodies for a one
-/// dimensional and two dimensional shockwave simulation").
+/// Every numerical stage is a whole-array operation over an index space,
+/// exactly mirroring the SaC listing in the paper: getDt() is the paper's
+/// getDt (set notation + maxval reduction), the face sweep is a genarray
+/// with-loop over the face index space, and the Runge-Kutta combine is
+/// one fused modarray.  The code is rank-generic: this single class
+/// instantiates the 1D Sod tube and the 2D interaction ("our code makes
+/// use of this fact to reuse function bodies for a one dimensional and
+/// two dimensional shockwave simulation").
 ///
 /// Two evaluation modes model the SaC compiler's optimization level:
 ///   Fused        with-loops compose whole pipelines per pass (sac2c
 ///                after with-loop folding — the paper's "collating many
-///                small operations into fewer larger operations")
+///                small operations into fewer larger operations").  The
+///                per-stage arithmetic runs through the shared kernels::
+///                layer, so contiguous runs take the vectorized build —
+///                this mode models the optimized compiler output.
 ///   Materialized every intermediate array is allocated and filled (the
 ///                naive lowering; ablation A1 measures the gap)
+///
+/// Both modes produce bit-identical fields: the kernels mirror the
+/// reference expressions term for term (see kernels/KernelsTU.inc).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +37,7 @@
 
 #include "array/Reductions.h"
 #include "array/WithLoop.h"
+#include "runtime/BlockReduce.h"
 #include "solver/EulerSolver.h"
 
 #include <algorithm>
@@ -48,8 +55,10 @@ enum class ArrayEvalMode {
 template <unsigned Dim> class ArraySolver final : public EulerSolver<Dim> {
 public:
   ArraySolver(Problem<Dim> Prob, SchemeConfig Scheme, Backend &Exec,
-              ArrayEvalMode Mode = ArrayEvalMode::Fused)
-      : EulerSolver<Dim>(std::move(Prob), Scheme, Exec), Mode(Mode) {}
+              ArrayEvalMode Mode = ArrayEvalMode::Fused,
+              Layout FieldLayout = Layout::AoS, bool Simd = true)
+      : EulerSolver<Dim>(std::move(Prob), Scheme, Exec, FieldLayout, Simd),
+        Mode(Mode) {}
 
   const char *engineName() const override { return "array"; }
   ArrayEvalMode evalMode() const { return Mode; }
@@ -64,12 +73,39 @@ public:
     telemetry::ScopedSpan Span(SpanGetDt);
     const Grid<Dim> &G = this->Prob.Domain;
     const Gas &Gas_ = this->Prob.G;
-    Shape Interior = G.interiorShape();
 
     std::array<double, Dim> InvDx;
     for (unsigned A = 0; A < Dim; ++A)
       InvDx[A] = 1.0 / G.dx(A);
 
+    if (Mode == ArrayEvalMode::Fused) {
+      // One fused pass: the set-notation expression feeds the max
+      // reduction directly, evaluated line by line through the shared
+      // maxEigen kernel.  The max chain is exact under any grouping, so
+      // the result is bit-identical to the per-cell formulation at every
+      // worker count.
+      constexpr unsigned LineAxis = Dim - 1;
+      double EvMax = blockReduce2D(
+          this->lineCount(LineAxis), this->N[LineAxis], this->Exec, 0.0,
+          [&](size_t LineBegin, size_t LineEnd, size_t CellBegin,
+              size_t CellEnd) {
+            double Acc = 0.0;
+            for (size_t Line = LineBegin; Line != LineEnd; ++Line)
+              Acc = kernels::maxEigen<Dim>(
+                  this->U.crun(this->lineStorageBase(LineAxis, Line) +
+                               CellBegin),
+                  Gas_, InvDx.data(), Acc, CellEnd - CellBegin,
+                  this->SimdEnabled);
+            return Acc;
+          },
+          [](double A, double B) { return std::max(A, B); });
+      return this->dtFromMaxEigen(EvMax);
+    }
+
+    // Materialized: ev is an explicit temporary array, like unoptimized
+    // SaC would allocate for the set notation before reducing it.  The
+    // buffer is leased (every element is written, so uninit is safe).
+    Shape Interior = G.interiorShape();
     auto EvAt = [this, &G, &Gas_, &InvDx](const Index &Iv) {
       Prim<Dim> W = toPrim(this->U.at(G.toStorage(Iv)), Gas_);
       double Ev = 0.0;
@@ -77,22 +113,210 @@ public:
         Ev += maxWaveSpeed(W, Gas_, A) * InvDx[A];
       return Ev;
     };
-
-    if (Mode == ArrayEvalMode::Fused)
-      // One fused pass: the set-notation expression feeds maxval directly.
-      return this->dtFromMaxEigen(
-          maxval(mapIndex(Interior, EvAt), this->Exec));
-
-    // Materialized: ev is an explicit temporary array, like unoptimized
-    // SaC would allocate for the set notation before reducing it.  The
-    // buffer is leased (every element is written, so uninit is safe).
-    FieldPool::Lease<double> Ev = this->Pool.template acquireUninit<double>(Interior);
+    FieldPool::Lease<double> Ev =
+        this->Pool.template acquireUninit<double>(Interior);
     withLoopInto(*Ev, this->Exec, EvAt);
     return this->dtFromMaxEigen(maxval(*Ev, this->Exec));
   }
 
 protected:
   void stepWithDt(double Dt) override {
+    if (Mode == ArrayEvalMode::Fused)
+      stepFused(Dt);
+    else
+      stepMaterialized(Dt);
+  }
+
+private:
+  //===--------------------------------------------------------------------===//
+  // Fused mode: every stage routed through the kernels:: layer.
+  //===--------------------------------------------------------------------===//
+
+  void stepFused(double Dt) {
+    static const unsigned SpanSnapshot = telemetry::spanId("solver.snapshot");
+    static const unsigned SpanBoundary = telemetry::spanId("solver.boundary");
+    static const unsigned SpanFlux = telemetry::spanId("solver.flux");
+    static const unsigned SpanUpdate = telemetry::spanId("solver.update");
+    const Grid<Dim> &G = this->Prob.Domain;
+    constexpr unsigned LineAxis = Dim - 1;
+
+    // Q^n snapshot for the convex Runge-Kutta combinations.  Leased
+    // uninitialized: the copy overwrites every element.
+    Field<Dim> Un(this->Pool, this->U.shape(), this->U.layout(),
+                  FieldInit::Uninit);
+    {
+      telemetry::ScopedSpan S(SpanSnapshot);
+      kernels::copyState<Dim>(this->U.crun(), Un.run(), this->U.size(),
+                              this->SimdEnabled);
+    }
+
+    for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
+      {
+        telemetry::ScopedSpan S(SpanBoundary);
+        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec,
+                        this->Time);
+      }
+      Field<Dim> Res;
+      {
+        // Reconstruction + Riemann fluxes + divergence.
+        telemetry::ScopedSpan S(SpanFlux);
+        Res = residualFused();
+      }
+
+      // Fused modarray combine:
+      //   U = A * Un + B * (U + dt * Res)   on the interior,
+      // one line run of the SSP kernel per interior row.
+      double A = Stage.PrevWeight, B = Stage.StageWeight;
+      telemetry::ScopedSpan UpdateSpan(SpanUpdate);
+      this->Exec.parallelFor2D(
+          this->lineCount(LineAxis), this->N[LineAxis],
+          [&](size_t LB, size_t LE, size_t CB, size_t CE) {
+            for (size_t Line = LB; Line != LE; ++Line) {
+              size_t SBase = this->lineStorageBase(LineAxis, Line) + CB;
+              size_t RBase = Line * this->N[LineAxis] + CB;
+              kernels::sspUpdate<Dim>(this->U.run(SBase), Un.crun(SBase),
+                                      Res.crun(RBase), A, B, Dt, CE - CB,
+                                      this->SimdEnabled);
+            }
+          });
+    }
+  }
+
+  /// Numerical flux field over the face index space of \p Axis (interior
+  /// shape extended by one along the axis).  Piecewise-constant
+  /// reconstruction takes the kernel path — whole face rows through
+  /// kernels::fluxFaces, vectorized on unit-stride runs; every other
+  /// scheme gathers the 6-cell stencil per face, exactly the genarray
+  /// with-loop of the paper.
+  Field<Dim> fluxAlongFused(unsigned Axis) {
+    const Gas &Gas_ = this->Prob.G;
+    const SchemeConfig &SC = this->Scheme;
+    const Grid<Dim> &G = this->Prob.Domain;
+    constexpr unsigned LineAxis = Dim - 1;
+
+    Shape Faces = G.interiorShape();
+    Faces.dim(Axis) += 1;
+    Field<Dim> Out(this->Pool, Faces, this->U.layout(), FieldInit::Uninit);
+
+    if (kernels::fluxKernelEligible(SC.Recon)) {
+      size_t RowLen = Faces.dim(LineAxis);
+      size_t Rows = Faces.count() / RowLen;
+      // Leading face coordinates (all axes but the last); for face row R
+      // the L cells sit one axis stride below the R cells in storage.
+      Shape Lead = Shape::uniform(Dim == 1 ? 1 : Dim - 1, 1);
+      for (unsigned A = 0; A + 1 < Dim; ++A)
+        Lead.dim(A) = Faces.dim(A);
+      size_t AxisStride = this->StorageStride[Axis];
+      this->Exec.parallelFor(0, Rows, [&](size_t RB, size_t RE) {
+        for (size_t R = RB; R != RE; ++R) {
+          Index L = Lead.delinearize(R);
+          // Storage offset of the row's first R-side cell: interior
+          // coordinates shifted by the ghost margin; along the sweep
+          // axis face f's R cell is interior cell f.
+          size_t SBase = this->Ng; // last-axis start
+          for (unsigned A = 0; A + 1 < Dim; ++A)
+            SBase += (static_cast<size_t>(L.Coord[A]) + this->Ng) *
+                     this->StorageStride[A];
+          kernels::fluxFaces<Dim>(this->U.crun(SBase - AxisStride),
+                                  this->U.crun(SBase), Out.run(R * RowLen),
+                                  Gas_, Axis, SC.Riemann, RowLen,
+                                  this->SimdEnabled);
+        }
+      });
+      return Out;
+    }
+
+    std::ptrdiff_t Ng = G.ghost();
+    std::ptrdiff_t StorageMax =
+        static_cast<std::ptrdiff_t>(this->U.shape().dim(Axis)) - 1;
+    // genarray with-loop over faces: gather the 6-cell stencil along the
+    // axis, reconstruct, solve the face Riemann problem.
+    forEachIndex(Faces, this->Exec, [&, Ng, StorageMax,
+                                     Axis](const Index &Fv, size_t Linear) {
+      std::array<Cons<Dim>, 6> Stencil;
+      for (unsigned K = 0; K < 6; ++K) {
+        Index C = Fv;
+        for (unsigned A = 0; A < Dim; ++A)
+          C.Coord[A] += Ng;
+        // Window cell K sits at interior offset f - 3 + K along the axis;
+        // clamp the unused outermost cells into storage.
+        C.Coord[Axis] += static_cast<std::ptrdiff_t>(K) - 3;
+        C.Coord[Axis] =
+            std::clamp<std::ptrdiff_t>(C.Coord[Axis], 0, StorageMax);
+        Stencil[K] = this->U.at(C);
+      }
+      FaceStates<Dim> FS = reconstructFaceStates(SC.Recon, SC.Limiter,
+                                                 SC.Vars, Stencil, Gas_,
+                                                 Axis);
+      Out.store(Linear, numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis));
+    });
+    return Out;
+  }
+
+  /// Residual L(U) = -sum_axis dF_axis/dx_axis over the interior.  One
+  /// pass per interior row: zero, then the axis-ordered divergence
+  /// accumulations — the same per-cell sequence as the fused with-loop
+  /// combine, so fields stay bit-identical to the historical formulation.
+  Field<Dim> residualFused() {
+    const Grid<Dim> &G = this->Prob.Domain;
+    Shape Interior = G.interiorShape();
+    constexpr unsigned LineAxis = Dim - 1;
+
+    std::array<Field<Dim>, Dim> Flux;
+    for (unsigned A = 0; A < Dim; ++A)
+      Flux[A] = fluxAlongFused(A);
+
+    std::array<double, Dim> InvDx;
+    for (unsigned A = 0; A < Dim; ++A)
+      InvDx[A] = 1.0 / G.dx(A);
+
+    // Per-axis face geometry: the linear offset of a row's low face and
+    // the stride to its high face, in the face field of that axis.
+    std::array<Shape, Dim> FaceShape;
+    std::array<size_t, Dim> HiStride;
+    for (unsigned A = 0; A < Dim; ++A) {
+      FaceShape[A] = Interior;
+      FaceShape[A].dim(A) += 1;
+      size_t Stride = 1;
+      for (unsigned B = Dim; B-- > A + 1;)
+        Stride *= FaceShape[A].dim(B);
+      HiStride[A] = Stride;
+    }
+
+    size_t RowLen = Interior.dim(LineAxis);
+    size_t Rows = Interior.count() / RowLen;
+    Shape Lead = Shape::uniform(Dim == 1 ? 1 : Dim - 1, 1);
+    for (unsigned A = 0; A + 1 < Dim; ++A)
+      Lead.dim(A) = Interior.dim(A);
+
+    Field<Dim> Res(this->Pool, Interior, this->U.layout(),
+                   FieldInit::Uninit);
+    this->Exec.parallelFor(0, Rows, [&](size_t RB, size_t RE) {
+      for (size_t R = RB; R != RE; ++R) {
+        Index L = Lead.delinearize(R);
+        kernels::Run<Dim> ResRun = Res.run(R * RowLen);
+        kernels::zeroState<Dim>(ResRun, RowLen, this->SimdEnabled);
+        for (unsigned A = 0; A < Dim; ++A) {
+          Index F;
+          F.Rank = Dim;
+          for (unsigned B = 0; B + 1 < Dim; ++B)
+            F.Coord[B] = L.Coord[B];
+          F.Coord[Dim - 1] = 0;
+          size_t Lo = FaceShape[A].linearize(F);
+          kernels::accumDivergence<Dim>(
+              ResRun, Flux[A].crun(Lo), Flux[A].crun(Lo + HiStride[A]),
+              InvDx[A], RowLen, this->SimdEnabled);
+        }
+      }
+    });
+    return Res;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Materialized mode: every intermediate array explicit (ablation A1).
+  //===--------------------------------------------------------------------===//
+
+  void stepMaterialized(double Dt) {
     static const unsigned SpanSnapshot = telemetry::spanId("solver.snapshot");
     static const unsigned SpanBoundary = telemetry::spanId("solver.boundary");
     static const unsigned SpanFlux = telemetry::spanId("solver.flux");
@@ -100,14 +324,13 @@ protected:
     const Grid<Dim> &G = this->Prob.Domain;
     Shape Interior = G.interiorShape();
 
-    // Q^n snapshot for the convex Runge-Kutta combinations.  Leased
-    // uninitialized: the copy overwrites every element.
+    // Q^n snapshot, staged through the AoS interchange copy.
     FieldPool::Lease<Cons<Dim>> UnL =
         this->Pool.template acquireUninit<Cons<Dim>>(this->U.shape());
     NDArray<Cons<Dim>> &Un = *UnL;
     {
       telemetry::ScopedSpan S(SpanSnapshot);
-      std::copy(this->U.begin(), this->U.end(), Un.begin());
+      this->U.exportTo(Un.data());
     }
 
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
@@ -118,32 +341,28 @@ protected:
       }
       FieldPool::Lease<Cons<Dim>> ResL;
       {
-        // Reconstruction + Riemann fluxes + divergence, fused per the
-        // evaluation mode.
         telemetry::ScopedSpan S(SpanFlux);
-        ResL = residual();
+        ResL = residualMaterialized();
       }
       const NDArray<Cons<Dim>> &Res = *ResL;
 
-      // Fused modarray combine:
+      // Unfused modarray combine:
       //   U = A * Un + B * (U + dt * Res)   on the interior.
       double A = Stage.PrevWeight, B = Stage.StageWeight;
       telemetry::ScopedSpan UpdateSpan(SpanUpdate);
       forEachIndex(Interior, this->Exec,
                    [&](const Index &Iv, size_t Linear) {
                      Index S = G.toStorage(Iv);
-                     this->U.at(S) = Un.at(S) * A +
-                                     (this->U.at(S) + Res[Linear] * Dt) * B;
+                     this->U.set(S, Un.at(S) * A +
+                                        (this->U.at(S) + Res[Linear] * Dt) *
+                                            B);
                    });
     }
   }
 
-private:
-  /// Numerical flux array over the face index space of \p Axis
-  /// (interior shape extended by one along the axis).  The result is a
-  /// pooled lease; each axis has a distinct face shape, so the per-axis
-  /// buffers recycle independently.
-  FieldPool::Lease<Cons<Dim>> fluxAlong(unsigned Axis) {
+  /// Materialized flux array along \p Axis: the stencil-gather with-loop
+  /// writing an explicit NDArray temporary.
+  FieldPool::Lease<Cons<Dim>> fluxAlongMaterialized(unsigned Axis) {
     const Grid<Dim> &G = this->Prob.Domain;
     const Gas &Gas_ = this->Prob.G;
     const SchemeConfig &SC = this->Scheme;
@@ -156,8 +375,6 @@ private:
 
     FieldPool::Lease<Cons<Dim>> Out =
         this->Pool.template acquireUninit<Cons<Dim>>(Faces);
-    // genarray with-loop over faces: gather the 6-cell stencil along the
-    // axis, reconstruct, solve the face Riemann problem.
     withLoopInto(*Out, this->Exec, [&, Ng, StorageMax,
                                     Axis](const Index &Fv) {
       std::array<Cons<Dim>, 6> Stencil;
@@ -165,11 +382,9 @@ private:
         Index C = Fv;
         for (unsigned A = 0; A < Dim; ++A)
           C.Coord[A] += Ng;
-        // Window cell K sits at interior offset f - 3 + K along the axis;
-        // clamp the unused outermost cells into storage.
         C.Coord[Axis] += static_cast<std::ptrdiff_t>(K) - 3;
-        C.Coord[Axis] = std::clamp<std::ptrdiff_t>(C.Coord[Axis], 0,
-                                                   StorageMax);
+        C.Coord[Axis] =
+            std::clamp<std::ptrdiff_t>(C.Coord[Axis], 0, StorageMax);
         Stencil[K] = this->U.at(C);
       }
       FaceStates<Dim> FS = reconstructFaceStates(SC.Recon, SC.Limiter,
@@ -180,44 +395,24 @@ private:
     return Out;
   }
 
-  /// Residual L(U) = -sum_axis dF_axis/dx_axis over the interior,
-  /// returned as a pooled lease.
-  FieldPool::Lease<Cons<Dim>> residual() {
+  /// Materialized residual: each dfDx is an explicit temporary, then
+  /// summed — the unfused whole-array formulation
+  ///   res = -dfDx(flux0)/dx0 - dfDx(flux1)/dx1.
+  /// The temporaries stay explicit (that is what the A1 ablation
+  /// measures); pooling only recycles their storage.  Res needs the
+  /// value-initialized acquire: it is read before the first axis sum.
+  FieldPool::Lease<Cons<Dim>> residualMaterialized() {
     const Grid<Dim> &G = this->Prob.Domain;
     Shape Interior = G.interiorShape();
 
     std::array<FieldPool::Lease<Cons<Dim>>, Dim> Flux;
     for (unsigned A = 0; A < Dim; ++A)
-      Flux[A] = fluxAlong(A);
+      Flux[A] = fluxAlongMaterialized(A);
 
     std::array<double, Dim> InvDx;
     for (unsigned A = 0; A < Dim; ++A)
       InvDx[A] = 1.0 / G.dx(A);
 
-    if (Mode == ArrayEvalMode::Fused) {
-      // One fused pass: the per-axis dfDx differences are consumed as
-      // they are formed (the paper's dfDxNoBoundary, folded into its
-      // consumer by the compiler).
-      FieldPool::Lease<Cons<Dim>> Out =
-          this->Pool.template acquireUninit<Cons<Dim>>(Interior);
-      withLoopInto(*Out, this->Exec, [&](const Index &Iv) {
-        Cons<Dim> Acc;
-        for (unsigned A = 0; A < Dim; ++A) {
-          Index HiFace = Iv;
-          HiFace.Coord[A] += 1;
-          Acc -= (Flux[A]->at(HiFace) - Flux[A]->at(Iv)) * InvDx[A];
-        }
-        return Acc;
-      });
-      return Out;
-    }
-
-    // Materialized: each dfDx is an explicit temporary, then summed —
-    // the unfused whole-array formulation
-    //   res = -dfDx(flux0)/dx0 - dfDx(flux1)/dx1.
-    // The temporaries stay explicit (that is what the A1 ablation
-    // measures); pooling only recycles their storage.  Res needs the
-    // value-initialized acquire: it is read before the first axis sum.
     FieldPool::Lease<Cons<Dim>> Res =
         this->Pool.template acquire<Cons<Dim>>(Interior);
     for (unsigned A = 0; A < Dim; ++A) {

@@ -39,6 +39,7 @@
 #include "array/WithLoop.h"
 #include "euler/State.h"
 #include "runtime/Backend.h"
+#include "solver/Field.h"
 #include "solver/Grid.h"
 
 #include <array>
@@ -122,11 +123,31 @@ template <unsigned Dim> struct BoundarySpec {
 
 namespace detail {
 
+/// Uniform element access over the two field containers the fill works
+/// on: the layout-aware Field and plain NDArray staging buffers.
+template <unsigned Dim>
+inline Cons<Dim> ghostLoad(const NDArray<Cons<Dim>> &U, const Index &I) {
+  return U.at(I);
+}
+template <unsigned Dim>
+inline void ghostStore(NDArray<Cons<Dim>> &U, const Index &I,
+                       const Cons<Dim> &Q) {
+  U.at(I) = Q;
+}
+template <unsigned Dim>
+inline Cons<Dim> ghostLoad(const Field<Dim> &U, const Index &I) {
+  return U.at(I);
+}
+template <unsigned Dim>
+inline void ghostStore(Field<Dim> &U, const Index &I, const Cons<Dim> &Q) {
+  U.set(I, Q);
+}
+
 /// Fills the ghost layers of one side.  \p Tangential iterates the full
 /// tangential storage extent when \p IncludeTangentialGhosts (second-axis
 /// pass, so corners get defined values).
-template <unsigned Dim>
-void applyBoundarySide(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
+template <unsigned Dim, typename FieldT>
+void applyBoundarySide(FieldT &U, const Grid<Dim> &G,
                        const BoundarySpec<Dim> &Spec, unsigned Axis,
                        bool High, bool IncludeTangentialGhosts,
                        Backend &Exec, double Time) {
@@ -172,28 +193,28 @@ void applyBoundarySide(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
       switch (Seg.Kind) {
       case BcKind::Transmissive:
         Source.Coord[Axis] = High ? NgS + N - 1 : NgS;
-        U.at(Ghost) = U.at(Source);
+        ghostStore(U, Ghost, ghostLoad(U, Source));
         break;
       case BcKind::Reflective: {
         Source.Coord[Axis] =
             High ? NgS + N - 1 - (Layer - 1) : NgS + (Layer - 1);
-        Cons<Dim> Mirrored = U.at(Source);
+        Cons<Dim> Mirrored = ghostLoad(U, Source);
         Mirrored.Mom[Axis] = -Mirrored.Mom[Axis];
-        U.at(Ghost) = Mirrored;
+        ghostStore(U, Ghost, Mirrored);
         break;
       }
       case BcKind::Inflow:
-        U.at(Ghost) = Seg.InflowState;
+        ghostStore(U, Ghost, Seg.InflowState);
         break;
       case BcKind::Periodic:
         // Low ghost layer g copies interior cell N-g; high layer g
         // copies interior cell g-1.
         Source.Coord[Axis] = High ? NgS + (Layer - 1) : NgS + N - Layer;
-        U.at(Ghost) = U.at(Source);
+        ghostStore(U, Ghost, ghostLoad(U, Source));
         break;
       case BcKind::Prescribed:
         assert(Seg.StateAt && "Prescribed segment without a state function");
-        U.at(Ghost) = Seg.StateAt(TangentialCoord, Time);
+        ghostStore(U, Ghost, Seg.StateAt(TangentialCoord, Time));
         break;
       }
     }
@@ -212,8 +233,8 @@ void applyBoundarySide(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
 /// clock at the start of the step for every RK stage fill of that step —
 /// a deliberate (documented) first-order-in-time treatment that keeps
 /// loops and DAG step modes, and both engines, bit-identical.
-template <unsigned Dim>
-void applyBoundaries(NDArray<Cons<Dim>> &U, const Grid<Dim> &G,
+template <unsigned Dim, typename FieldT>
+void applyBoundaries(FieldT &U, const Grid<Dim> &G,
                      const BoundarySpec<Dim> &Spec, Backend &Exec,
                      double Time = 0.0) {
   assert(U.shape() == G.storageShape() && "field/grid mismatch");

@@ -22,8 +22,10 @@
 #define SACFD_SOLVER_EULERSOLVER_H
 
 #include "array/FieldPool.h"
+#include "array/Layout.h"
 #include "array/NDArray.h"
 #include "runtime/Backend.h"
+#include "solver/Field.h"
 #include "solver/Problem.h"
 #include "solver/SchemeConfig.h"
 #include "telemetry/Telemetry.h"
@@ -52,11 +54,28 @@ inline bool stepRemainderNegligible(double Now, double EndTime) {
 /// supply the per-step numerics.
 template <unsigned Dim> class EulerSolver {
 public:
-  EulerSolver(Problem<Dim> Prob, SchemeConfig Scheme, Backend &Exec)
+  EulerSolver(Problem<Dim> Prob, SchemeConfig Scheme, Backend &Exec,
+              Layout FieldLayout = Layout::AoS, bool Simd = true)
       : Prob(std::move(Prob)), Scheme(Scheme), Exec(Exec),
-        U(this->Prob.Domain.storageShape()) {
+        U(Pool, this->Prob.Domain.storageShape(), FieldLayout),
+        SimdEnabled(Simd) {
     assert(this->Prob.Domain.ghost() >= ghostCells(Scheme.Recon) &&
            "grid ghost layers insufficient for the reconstruction");
+    Pool.setLayout(FieldLayout);
+    const Grid<Dim> &G = this->Prob.Domain;
+    Shape Storage = G.storageShape();
+    for (unsigned A = 0; A < Dim; ++A) {
+      N[A] = G.cells(A);
+      StorageDim[A] = Storage.dim(A);
+    }
+    // Row-major strides.
+    StorageStride[Dim - 1] = 1;
+    InteriorStride[Dim - 1] = 1;
+    for (unsigned A = Dim - 1; A-- > 0;) {
+      StorageStride[A] = StorageStride[A + 1] * StorageDim[A + 1];
+      InteriorStride[A] = InteriorStride[A + 1] * N[A + 1];
+    }
+    Ng = G.ghost();
     initializeField();
   }
   virtual ~EulerSolver() = default;
@@ -72,8 +91,17 @@ public:
   unsigned stepCount() const { return Steps; }
 
   /// The full field including ghost cells (shape == storageShape()).
-  const NDArray<Cons<Dim>> &field() const { return U; }
-  NDArray<Cons<Dim>> &field() { return U; }
+  /// Element access goes through Field::at()/set(); bulk transfers
+  /// through Field::exportTo()/importFrom().  The old accessors handing
+  /// out the raw interleaved NDArray are gone — they pinned every
+  /// consumer to the AoS layout.
+  const Field<Dim> &field() const { return U; }
+  Field<Dim> &field() { return U; }
+
+  /// Memory layout the state field is stored under.
+  Layout fieldLayout() const { return U.layout(); }
+  /// Whether stage kernels may use the vectorized build.
+  bool simdEnabled() const { return SimdEnabled; }
 
   /// Primitive state of interior cell \p Interior.
   Prim<Dim> primitiveAt(const Index &Interior) const {
@@ -149,6 +177,48 @@ protected:
   /// One full multi-stage step with the given dt.
   virtual void stepWithDt(double Dt) = 0;
 
+  /// Line decomposition shared by the engines and the kernel routing: a
+  /// "line" is a run of interior cells along \p Axis; contiguous in
+  /// storage when Axis is the last (row-major) axis.
+
+  /// Number of tangential lines perpendicular to \p Axis.
+  size_t lineCount(unsigned Axis) const {
+    size_t Count = 1;
+    for (unsigned A = 0; A < Dim; ++A)
+      if (A != Axis)
+        Count *= N[A];
+    return Count;
+  }
+
+  /// Storage offset of interior cell 0 of tangential line \p Line along
+  /// \p Axis.
+  size_t lineStorageBase(unsigned Axis, size_t Line) const {
+    size_t Base = 0;
+    // Decompose Line over the tangential axes in row-major order.
+    for (unsigned A = Dim; A-- > 0;) {
+      if (A == Axis)
+        continue;
+      size_t Coord = Line % N[A];
+      Line /= N[A];
+      Base += (Coord + Ng) * StorageStride[A];
+    }
+    Base += Ng * StorageStride[Axis];
+    return Base;
+  }
+
+  /// Interior (residual) offset of cell 0 of the same line.
+  size_t lineInteriorBase(unsigned Axis, size_t Line) const {
+    size_t Base = 0;
+    for (unsigned A = Dim; A-- > 0;) {
+      if (A == Axis)
+        continue;
+      size_t Coord = Line % N[A];
+      Line /= N[A];
+      Base += Coord * InteriorStride[A];
+    }
+    return Base;
+  }
+
   /// Called whenever restoreClock rewinds or overwrites the clock (step-
   /// guard rollback, checkpoint resume, end-time snapping).  Engines that
   /// cache anything derived from the field state must invalidate it here.
@@ -201,7 +271,7 @@ protected:
     Index Iv = Interior.delinearize(0);
     if (Interior.count() > 0) {
       do {
-        const Cons<Dim> &Q = U.at(G.toStorage(Iv));
+        const Cons<Dim> Q = U.at(G.toStorage(Iv));
         Mass += Q.Rho;
         for (unsigned A = 0; A < Dim; ++A)
           Momentum[A] += Q.Mom[A];
@@ -228,7 +298,7 @@ protected:
         std::array<double, Dim> X;
         for (unsigned A = 0; A < Dim; ++A)
           X[A] = G.cellCenter(A, Iv.Coord[A]);
-        U.at(G.toStorage(Iv)) = toCons(Prob.InitialState(X), Prob.G);
+        U.set(G.toStorage(Iv), toCons(Prob.InitialState(X), Prob.G));
       } while (Interior.increment(Iv));
     }
     applyBoundaries(U, G, Prob.Boundary, Exec, Time);
@@ -241,7 +311,16 @@ protected:
   /// (destroyed in derived destructors, before this) return their buffers
   /// here, so the pool must be destroyed last.
   FieldPool Pool;
-  NDArray<Cons<Dim>> U;
+  Field<Dim> U;
+  /// Stage kernels dispatch into the vectorized TU when set (the
+  /// --no-simd ablation clears it).
+  bool SimdEnabled = true;
+  /// Cached grid geometry for the line decomposition.
+  size_t N[Dim] = {};
+  size_t StorageDim[Dim] = {};
+  size_t StorageStride[Dim] = {};
+  size_t InteriorStride[Dim] = {};
+  unsigned Ng = 0;
   double Time = 0.0;
   unsigned Steps = 0;
   /// Result of the last GetDT reduction (0 until computeDt runs).

@@ -21,6 +21,13 @@
 ///     those pays the thread-team setup cost, which is the scaling
 ///     collapse of Fig. 4.
 ///
+/// The loop bodies themselves are the shared kernels:: layer: snapshot,
+/// RHS zeroing, the SSP update and the GetDT reduction always run as
+/// contiguous line runs, and under piecewise-constant reconstruction the
+/// face fluxes do too — so with --layout soa the hot loops execute the
+/// vectorized kernel build.  Higher-order schemes keep the per-face
+/// stencil gather for reconstruction.
+///
 /// On a TaskBackend the engine additionally offers a dependency-DAG step
 /// mode (enableDagStepping): one step becomes per-tile snapshot, flux and
 /// update tasks linked by exact data dependencies, so a tile can run
@@ -57,23 +64,9 @@ namespace sacfd {
 /// The Fortran-style engine: fused stride-based loop nests.
 template <unsigned Dim> class FusedSolver final : public EulerSolver<Dim> {
 public:
-  FusedSolver(Problem<Dim> Prob, SchemeConfig Scheme, Backend &Exec)
-      : EulerSolver<Dim>(std::move(Prob), Scheme, Exec) {
-    const Grid<Dim> &G = this->Prob.Domain;
-    Shape Storage = G.storageShape();
-    for (unsigned A = 0; A < Dim; ++A) {
-      N[A] = G.cells(A);
-      StorageDim[A] = Storage.dim(A);
-    }
-    // Row-major strides.
-    StorageStride[Dim - 1] = 1;
-    InteriorStride[Dim - 1] = 1;
-    for (unsigned A = Dim - 1; A-- > 0;) {
-      StorageStride[A] = StorageStride[A + 1] * StorageDim[A + 1];
-      InteriorStride[A] = InteriorStride[A + 1] * N[A + 1];
-    }
-    Ng = G.ghost();
-  }
+  FusedSolver(Problem<Dim> Prob, SchemeConfig Scheme, Backend &Exec,
+              Layout FieldLayout = Layout::AoS, bool Simd = true)
+      : EulerSolver<Dim>(std::move(Prob), Scheme, Exec, FieldLayout, Simd) {}
 
   const char *engineName() const override { return "fused"; }
 
@@ -105,10 +98,10 @@ public:
 
     // Lines run along the last (contiguous) axis.
     constexpr unsigned LineAxis = Dim - 1;
-    size_t Lines = lineCount(LineAxis);
+    size_t Lines = this->lineCount(LineAxis);
 
     double EvMax = blockReduce2D(
-        Lines, N[LineAxis], this->Exec, 0.0,
+        Lines, this->N[LineAxis], this->Exec, 0.0,
         [&](size_t LineBegin, size_t LineEnd, size_t CellBegin,
             size_t CellEnd) {
           return maxEigenRange(LineBegin, LineEnd, CellBegin, CellEnd);
@@ -138,12 +131,11 @@ protected:
     // scratch buffers are leased on first use; every element is written
     // before being read, so the uninit mode applies.
     acquireStepBuffers();
-    Cons<Dim> *UnData = UnL->data();
-    Cons<Dim> *UData = this->U.data();
     {
       telemetry::ScopedSpan S(SpanSnapshot);
       this->Exec.parallelFor(0, StorageCount, [&](size_t B, size_t E) {
-        std::copy(UData + B, UData + E, UnData + B);
+        kernels::copyState<Dim>(this->U.crun(B), Un.run(B), E - B,
+                                this->SimdEnabled);
       });
     }
 
@@ -154,20 +146,19 @@ protected:
                         this->Time);
       }
 
-      Cons<Dim> *ResData = ResL->data();
       {
         // RHS zeroing plus the directional sweeps (reconstruction +
         // Riemann fluxes + divergence, one region per axis).
         telemetry::ScopedSpan S(SpanFlux);
         this->Exec.parallelFor(0, InteriorCount, [&](size_t B, size_t E) {
-          std::fill(ResData + B, ResData + E, Cons<Dim>());
+          kernels::zeroState<Dim>(Res.run(B), E - B, this->SimdEnabled);
         });
         for (unsigned Axis = 0; Axis < Dim; ++Axis) {
           // (line, cell-along-axis) is the 2D iteration space; the
           // backend may tile it.  Faces are recomputed at sub-range
           // seams, so tiled and flattened sweeps are bit-identical.
           this->Exec.parallelFor2D(
-              lineCount(Axis), N[Axis],
+              this->lineCount(Axis), this->N[Axis],
               [&, Axis](size_t LineBegin, size_t LineEnd, size_t CellBegin,
                         size_t CellEnd) {
                 sweepRange(Axis, LineBegin, LineEnd, CellBegin, CellEnd);
@@ -179,10 +170,10 @@ protected:
       // Runs through the 2D boundary as (line, cell) so the backend can
       // tile it; per-element results are grouping-independent.
       constexpr unsigned LineAxis = Dim - 1;
-      size_t Lines = lineCount(LineAxis);
+      size_t Lines = this->lineCount(LineAxis);
       telemetry::ScopedSpan UpdateSpan(SpanUpdate);
       this->Exec.parallelFor2D(
-          Lines, N[LineAxis],
+          Lines, this->N[LineAxis],
           [&](size_t LB, size_t LE, size_t CB, size_t CE) {
             updateRange(Stage.PrevWeight, Stage.StageWeight, Dt, LB, LE, CB,
                         CE);
@@ -193,50 +184,25 @@ protected:
   void onClockRestored() override { DtCacheValid = false; }
 
 private:
-  /// Number of tangential lines perpendicular to \p Axis.
-  size_t lineCount(unsigned Axis) const {
-    size_t Count = 1;
-    for (unsigned A = 0; A < Dim; ++A)
-      if (A != Axis)
-        Count *= N[A];
-    return Count;
-  }
-
-  /// Storage offset of interior cell 0 of tangential line \p Line along
-  /// \p Axis.
-  size_t lineStorageBase(unsigned Axis, size_t Line) const {
-    size_t Base = 0;
-    // Decompose Line over the tangential axes in row-major order.
-    for (unsigned A = Dim; A-- > 0;) {
-      if (A == Axis)
-        continue;
-      size_t Coord = Line % N[A];
-      Line /= N[A];
-      Base += (Coord + Ng) * StorageStride[A];
-    }
-    Base += Ng * StorageStride[Axis];
-    return Base;
-  }
-
-  /// Interior (residual) offset of cell 0 of the same line.
-  size_t lineInteriorBase(unsigned Axis, size_t Line) const {
-    size_t Base = 0;
-    for (unsigned A = Dim; A-- > 0;) {
-      if (A == Axis)
-        continue;
-      size_t Coord = Line % N[A];
-      Line /= N[A];
-      Base += Coord * InteriorStride[A];
-    }
-    return Base;
-  }
-
   void acquireStepBuffers() {
     const Grid<Dim> &G = this->Prob.Domain;
-    if (!UnL || UnL->shape() != this->U.shape())
-      UnL = this->Pool.template acquireUninit<Cons<Dim>>(this->U.shape());
-    if (!ResL || ResL->shape() != G.interiorShape())
-      ResL = this->Pool.template acquireUninit<Cons<Dim>>(G.interiorShape());
+    if (Un.shape() != this->U.shape())
+      Un = Field<Dim>(this->Pool, this->U.shape(), this->U.layout(),
+                      FieldInit::Uninit);
+    if (Res.shape() != G.interiorShape())
+      Res = Field<Dim>(this->Pool, G.interiorShape(), this->U.layout(),
+                       FieldInit::Uninit);
+  }
+
+  /// True when the \p Axis sweep runs whole face rows through
+  /// kernels::fluxFaces instead of gathering stencils per face: the
+  /// reconstruction must be piecewise-constant (face states are the
+  /// adjacent cells), and the face rows must be contiguous in storage —
+  /// the last axis always is; a 2D axis-0 sweep is restructured into
+  /// row runs below.
+  bool fluxKernelSweep(unsigned Axis) const {
+    return kernels::fluxKernelEligible(this->Scheme.Recon) &&
+           (Axis == Dim - 1 || (Dim == 2 && Axis == 0));
   }
 
   /// One directional sweep over lines [LineBegin, LineEnd) x cells
@@ -250,15 +216,24 @@ private:
   /// are recomputed, not communicated).
   void sweepRange(unsigned Axis, size_t LineBegin, size_t LineEnd,
                   size_t CellBegin, size_t CellEnd) {
+    if (fluxKernelSweep(Axis)) {
+      if (Axis == Dim - 1) {
+        sweepRangeKernelLastAxis(LineBegin, LineEnd, CellBegin, CellEnd);
+      } else {
+        if constexpr (Dim == 2)
+          sweepRangeKernelAxis0(LineBegin, LineEnd, CellBegin, CellEnd);
+      }
+      return;
+    }
+
     const Gas &Gas_ = this->Prob.G;
     const SchemeConfig &SC = this->Scheme;
     const double InvDx = 1.0 / this->Prob.Domain.dx(Axis);
     const std::ptrdiff_t AxisStride =
-        static_cast<std::ptrdiff_t>(StorageStride[Axis]);
+        static_cast<std::ptrdiff_t>(this->StorageStride[Axis]);
     const std::ptrdiff_t AxisMax =
-        static_cast<std::ptrdiff_t>(StorageDim[Axis]) - 1;
-    const Cons<Dim> *Field = this->U.data();
-    Cons<Dim> *ResData = ResL->data();
+        static_cast<std::ptrdiff_t>(this->StorageDim[Axis]) - 1;
+    const std::ptrdiff_t NgS = static_cast<std::ptrdiff_t>(this->Ng);
 
     // Faces CellBegin..CellEnd inclusive bound this cell sub-range;
     // local face f is global face CellBegin + f.  The face-state
@@ -275,7 +250,7 @@ private:
     for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
       // Base points at interior cell 0; relative cell i sits at
       // Base + i * AxisStride.
-      size_t Base = lineStorageBase(Axis, Line);
+      size_t Base = this->lineStorageBase(Axis, Line);
 
       for (size_t F = 0; F < LocalFaces; ++F) {
         std::array<Cons<Dim>, 6> Stencil;
@@ -285,11 +260,9 @@ private:
           // the implemented schemes).
           std::ptrdiff_t Off = static_cast<std::ptrdiff_t>(CellBegin + F) +
                                static_cast<std::ptrdiff_t>(K) - 3;
-          Off = std::clamp<std::ptrdiff_t>(
-              Off, -static_cast<std::ptrdiff_t>(Ng),
-              AxisMax - static_cast<std::ptrdiff_t>(Ng));
-          Stencil[K] =
-              Field[static_cast<std::ptrdiff_t>(Base) + Off * AxisStride];
+          Off = std::clamp<std::ptrdiff_t>(Off, -NgS, AxisMax - NgS);
+          Stencil[K] = this->U.load(static_cast<size_t>(
+              static_cast<std::ptrdiff_t>(Base) + Off * AxisStride));
         }
         FaceStates<Dim> FS = reconstructFaceStates(SC.Recon, SC.Limiter,
                                                    SC.Vars, Stencil, Gas_,
@@ -297,33 +270,98 @@ private:
         FluxLine[F] = numericalFlux(SC.Riemann, FS.L, FS.R, Gas_, Axis);
       }
 
-      size_t RBase = lineInteriorBase(Axis, Line);
+      size_t RBase = this->lineInteriorBase(Axis, Line);
       std::ptrdiff_t RStride =
-          static_cast<std::ptrdiff_t>(InteriorStride[Axis]);
+          static_cast<std::ptrdiff_t>(this->InteriorStride[Axis]);
       for (size_t I = CellBegin; I != CellEnd; ++I) {
         size_t LocalF = I - CellBegin;
-        ResData[static_cast<std::ptrdiff_t>(RBase) +
-                static_cast<std::ptrdiff_t>(I) * RStride] -=
-            (FluxLine[LocalF + 1] - FluxLine[LocalF]) * InvDx;
+        size_t RI = static_cast<size_t>(
+            static_cast<std::ptrdiff_t>(RBase) +
+            static_cast<std::ptrdiff_t>(I) * RStride);
+        Res.store(RI, Res.load(RI) -
+                          (FluxLine[LocalF + 1] - FluxLine[LocalF]) * InvDx);
       }
     }
   }
 
+  /// Kernel form of the last-axis sweep: per line, one fluxFaces run
+  /// over the bounding faces (unit-stride SoA scratch, so the SIMD
+  /// mirror applies), then one accumDivergence run into the RHS.  Face
+  /// values and the per-cell accumulation are bit-identical to the
+  /// gather form — the kernels mirror numericalFlux term for term.
+  void sweepRangeKernelLastAxis(size_t LineBegin, size_t LineEnd,
+                                size_t CellBegin, size_t CellEnd) {
+    constexpr unsigned Axis = Dim - 1;
+    const double InvDx = 1.0 / this->Prob.Domain.dx(Axis);
+    size_t LocalFaces = (CellEnd - CellBegin) + 1;
+    kernels::Run<Dim> FluxRow =
+        fluxScratchRow<Dim>(0, 1, LocalFaces, this->U.layout());
+    for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
+      size_t Base = this->lineStorageBase(Axis, Line) + CellBegin;
+      // Face f (local) sits between storage cells Base+f-1 and Base+f;
+      // cell Base-1 is the ghost neighbor when CellBegin == 0.
+      kernels::fluxFaces<Dim>(this->U.crun(Base - 1), this->U.crun(Base),
+                              FluxRow, this->Prob.G, Axis,
+                              this->Scheme.Riemann, LocalFaces,
+                              this->SimdEnabled);
+      size_t RBase = this->lineInteriorBase(Axis, Line) + CellBegin;
+      kernels::ConstRun<Dim> Lo = FluxRow;
+      kernels::accumDivergence<Dim>(Res.run(RBase), Lo,
+                                    kernels::advance(Lo, 1), InvDx,
+                                    CellEnd - CellBegin, this->SimdEnabled);
+    }
+  }
+
+  /// Kernel form of the 2D axis-0 sweep.  The sweep space is transposed
+  /// (lines = columns, cells = rows), so contiguous runs go across the
+  /// line range: face row f is computed once into a rolling two-row
+  /// scratch, and cell row i consumes face rows i and i+1.  Same face
+  /// values, same single accumulation per cell as the gather form.
+  void sweepRangeKernelAxis0(size_t LineBegin, size_t LineEnd,
+                             size_t CellBegin, size_t CellEnd) {
+    static_assert(Dim == 2, "axis-0 kernel sweep is the 2D restructure");
+    const double InvDx = 1.0 / this->Prob.Domain.dx(0);
+    const size_t S0 = this->StorageStride[0];
+    size_t W = LineEnd - LineBegin;
+
+    // Storage offset of the R-side cell row of face row f: interior row
+    // f, columns [LineBegin, LineEnd).
+    auto FaceRowBase = [&](size_t F) {
+      return (this->Ng + F) * S0 + this->Ng + LineBegin;
+    };
+
+    kernels::Run<Dim> Rows[2] = {
+        fluxScratchRow<Dim>(0, 2, W, this->U.layout()),
+        fluxScratchRow<Dim>(1, 2, W, this->U.layout())};
+    kernels::fluxFaces<Dim>(this->U.crun(FaceRowBase(CellBegin) - S0),
+                            this->U.crun(FaceRowBase(CellBegin)), Rows[0],
+                            this->Prob.G, /*Axis=*/0, this->Scheme.Riemann,
+                            W, this->SimdEnabled);
+    for (size_t I = CellBegin; I != CellEnd; ++I) {
+      kernels::Run<Dim> &Lo = Rows[(I - CellBegin) % 2];
+      kernels::Run<Dim> &Hi = Rows[(I - CellBegin + 1) % 2];
+      kernels::fluxFaces<Dim>(this->U.crun(FaceRowBase(I + 1) - S0),
+                              this->U.crun(FaceRowBase(I + 1)), Hi,
+                              this->Prob.G, /*Axis=*/0, this->Scheme.Riemann,
+                              W, this->SimdEnabled);
+      size_t RBase = I * this->N[1] + LineBegin;
+      kernels::accumDivergence<Dim>(Res.run(RBase), Lo, Hi, InvDx, W,
+                                    this->SimdEnabled);
+    }
+  }
+
   /// U = A*Un + B*(U + dt*Res) over lines [LB, LE) x cells [CB, CE) of
-  /// the update space (lines along the last axis).
+  /// the update space (lines along the last axis) — one SSP kernel run
+  /// per line.
   void updateRange(double A, double B, double Dt, size_t LB, size_t LE,
                    size_t CB, size_t CE) {
     constexpr unsigned LineAxis = Dim - 1;
-    Cons<Dim> *UData = this->U.data();
-    const Cons<Dim> *UnData = UnL->data();
-    const Cons<Dim> *ResData = ResL->data();
     for (size_t Line = LB; Line != LE; ++Line) {
-      size_t SBase = lineStorageBase(LineAxis, Line);
-      size_t RBase = Line * N[LineAxis];
-      for (size_t I = CB; I != CE; ++I) {
-        Cons<Dim> &Q = UData[SBase + I];
-        Q = UnData[SBase + I] * A + (Q + ResData[RBase + I] * Dt) * B;
-      }
+      size_t SBase = this->lineStorageBase(LineAxis, Line) + CB;
+      size_t RBase = Line * this->N[LineAxis] + CB;
+      kernels::sspUpdate<Dim>(this->U.run(SBase), Un.crun(SBase),
+                              Res.crun(RBase), A, B, Dt, CE - CB,
+                              this->SimdEnabled);
     }
   }
 
@@ -332,22 +370,16 @@ private:
   double maxEigenRange(size_t LineBegin, size_t LineEnd, size_t CellBegin,
                        size_t CellEnd) const {
     constexpr unsigned LineAxis = Dim - 1;
-    const Gas &Gas_ = this->Prob.G;
     const Grid<Dim> &G = this->Prob.Domain;
     double InvDx[Dim];
     for (unsigned A = 0; A < Dim; ++A)
       InvDx[A] = 1.0 / G.dx(A);
-    const Cons<Dim> *Field = this->U.data();
     double Acc = 0.0;
     for (size_t Line = LineBegin; Line != LineEnd; ++Line) {
-      size_t Base = lineStorageBase(LineAxis, Line);
-      for (size_t I = CellBegin; I != CellEnd; ++I) {
-        Prim<Dim> W = toPrim(Field[Base + I], Gas_);
-        double Ev = 0.0;
-        for (unsigned A = 0; A < Dim; ++A)
-          Ev += maxWaveSpeed(W, Gas_, A) * InvDx[A];
-        Acc = std::max(Acc, Ev);
-      }
+      size_t Base = this->lineStorageBase(LineAxis, Line) + CellBegin;
+      Acc = kernels::maxEigen<Dim>(this->U.crun(Base), this->Prob.G, InvDx,
+                                   Acc, CellEnd - CellBegin,
+                                   this->SimdEnabled);
     }
     return Acc;
   }
@@ -405,9 +437,9 @@ private:
   /// face — the cells applyBoundaries reads (and, for periodic, copies
   /// from the opposite band, which is also covered).
   bool rectTouchesEdgeBand(const TileRect &R, const TileGrid &G) const {
-    if (Dim >= 2 && (R.RowBegin < Ng || R.RowEnd + Ng > G.rows()))
+    if (Dim >= 2 && (R.RowBegin < this->Ng || R.RowEnd + this->Ng > G.rows()))
       return true;
-    return R.ColBegin < Ng || R.ColEnd + Ng > G.cols();
+    return R.ColBegin < this->Ng || R.ColEnd + this->Ng > G.cols();
   }
 
   /// The update-space tile indices whose U cells a flux task over tile
@@ -443,17 +475,17 @@ private:
 
   void buildStepDag() {
     constexpr unsigned LineAxis = Dim - 1;
-    size_t Lines = lineCount(LineAxis);
+    size_t Lines = this->lineCount(LineAxis);
     Tile T = this->Exec.tile();
     if (!T.Enabled)
       T = Tile::automatic();
-    DagGrid.emplace(Lines, N[LineAxis], T);
+    DagGrid.emplace(Lines, this->N[LineAxis], T);
     const TileGrid &G = *DagGrid;
     size_t K = G.count();
     DtPartials.assign(K, 0.0);
     Dag.clear();
 
-    std::span<const SspStage> Stages = sspStages(this->Scheme.Integrator);
+    const auto &Stages = sspStages(this->Scheme.Integrator);
     std::vector<size_t> Snap(K), PrevUpd(K), Upd(K), LastFlux(K);
     std::vector<size_t> Reads;
 
@@ -519,12 +551,10 @@ private:
     switch (Kind) {
     case KSnap: {
       TileRect R = G.rect(Ti);
-      Cons<Dim> *UnData = UnL->data();
-      const Cons<Dim> *UData = this->U.data();
       for (size_t Line = R.RowBegin; Line != R.RowEnd; ++Line) {
-        size_t Base = lineStorageBase(LineAxis, Line);
-        std::copy(UData + Base + R.ColBegin, UData + Base + R.ColEnd,
-                  UnData + Base + R.ColBegin);
+        size_t Base = this->lineStorageBase(LineAxis, Line) + R.ColBegin;
+        kernels::copyState<Dim>(this->U.crun(Base), Un.run(Base),
+                                R.ColEnd - R.ColBegin, this->SimdEnabled);
       }
       return;
     }
@@ -540,11 +570,10 @@ private:
       if (Axis == 0) {
         // First axis of the stage zeroes this tile's RHS before
         // accumulating into it.
-        Cons<Dim> *ResData = ResL->data();
         for (size_t Line = R.RowBegin; Line != R.RowEnd; ++Line) {
-          size_t Base = Line * N[LineAxis];
-          std::fill(ResData + Base + R.ColBegin, ResData + Base + R.ColEnd,
-                    Cons<Dim>());
+          size_t Base = Line * this->N[LineAxis] + R.ColBegin;
+          kernels::zeroState<Dim>(Res.run(Base), R.ColEnd - R.ColBegin,
+                                  this->SimdEnabled);
         }
       }
       if (Axis == LineAxis)
@@ -594,15 +623,10 @@ private:
     DtCacheTime = this->Time + Dt;
   }
 
-  size_t N[Dim] = {};
-  size_t StorageDim[Dim] = {};
-  size_t StorageStride[Dim] = {};
-  size_t InteriorStride[Dim] = {};
-  unsigned Ng = 0;
   /// Snapshot (QN) and RHS scratch, leased from the solver pool on first
   /// step and held for the solver's lifetime.
-  FieldPool::Lease<Cons<Dim>> UnL;
-  FieldPool::Lease<Cons<Dim>> ResL;
+  Field<Dim> Un;
+  Field<Dim> Res;
 
   /// Non-null when DAG stepping is enabled (the backend, downcast once).
   TaskBackend *DagExec = nullptr;

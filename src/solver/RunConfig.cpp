@@ -116,6 +116,14 @@ void RunConfig::registerPoolFlag(CommandLine &CL) {
              "disable field-buffer recycling (one malloc per temporary)");
 }
 
+void RunConfig::registerLayoutFlags(CommandLine &CL) {
+  LayoutName = layoutName(FieldLayout);
+  CL.addString("layout", LayoutName,
+               "conserved-field memory layout: aos | soa");
+  CL.addFlag("no-simd", NoSimdFlag,
+             "run the scalar kernel build (bit-identical; for ablation)");
+}
+
 void RunConfig::registerAll(CommandLine &CL) {
   registerSchemeFlags(CL);
   registerScenarioFlag(CL);
@@ -123,6 +131,7 @@ void RunConfig::registerAll(CommandLine &CL) {
   registerBackendFlags(CL);
   registerScheduleFlags(CL);
   registerPoolFlag(CL);
+  registerLayoutFlags(CL);
   registerGuardFlags(CL);
   registerTelemetryFlags(CL);
   registerCheckpointFlags(CL);
@@ -241,8 +250,13 @@ bool RunConfig::resolve(std::string &Error) {
       return Fail("--tile-dealing: " + P.Error);
     TileCfg.Dealing = *P.Value;
   }
+  if (!LayoutName.empty() && !parseLayout(LayoutName, FieldLayout))
+    return Fail("unknown --layout value '" + LayoutName +
+                "' (expected aos|soa)");
   if (NoPoolFlag)
     Pooling = false;
+  if (NoSimdFlag)
+    Simd = false;
   if (!Checkpoint.resolve(Error))
     return false;
   return true;
@@ -270,7 +284,13 @@ std::string RunConfig::executionStr() const {
   }
   if (TileCfg.Enabled)
     S += " tile=" + TileCfg.str();
+  if (FieldLayout != Layout::AoS) {
+    S += " layout=";
+    S += layoutName(FieldLayout);
+  }
   if (!Pooling)
     S += " no-pool";
+  if (!Simd)
+    S += " no-simd";
   return S;
 }

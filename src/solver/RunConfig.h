@@ -35,6 +35,7 @@
 #ifndef SACFD_SOLVER_RUNCONFIG_H
 #define SACFD_SOLVER_RUNCONFIG_H
 
+#include "array/Layout.h"
 #include "runtime/Runtime.h"
 #include "solver/CheckpointOptions.h"
 #include "solver/GuardOptions.h"
@@ -105,6 +106,15 @@ struct RunConfig {
   /// zero-allocation hot path).  Off = one malloc/free per temporary,
   /// the unpooled arm of the A6 ablation.  Bit-identical either way.
   bool Pooling = true;
+  /// Conserved-field memory layout (--layout): AoS keeps the historical
+  /// record array; SoA stores per-component planes, the vectorization-
+  /// friendly shape.  Bit-identical either way.
+  Layout FieldLayout = Layout::AoS;
+  /// Whether the per-TU vectorized kernel build runs the contiguous
+  /// inner loops (--no-simd turns it off).  The scalar and SIMD builds
+  /// are bit-identical by construction; the flag exists for ablation
+  /// (A8) and for bisecting miscompiles.
+  bool Simd = true;
 
   RunConfig();
 
@@ -124,6 +134,8 @@ struct RunConfig {
   void registerScheduleFlags(CommandLine &CL);
   /// Binds --no-pool (disable field-buffer recycling).
   void registerPoolFlag(CommandLine &CL);
+  /// Binds --layout (aos|soa) and --no-simd.
+  void registerLayoutFlags(CommandLine &CL);
   /// Binds the step-guard flag group (see GuardOptions.h).
   void registerGuardFlags(CommandLine &CL) { Guard.registerWith(CL); }
   /// Binds the telemetry flag group (see TelemetryOptions.h).
@@ -182,7 +194,9 @@ private:
   std::string TileSpec;
   std::string TileDealingSpec;
   std::string ScenarioSpecText;
+  std::string LayoutName;
   bool NoPoolFlag = false;
+  bool NoSimdFlag = false;
   /// The CommandLine the register*() calls bound to, for
   /// flagWasSet() — scenario tuning must lose to explicit user flags.
   const CommandLine *BoundCL = nullptr;

@@ -285,7 +285,7 @@ namespace {
 
 template <unsigned Dim>
 SpecParse<PinnedResult> runPinnedImpl(const Scenario<Dim> &S,
-                                      EngineKind Engine,
+                                      EngineKind Engine, Layout FieldLayout,
                                       std::optional<uint64_t> Expected) {
   using Result = SpecParse<PinnedResult>;
 
@@ -313,15 +313,18 @@ SpecParse<PinnedResult> runPinnedImpl(const Scenario<Dim> &S,
   switch (Engine) {
   case EngineKind::Array:
     Solver = std::make_unique<ArraySolver<Dim>>(std::move(*Built.Value),
-                                                Scheme, *Exec);
+                                                Scheme, *Exec,
+                                                ArrayEvalMode::Fused,
+                                                FieldLayout);
     break;
   case EngineKind::ArrayMaterialized:
     Solver = std::make_unique<ArraySolver<Dim>>(
-        std::move(*Built.Value), Scheme, *Exec, ArrayEvalMode::Materialized);
+        std::move(*Built.Value), Scheme, *Exec, ArrayEvalMode::Materialized,
+        FieldLayout);
     break;
   case EngineKind::Fused:
     Solver = std::make_unique<FusedSolver<Dim>>(std::move(*Built.Value),
-                                                Scheme, *Exec);
+                                                Scheme, *Exec, FieldLayout);
     break;
   }
 
@@ -345,14 +348,15 @@ SpecParse<PinnedResult> runPinnedImpl(const Scenario<Dim> &S,
 } // namespace
 
 SpecParse<PinnedResult> sacfd::runPinnedScenario(std::string_view Name,
-                                                 EngineKind Engine) {
+                                                 EngineKind Engine,
+                                                 Layout FieldLayout) {
   using Result = SpecParse<PinnedResult>;
   const ScenarioRegistry &R = ScenarioRegistry::instance();
   std::optional<uint64_t> Expected = R.referenceHash(Name);
   if (const Scenario<1> *S = R.find<1>(Name))
-    return runPinnedImpl(*S, Engine, Expected);
+    return runPinnedImpl(*S, Engine, FieldLayout, Expected);
   if (const Scenario<2> *S = R.find<2>(Name))
-    return runPinnedImpl(*S, Engine, Expected);
+    return runPinnedImpl(*S, Engine, FieldLayout, Expected);
   return Result::fail("unknown scenario '" + std::string(Name) +
                       "'; known scenarios: " + R.namesStr());
 }

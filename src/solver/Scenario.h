@@ -252,7 +252,7 @@ template <unsigned Dim> struct ScenarioRegistrar {
 /// fields, so one reference hash serves array and fused alike.
 template <unsigned Dim> uint64_t fieldStateHash(const EulerSolver<Dim> &S) {
   const Grid<Dim> &G = S.problem().Domain;
-  const NDArray<Cons<Dim>> &U = S.field();
+  const Field<Dim> &U = S.field();
   uint64_t H = FnvOffsetBasis;
   auto HashDouble = [&H](double V) {
     uint64_t Bits;
@@ -263,7 +263,7 @@ template <unsigned Dim> uint64_t fieldStateHash(const EulerSolver<Dim> &S) {
   Index Iv = Interior.delinearize(0);
   if (Interior.count() > 0) {
     do {
-      const Cons<Dim> &Q = U.at(G.toStorage(Iv));
+      const Cons<Dim> Q = U.at(G.toStorage(Iv));
       HashDouble(Q.Rho);
       for (unsigned A = 0; A < Dim; ++A)
         HashDouble(Q.Mom[A]);
@@ -294,9 +294,12 @@ struct PinnedResult {
 /// Runs scenario \p Name's pinned configuration on \p Engine (serial
 /// backend, one thread, figure scheme with the scenario tuning applied)
 /// and hashes the final state.  Structured error for unknown names or a
-/// failing factory.
+/// failing factory.  \p FieldLayout selects the conserved-field storage
+/// layout; the hash is layout-independent (fieldStateHash walks logical
+/// cells), so SoA runs must reproduce the same pinned references.
 SpecParse<PinnedResult> runPinnedScenario(std::string_view Name,
-                                          EngineKind Engine);
+                                          EngineKind Engine,
+                                          Layout FieldLayout = Layout::AoS);
 
 /// The one-line recipe for refreshing the reference table after an
 /// intentional numerics change (printed by failing regression checks).

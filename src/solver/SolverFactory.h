@@ -55,16 +55,18 @@ public:
       reportFatalError("backend not available in this build");
     switch (Cfg.Engine) {
     case EngineKind::Array:
-      Solver = std::make_unique<ArraySolver<Dim>>(std::move(Prob),
-                                                  Cfg.Scheme, *Exec);
+      Solver = std::make_unique<ArraySolver<Dim>>(
+          std::move(Prob), Cfg.Scheme, *Exec, ArrayEvalMode::Fused,
+          Cfg.FieldLayout, Cfg.Simd);
       break;
     case EngineKind::ArrayMaterialized:
       Solver = std::make_unique<ArraySolver<Dim>>(
-          std::move(Prob), Cfg.Scheme, *Exec, ArrayEvalMode::Materialized);
+          std::move(Prob), Cfg.Scheme, *Exec, ArrayEvalMode::Materialized,
+          Cfg.FieldLayout, Cfg.Simd);
       break;
     case EngineKind::Fused: {
-      auto Fused = std::make_unique<FusedSolver<Dim>>(std::move(Prob),
-                                                      Cfg.Scheme, *Exec);
+      auto Fused = std::make_unique<FusedSolver<Dim>>(
+          std::move(Prob), Cfg.Scheme, *Exec, Cfg.FieldLayout, Cfg.Simd);
       if (Cfg.Step == StepMode::Dag && !Fused->enableDagStepping()) {
         // resolve() validated backend/engine, so the only ways here are a
         // 3D problem or a hand-built RunConfig that skipped resolve().

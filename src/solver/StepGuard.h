@@ -103,7 +103,7 @@ HealthScan scanFieldHealth(const EulerSolver<Dim> &Solver, Backend &Exec,
     HealthScan S;
     Index Iv = Interior.delinearize(Lo);
     for (size_t L = Lo; L != Hi; ++L) {
-      const Cons<Dim> &Q = Solver.field().at(G.toStorage(Iv));
+      const Cons<Dim> Q = Solver.field().at(G.toStorage(Iv));
       bool Finite = true;
       for (unsigned K = 0; K < NumVars<Dim>; ++K)
         if (!std::isfinite(Q.comp(K)))
@@ -442,18 +442,20 @@ private:
   }
 
   void captureSnapshot() {
-    const NDArray<Cons<Dim>> &U = S.field();
+    const Field<Dim> &U = S.field();
     if (!Snap || Snap->shape() != U.shape())
       // Leased from the solver's pool (the guard never outlives its
-      // solver); uninit is safe, the copy writes every element.
+      // solver); uninit is safe, the copy writes every element.  The
+      // snapshot stages through the AoS interchange format, so the
+      // guard is layout-agnostic.
       Snap = S.fieldPool().template acquireUninit<Cons<Dim>>(U.shape());
-    std::copy(U.begin(), U.end(), Snap->begin());
+    U.exportTo(Snap->data());
     SnapTime = S.time();
     SnapSteps = S.stepCount();
   }
 
   void restoreSnapshot() {
-    std::copy(Snap->begin(), Snap->end(), S.field().begin());
+    S.field().importFrom(Snap->data());
     S.restoreClock(SnapTime, SnapSteps);
   }
 
@@ -465,13 +467,14 @@ private:
     const Gas &Gas_ = S.problem().G;
     Shape Interior = G.interiorShape();
     size_t N = Interior.count();
-    NDArray<Cons<Dim>> &U = S.field();
+    Field<Dim> &U = S.field();
 
     auto FoldBlock = [&](size_t Lo, size_t Hi) {
       size_t Fixed = 0;
       Index Iv = Interior.delinearize(Lo);
       for (size_t L = Lo; L != Hi; ++L) {
-        Cons<Dim> &Q = U.at(G.toStorage(Iv));
+        const Index Storage = G.toStorage(Iv);
+        Cons<Dim> Q = U.at(Storage);
         bool Finite = true;
         for (unsigned K = 0; K < NumVars<Dim>; ++K)
           if (!std::isfinite(Q.comp(K)))
@@ -502,7 +505,7 @@ private:
           }
           W.P = std::isfinite(P) ? std::max(P, 2.0 * Cfg.PressureFloor)
                                  : 2.0 * Cfg.PressureFloor;
-          Q = toCons(W, Gas_);
+          U.set(Storage, toCons(W, Gas_));
           ++Fixed;
         }
         Interior.increment(Iv);
@@ -528,9 +531,11 @@ private:
       for (size_t L : F.Cells) {
         if (L >= Interior.count())
           continue;
-        Cons<Dim> &Q = S.field().at(G.toStorage(Interior.delinearize(L)));
+        const Index Storage = G.toStorage(Interior.delinearize(L));
+        Cons<Dim> Q = S.field().at(Storage);
         for (unsigned K = 0; K < NumVars<Dim>; ++K)
           Q.setComp(K, Nan);
+        S.field().set(Storage, Q);
       }
       if (!F.Persistent)
         F.Armed = false;

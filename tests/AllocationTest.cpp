@@ -38,15 +38,16 @@ constexpr unsigned kMeasuredSteps = 4;
 template <unsigned Dim>
 std::unique_ptr<EulerSolver<Dim>> makeSolver(const std::string &Engine,
                                              const Problem<Dim> &Prob,
-                                             Backend &Exec) {
+                                             Backend &Exec,
+                                             Layout L = Layout::AoS) {
   SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
   if (Engine == "array")
     return std::make_unique<ArraySolver<Dim>>(Prob, Scheme, Exec,
-                                              ArrayEvalMode::Fused);
+                                              ArrayEvalMode::Fused, L);
   if (Engine == "array-mat")
-    return std::make_unique<ArraySolver<Dim>>(Prob, Scheme, Exec,
-                                              ArrayEvalMode::Materialized);
-  return std::make_unique<FusedSolver<Dim>>(Prob, Scheme, Exec);
+    return std::make_unique<ArraySolver<Dim>>(
+        Prob, Scheme, Exec, ArrayEvalMode::Materialized, L);
+  return std::make_unique<FusedSolver<Dim>>(Prob, Scheme, Exec, L);
 }
 
 const char *kEngines[] = {"array", "array-mat", "fused"};
@@ -56,9 +57,10 @@ const char *kEngines[] = {"array", "array-mat", "fused"};
 /// after the first step, so the steady-state delta must be exactly zero.
 template <unsigned Dim>
 void expectZeroSteadyStateAllocs(const Problem<Dim> &Prob, Backend &Exec,
-                                 const std::string &Label) {
+                                 const std::string &Label,
+                                 Layout L = Layout::AoS) {
   for (const char *Engine : kEngines) {
-    std::unique_ptr<EulerSolver<Dim>> S = makeSolver(Engine, Prob, Exec);
+    std::unique_ptr<EulerSolver<Dim>> S = makeSolver(Engine, Prob, Exec, L);
     S->advanceSteps(kWarmupSteps);
     uint64_t Before = alloctrack::allocationCount();
     S->advanceSteps(kMeasuredSteps);
@@ -91,6 +93,21 @@ TEST(AllocationTest, SteadyStateStepsAllocateNothing2D) {
     expectZeroSteadyStateAllocs(Prob, *Exec,
                                 "spin(" + std::to_string(Workers) + ") 2D");
   }
+}
+
+TEST(AllocationTest, SteadyStateStepsAllocateNothingSoA) {
+  // The SoA layout leases per-component plane buffers instead of record
+  // arrays; the zero-allocation steady-state contract must hold there
+  // unchanged (including the kernel path's per-thread SoA flux scratch).
+  SerialBackend Serial;
+  expectZeroSteadyStateAllocs(sodProblem(64), Serial, "serial 1D soa",
+                              Layout::SoA);
+  expectZeroSteadyStateAllocs(shockInteraction2D(16), Serial,
+                              "serial 2D soa", Layout::SoA);
+  auto Exec = createBackend(BackendKind::SpinPool, 4);
+  ASSERT_NE(Exec, nullptr);
+  expectZeroSteadyStateAllocs(shockInteraction2D(16), *Exec, "spin(4) 2D soa",
+                              Layout::SoA);
 }
 
 TEST(AllocationTest, DisabledPoolAllocatesEveryStep) {
@@ -151,7 +168,9 @@ TEST(AllocationTest, PoolStatsReflectSteadyStateReuse) {
   EXPECT_EQ(St.Acquisitions - Warm.Acquisitions, St.Hits - Warm.Hits);
   EXPECT_EQ(St.BytesResident, Warm.BytesResident);
   EXPECT_EQ(St.HighWaterBytes, Warm.HighWaterBytes);
-  EXPECT_EQ(St.LiveLeases, 0u);
+  // The solution field U is itself a pooled lease held for the solver's
+  // lifetime; every step-scoped temporary must have been returned.
+  EXPECT_EQ(St.LiveLeases, 1u);
 }
 
 } // namespace

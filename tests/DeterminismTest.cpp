@@ -21,8 +21,10 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -188,6 +190,139 @@ void checkDagMatrix(const Problem<Dim> &Prob, const SchemeConfig &Scheme,
   }
 }
 
+/// Builds a solver with an explicit layout/SIMD selection, papering over
+/// the engines' differing constructor shapes.
+template <typename SolverT, unsigned Dim>
+std::unique_ptr<SolverT> makeLayoutSolver(const Problem<Dim> &Prob,
+                                          const SchemeConfig &Scheme,
+                                          Backend &Exec, Layout L,
+                                          bool Simd) {
+  if constexpr (std::is_same_v<SolverT, ArraySolver<Dim>>)
+    return std::make_unique<SolverT>(Prob, Scheme, Exec,
+                                     ArrayEvalMode::Fused, L, Simd);
+  else
+    return std::make_unique<SolverT>(Prob, Scheme, Exec, L, Simd);
+}
+
+/// Physics gauges only (step.dt, step.max_eigen, conserved totals):
+/// pool.* telemetry legitimately differs across layouts (different lease
+/// shapes and byte counts), but the physics stream may not.
+TelemetryDigest stepGaugesOnly(const TelemetryDigest &D) {
+  TelemetryDigest Out;
+  for (const telemetry::GaugeSeries &G : D.Gauges)
+    if (G.Name.rfind("step.", 0) == 0)
+      Out.Gauges.push_back(G);
+  return Out;
+}
+
+/// The layout/SIMD bit-identity matrix: every (layout, kernel build)
+/// combination, on every backend at every worker count, must reproduce
+/// the serial AoS *scalar* reference bitwise.  This is the tentpole
+/// determinism contract: vectorization and the SoA layout are pure
+/// reorganizations of the same arithmetic.
+template <typename SolverT, unsigned Dim>
+void checkLayoutSimdMatrix(const Problem<Dim> &Prob,
+                           const SchemeConfig &Scheme, unsigned Steps,
+                           const Tile &TileCfg = Tile::off()) {
+  auto RefExec = createBackend(BackendKind::Serial, 1);
+  telemetry::reset();
+  telemetry::setGaugeStride(1);
+  telemetry::setEnabled(true);
+  std::unique_ptr<SolverT> Ref =
+      makeLayoutSolver<SolverT>(Prob, Scheme, *RefExec, Layout::AoS, false);
+  Ref->advanceSteps(Steps);
+  TelemetryDigest RefTelem = stepGaugesOnly(digest(telemetry::snapshot()));
+  telemetry::setEnabled(false);
+  EXPECT_FALSE(RefTelem.Gauges.empty());
+
+  // Self-comparison can't tell a working engine from a uniformly broken
+  // one (a frozen or NaN-poisoned field is "bit-identical" to itself, and
+  // maxFieldDifference collapses NaN comparisons to zero).  Require the
+  // reference to have moved off the initial condition before trusting
+  // the matrix.
+  std::unique_ptr<SolverT> Init =
+      makeLayoutSolver<SolverT>(Prob, Scheme, *RefExec, Layout::AoS, false);
+  EXPECT_GT(maxFieldDifference(*Init, *Ref), 0.0)
+      << "scalar AoS reference did not evolve";
+
+  struct Combo {
+    Layout L;
+    bool Simd;
+  };
+  constexpr Combo kCombos[] = {
+      {Layout::AoS, true}, {Layout::SoA, false}, {Layout::SoA, true}};
+  for (Combo C : kCombos) {
+    std::vector<std::pair<BackendKind, unsigned>> Arms = {
+        {BackendKind::Serial, 1}};
+    for (BackendKind Kind : kParallelKinds)
+      for (unsigned Workers : kWorkerCounts)
+        Arms.emplace_back(Kind, Workers);
+    for (auto [Kind, Workers] : Arms) {
+      auto Exec =
+          createBackend(Kind, Workers, Schedule::staticBlock(), TileCfg);
+      ASSERT_NE(Exec, nullptr);
+      std::string Label = std::string(Exec->name()) + "(" +
+                          std::to_string(Workers) + ") layout=" +
+                          layoutName(C.L) + (C.Simd ? " simd" : " scalar") +
+                          " tile=" + TileCfg.str();
+      telemetry::reset();
+      telemetry::setGaugeStride(1);
+      telemetry::setEnabled(true);
+      std::unique_ptr<SolverT> S =
+          makeLayoutSolver<SolverT>(Prob, Scheme, *Exec, C.L, C.Simd);
+      S->advanceSteps(Steps);
+      TelemetryDigest Telem = stepGaugesOnly(digest(telemetry::snapshot()));
+      telemetry::setEnabled(false);
+      EXPECT_EQ(S->fieldLayout(), C.L) << Label;
+      EXPECT_EQ(S->simdEnabled(), C.Simd) << Label;
+      EXPECT_DOUBLE_EQ(Ref->time(), S->time()) << Label;
+      EXPECT_EQ(maxFieldDifference(*Ref, *S), 0.0) << Label;
+      expectSameGauges(RefTelem, Telem, Label);
+    }
+  }
+}
+
+/// Layout/SIMD bit-identity under the DAG step mode, vs the serial
+/// scalar AoS loops reference.
+template <unsigned Dim>
+void checkDagLayoutSimdMatrix(const Problem<Dim> &Prob,
+                              const SchemeConfig &Scheme, unsigned Steps,
+                              const Tile &TileCfg = Tile::off()) {
+  auto RefExec = createBackend(BackendKind::Serial, 1);
+  std::unique_ptr<FusedSolver<Dim>> Ref = makeLayoutSolver<FusedSolver<Dim>>(
+      Prob, Scheme, *RefExec, Layout::AoS, false);
+  Ref->advanceSteps(Steps);
+
+  // Same evolved-reference guard as the loop-mode matrix: a frozen or
+  // NaN-poisoned engine would pass pure self-comparison.
+  std::unique_ptr<FusedSolver<Dim>> Init = makeLayoutSolver<FusedSolver<Dim>>(
+      Prob, Scheme, *RefExec, Layout::AoS, false);
+  EXPECT_GT(maxFieldDifference(*Init, *Ref), 0.0)
+      << "scalar AoS reference did not evolve";
+
+  struct Combo {
+    Layout L;
+    bool Simd;
+  };
+  constexpr Combo kCombos[] = {
+      {Layout::AoS, true}, {Layout::SoA, false}, {Layout::SoA, true}};
+  for (Combo C : kCombos)
+    for (unsigned Workers : kWorkerCounts) {
+      auto Exec = createBackend(BackendKind::Tasks, Workers,
+                                Schedule::staticBlock(), TileCfg);
+      ASSERT_NE(Exec, nullptr);
+      std::string Label = "tasks/dag(" + std::to_string(Workers) +
+                          ") layout=" + layoutName(C.L) +
+                          (C.Simd ? " simd" : " scalar");
+      auto S = makeLayoutSolver<FusedSolver<Dim>>(Prob, Scheme, *Exec, C.L,
+                                                  C.Simd);
+      EXPECT_TRUE(S->enableDagStepping()) << Label;
+      S->advanceSteps(Steps);
+      EXPECT_DOUBLE_EQ(Ref->time(), S->time()) << Label;
+      EXPECT_EQ(maxFieldDifference(*Ref, *S), 0.0) << Label;
+    }
+}
+
 class DeterminismTest : public ::testing::Test {
 protected:
   void TearDown() override {
@@ -313,6 +448,71 @@ TEST_F(DeterminismTest, TiledRiemann2DConfig3ArraySolver) {
 
 TEST_F(DeterminismTest, DagRiemann2DConfig3FusedSolver) {
   checkDagMatrix<2>(riemann2D(24, 2, 3), SchemeConfig::figureScheme(), 5);
+}
+
+TEST_F(DeterminismTest, LayoutSimdSod1DArraySolver) {
+  // Odd cell count: the vectorized kernels run a ragged tail every line.
+  checkLayoutSimdMatrix<ArraySolver<1>>(sodProblem(67),
+                                        SchemeConfig::benchmarkScheme(), 12);
+}
+
+TEST_F(DeterminismTest, LayoutSimdSod1DFusedSolver) {
+  checkLayoutSimdMatrix<FusedSolver<1>>(sodProblem(67),
+                                        SchemeConfig::benchmarkScheme(), 12);
+}
+
+TEST_F(DeterminismTest, LayoutSimdTinySod1DArraySolver) {
+  // Nx below the vector width: every kernel call is pure tail.
+  checkLayoutSimdMatrix<ArraySolver<1>>(sodProblem(5),
+                                        SchemeConfig::benchmarkScheme(), 6);
+}
+
+TEST_F(DeterminismTest, LayoutSimdTinySod1DFusedSolver) {
+  checkLayoutSimdMatrix<FusedSolver<1>>(sodProblem(5),
+                                        SchemeConfig::benchmarkScheme(), 6);
+}
+
+TEST_F(DeterminismTest, LayoutSimdInteraction2DArraySolver) {
+  // Odd Nx: ragged rows in both the axis-1 line runs and the axis-0
+  // transposed row runs.
+  checkLayoutSimdMatrix<ArraySolver<2>>(shockInteraction2D(19, 2.2, 9.5),
+                                        SchemeConfig::benchmarkScheme(), 4);
+}
+
+TEST_F(DeterminismTest, LayoutSimdInteraction2DFusedSolver) {
+  checkLayoutSimdMatrix<FusedSolver<2>>(shockInteraction2D(19, 2.2, 9.5),
+                                        SchemeConfig::benchmarkScheme(), 4);
+}
+
+TEST_F(DeterminismTest, LayoutSimdFigureSchemeInteraction2DArraySolver) {
+  // WENO3 keeps the flux on the stencil-gather path; the SSP update,
+  // GetDT and layout accessors still route through the kernels.
+  checkLayoutSimdMatrix<ArraySolver<2>>(shockInteraction2D(20, 2.2, 10.0),
+                                        SchemeConfig::figureScheme(), 4);
+}
+
+TEST_F(DeterminismTest, LayoutSimdTiledInteraction2DArraySolver) {
+  // Odd tiles put kernel-run seams mid-row: sub-range faces are
+  // recomputed, never communicated, so seams cannot shift bits.
+  checkLayoutSimdMatrix<ArraySolver<2>>(shockInteraction2D(19, 2.2, 9.5),
+                                        SchemeConfig::benchmarkScheme(), 4,
+                                        Tile::sized(5, 7));
+}
+
+TEST_F(DeterminismTest, LayoutSimdTiledInteraction2DFusedSolver) {
+  checkLayoutSimdMatrix<FusedSolver<2>>(shockInteraction2D(19, 2.2, 9.5),
+                                        SchemeConfig::benchmarkScheme(), 4,
+                                        Tile::sized(5, 7));
+}
+
+TEST_F(DeterminismTest, LayoutSimdDagSod1DFusedSolver) {
+  checkDagLayoutSimdMatrix<1>(sodProblem(67),
+                              SchemeConfig::benchmarkScheme(), 12);
+}
+
+TEST_F(DeterminismTest, LayoutSimdDagInteraction2DFusedSolver) {
+  checkDagLayoutSimdMatrix<2>(shockInteraction2D(19, 2.2, 9.5),
+                              SchemeConfig::benchmarkScheme(), 4);
 }
 
 TEST_F(DeterminismTest, TiledDynamicDealingInteraction2DArraySolver) {

@@ -94,8 +94,8 @@ void runKillResumeScenario(BackendKind Backend, unsigned Threads,
     RunConfig Cfg = durableConfig<Dim>(Backend, Threads, "", 0, Step);
     SolverRun<Dim> Ref(killProblem<Dim>(), Cfg);
     ASSERT_TRUE(Ref.advanceSteps(TotalSteps));
-    const NDArray<Cons<Dim>> &U = Ref.solver().field();
-    RefField.assign(U.data(), U.data() + U.size());
+    RefField.resize(Ref.solver().field().size());
+    Ref.solver().field().exportTo(RefField.data());
     RefTime = Ref.solver().time();
   }
 
@@ -141,9 +141,10 @@ void runKillResumeScenario(BackendKind Backend, unsigned Threads,
         << "orphaned staging file survived resume: " << E.path();
 
   ASSERT_TRUE(Run.advanceSteps(TotalSteps - Setup.ResumeSteps));
-  const NDArray<Cons<Dim>> &U = Run.solver().field();
-  ASSERT_EQ(U.size(), RefField.size());
-  EXPECT_EQ(std::memcmp(U.data(), RefField.data(),
+  std::vector<Cons<Dim>> Got(Run.solver().field().size());
+  Run.solver().field().exportTo(Got.data());
+  ASSERT_EQ(Got.size(), RefField.size());
+  EXPECT_EQ(std::memcmp(Got.data(), RefField.data(),
                         RefField.size() * sizeof(Cons<Dim>)),
             0)
       << "resumed run must be bit-identical to the uninterrupted one";

@@ -8,8 +8,12 @@
 
 #include "array/AllocCounter.h"
 #include "array/FieldPool.h"
+#include "euler/State.h"
+#include "telemetry/Telemetry.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdint>
 
 using namespace sacfd;
 
@@ -155,6 +159,94 @@ TEST(FieldPoolTest, DisabledPoolPassesThrough) {
   FieldPool::Stats St = Pool.stats();
   EXPECT_EQ(St.Hits, 0u);
   EXPECT_EQ(St.BytesResident, 0u);
+}
+
+bool aligned64(const void *P) {
+  return reinterpret_cast<std::uintptr_t>(P) % kFieldAlign == 0;
+}
+
+TEST(FieldPoolTest, EveryAcquirePathIs64ByteAligned) {
+  // Regression: acquireUninit once produced malloc-default (16-byte)
+  // alignment, breaking the aligned-load contract the vectorized kernels
+  // assume.  Every acquire path — zeroed, uninit, recycled, pooled or
+  // disabled — must hand out 64-byte-aligned storage for every shape,
+  // including odd and sub-vector-width counts.
+  const Shape Shapes[] = {Shape{1},     Shape{3},      Shape{5},
+                          Shape{7},     Shape{8},      Shape{64},
+                          Shape{17, 9}, Shape{5, 7, 3}};
+  for (bool Enabled : {true, false}) {
+    FieldPool Pool;
+    Pool.setEnabled(Enabled);
+    for (const Shape &S : Shapes) {
+      {
+        FieldPool::Lease<double> A = Pool.acquire<double>(S);
+        EXPECT_TRUE(aligned64(A->data())) << S.str();
+        FieldPool::Lease<double> B = Pool.acquireUninit<double>(S);
+        EXPECT_TRUE(aligned64(B->data())) << S.str();
+        FieldPool::Lease<Cons<2>> C = Pool.acquire<Cons<2>>(S);
+        EXPECT_TRUE(aligned64(C->data())) << S.str();
+      }
+      // Recycled round: the buffer coming back off the free list must
+      // still carry its original alignment.
+      FieldPool::Lease<double> R = Pool.acquireUninit<double>(S);
+      EXPECT_TRUE(aligned64(R->data())) << S.str() << " (recycled)";
+    }
+  }
+}
+
+TEST(FieldPoolTest, LayoutAndAlignmentKeyBuckets) {
+  FieldPool Pool;
+  Shape S{16};
+  double *AosData = nullptr;
+  {
+    FieldPool::Lease<double> A = Pool.acquire<double>(S, Layout::AoS);
+    AosData = A->data();
+    EXPECT_EQ(A.layout(), Layout::AoS);
+    EXPECT_EQ(A.alignment(), kFieldAlign);
+  }
+  // Same shape under the other layout: a different bucket, so the AoS
+  // buffer must not be stolen.
+  FieldPool::Lease<double> B = Pool.acquire<double>(S, Layout::SoA);
+  EXPECT_EQ(B.layout(), Layout::SoA);
+  EXPECT_NE(B->data(), AosData);
+  // The AoS bucket still holds its buffer.
+  FieldPool::Lease<double> C = Pool.acquire<double>(S, Layout::AoS);
+  EXPECT_EQ(C->data(), AosData);
+}
+
+TEST(FieldPoolTest, LayoutMismatchedReuseIsStructuredError) {
+  FieldPool Pool;
+  FieldPool::Lease<double> L = Pool.acquire<double>(Shape{8}, Layout::SoA);
+  EXPECT_TRUE(static_cast<bool>(L.reuseAs(Layout::SoA)));
+  FieldPool::PoolStatus St = L.reuseAs(Layout::AoS);
+  ASSERT_FALSE(static_cast<bool>(St));
+  EXPECT_EQ(St.Err, FieldPool::PoolError::LayoutMismatch);
+  // The diagnostic names both layouts — an error report, not an assert.
+  EXPECT_NE(St.Detail.find("soa"), std::string::npos);
+  EXPECT_NE(St.Detail.find("aos"), std::string::npos);
+}
+
+TEST(FieldPoolTest, LayoutGaugeExported) {
+  telemetry::reset();
+  telemetry::setGaugeStride(1);
+  telemetry::setEnabled(true);
+  FieldPool Pool;
+  Pool.setLayout(Layout::SoA);
+  EXPECT_EQ(Pool.layout(), Layout::SoA);
+  { FieldPool::Lease<double> Warm = Pool.acquire<double>(Shape{8}); }
+  Pool.recordTelemetry(0);
+  telemetry::MetricsReport R = telemetry::snapshot();
+  telemetry::setEnabled(false);
+  bool Found = false;
+  for (const telemetry::GaugeSeries &G : R.Gauges)
+    if (G.Name == "pool.layout") {
+      Found = true;
+      ASSERT_FALSE(G.Samples.empty());
+      EXPECT_EQ(G.Samples.back().Value,
+                static_cast<double>(static_cast<int>(Layout::SoA)));
+    }
+  EXPECT_TRUE(Found) << "pool.layout gauge missing from telemetry";
+  telemetry::reset();
 }
 
 TEST(FieldPoolTest, MoveTransfersLease) {

@@ -87,6 +87,56 @@ TEST(RunConfigResolve, ParsesEveryFlagGroup) {
   EXPECT_EQ(Cfg.executionStr(), "fused/fork-join(3) tile=16x64");
 }
 
+TEST(RunConfigResolve, ParsesLayoutAndSimdFlags) {
+  {
+    RunConfig Cfg;
+    std::string Error;
+    ASSERT_TRUE(parseAndResolve(Cfg, {}, &Error)) << Error;
+    EXPECT_EQ(Cfg.FieldLayout, Layout::AoS);
+    EXPECT_TRUE(Cfg.Simd);
+  }
+  {
+    RunConfig Cfg;
+    std::string Error;
+    ASSERT_TRUE(parseAndResolve(Cfg, {"--layout", "soa", "--no-simd"},
+                                &Error))
+        << Error;
+    EXPECT_EQ(Cfg.FieldLayout, Layout::SoA);
+    EXPECT_FALSE(Cfg.Simd);
+    // Both knobs show up in the one-line execution description.
+    EXPECT_NE(Cfg.executionStr().find("layout=soa"), std::string::npos);
+    EXPECT_NE(Cfg.executionStr().find("no-simd"), std::string::npos);
+  }
+  {
+    RunConfig Cfg;
+    std::string Error;
+    ASSERT_TRUE(parseAndResolve(Cfg, {"--layout", "aos"}, &Error)) << Error;
+    EXPECT_EQ(Cfg.FieldLayout, Layout::AoS);
+  }
+  {
+    RunConfig Cfg;
+    std::string Error;
+    EXPECT_FALSE(parseAndResolve(Cfg, {"--layout", "csr"}, &Error));
+    EXPECT_NE(Error.find("--layout"), std::string::npos) << Error;
+    EXPECT_NE(Error.find("aos|soa"), std::string::npos) << Error;
+  }
+}
+
+TEST(SolverFactory, ThreadsLayoutAndSimdIntoTheEngine) {
+  for (const char *Engine : {"array", "array-materialized", "fused"}) {
+    RunConfig Cfg;
+    std::string Error;
+    ASSERT_TRUE(parseAndResolve(Cfg,
+                                {"--engine", Engine, "--layout", "soa",
+                                 "--no-simd", "--threads", "1"},
+                                &Error))
+        << Error;
+    SolverRun<1> Run = makeSolverRun(sodProblem(16), Cfg);
+    EXPECT_EQ(Run.solver().fieldLayout(), Layout::SoA) << Engine;
+    EXPECT_FALSE(Run.solver().simdEnabled()) << Engine;
+  }
+}
+
 TEST(RunConfigResolve, ParsesCheckpointFlagGroup) {
   RunConfig Cfg;
   std::string Error;

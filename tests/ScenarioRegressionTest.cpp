@@ -311,6 +311,28 @@ TEST(ScenarioRegression, PinnedRunsMatchReferenceOnBothEngines) {
   }
 }
 
+TEST(ScenarioRegression, PinnedHashesUnchangedUnderSoALayout) {
+  // The SoA field layout is a pure storage transform: every pinned
+  // scenario must reproduce the exact checked-in reference hash that the
+  // AoS runs pinned, on both engines.  A divergence here means the
+  // layout (or the vectorized kernels it enables) changed the numerics.
+  const ScenarioRegistry &R = ScenarioRegistry::instance();
+  for (const ScenarioInfo &Info : R.infos()) {
+    if (Info.Name.rfind("test-", 0) == 0)
+      continue;
+    ASSERT_TRUE(Info.Reference.has_value()) << Info.Name;
+    for (EngineKind Engine : {EngineKind::Array, EngineKind::Fused}) {
+      SpecParse<PinnedResult> Run =
+          runPinnedScenario(Info.Name, Engine, Layout::SoA);
+      ASSERT_TRUE(Run) << Run.Error;
+      EXPECT_EQ(Run.Value->Hash, *Info.Reference)
+          << "scenario '" << Info.Name << "' on engine "
+          << engineKindName(Engine)
+          << " under --layout soa diverged from the pinned reference";
+    }
+  }
+}
+
 TEST(ScenarioRegression, FieldStateHashDiscriminates) {
   // Different scenarios and different step counts produce different
   // hashes (FNV over the full field + clock).

@@ -45,9 +45,11 @@ template <unsigned Dim>
 void poisonCell(EulerSolver<Dim> &S, size_t Linear) {
   const Grid<Dim> &G = S.problem().Domain;
   Shape Interior = G.interiorShape();
-  Cons<Dim> &Q = S.field().at(G.toStorage(Interior.delinearize(Linear)));
+  const Index Storage = G.toStorage(Interior.delinearize(Linear));
+  Cons<Dim> Q = S.field().at(Storage);
   for (unsigned K = 0; K < NumVars<Dim>; ++K)
     Q.setComp(K, std::numeric_limits<double>::quiet_NaN());
+  S.field().set(Storage, Q);
 }
 
 /// The acceptance scenario: Sod at CFL = 10 (20x the stable step).
@@ -104,8 +106,9 @@ TEST(HealthScan, FlagsNegativePressureWithoutNan) {
   ArraySolver<1> S(sodProblem(64), SchemeConfig::figureScheme(), Exec);
   // Drain a cell's energy below its kinetic energy: finite but p < 0.
   const Grid<1> &G = S.problem().Domain;
-  Cons<1> &Q = S.field().at(G.toStorage(Index{10}));
+  Cons<1> Q = S.field().at(G.toStorage(Index{10}));
   Q.E = -1.0;
+  S.field().set(G.toStorage(Index{10}), Q);
   HealthScan Scan = scanFieldHealth(S, Exec, 1e-10, 1e-10);
   EXPECT_FALSE(Scan.healthy());
   EXPECT_TRUE(Scan.AllFinite) << "the cell is finite, just unphysical";
@@ -214,7 +217,8 @@ TEST(StepGuard, PersistentFaultFloorsAndContinues) {
 
 TEST(StepGuard, PersistentFaultFailsCleanlyWithoutFloor) {
   ArraySolver<1> S(sodProblem(64), SchemeConfig::figureScheme(), Exec);
-  NDArray<Cons<1>> InitialField = S.field();
+  std::vector<Cons<1>> InitialField(S.field().size());
+  S.field().exportTo(InitialField.data());
   GuardConfig Cfg;
   Cfg.MaxRetries = 2;
   Cfg.AllowFloor = false;
@@ -230,7 +234,7 @@ TEST(StepGuard, PersistentFaultFailsCleanlyWithoutFloor) {
   EXPECT_EQ(S.time(), 0.0);
   ASSERT_EQ(S.field().size(), InitialField.size());
   for (size_t I = 0; I < InitialField.size(); ++I)
-    EXPECT_EQ(S.field().data()[I], InitialField.data()[I]);
+    EXPECT_EQ(S.field().load(I), InitialField[I]);
 
   ASSERT_EQ(Guard.reports().size(), 1u);
   const BreakdownReport &R = Guard.reports().front();
@@ -367,11 +371,12 @@ static void runQuiescentZeroPressure() {
   EXPECT_TRUE(std::isfinite(Dt));
   EXPECT_EQ(Dt, SC.MaxDt);
 
-  NDArray<Cons<1>> Before = S.field();
+  std::vector<Cons<1>> Before(S.field().size());
+  S.field().exportTo(Before.data());
   S.advance();
   EXPECT_EQ(S.time(), SC.MaxDt);
   for (size_t I = 0; I < Before.size(); ++I)
-    EXPECT_EQ(S.field().data()[I], Before.data()[I])
+    EXPECT_EQ(S.field().load(I), Before[I])
         << "quiescent zero-pressure gas must not evolve";
 }
 
