@@ -1,0 +1,180 @@
+//===- bench/ablation_shards.cpp - A9: multi-process shard scaling --------===//
+//
+// A9: prices the multi-process row-block decomposition (src/shard/)
+// against the single-process run on the Fig. 4 shock-interaction
+// workload at two grains: the FIG4 default grid and an EXT5-style
+// larger grid (--full raises EXT5 to the 2000x2000 headline row).
+// Every shard count computes a bit-identical field — the 1-shard row's
+// state hash is the reference and a mismatch fails the run — so the
+// acceptance question is pure scaling: wall time across 1/2/4/8 shard
+// processes with per-RK-stage shared-memory halo exchange.
+//
+// --json writes the table as a machine-readable artifact
+// (artifacts/BENCH_shard.json in CI).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardCoordinator.h"
+#include "solver/Problems.h"
+#include "support/CommandLine.h"
+#include "support/StrUtil.h"
+#include "support/Timer.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace sacfd;
+
+namespace {
+
+struct ShardRow {
+  std::string Grid; ///< "fig4" or "ext5"
+  size_t Cells;
+  unsigned Shards;
+  double Seconds;
+  double Speedup; ///< 1-shard seconds / this row's seconds
+  bool HashOk;    ///< state hash matches the 1-shard reference
+};
+
+/// One timed sharded run; fills \p Hash with the final state hash.
+double runOnce(const SchemeConfig &Scheme, size_t Cells, unsigned Shards,
+               unsigned Steps, unsigned Repeats, uint64_t &Hash) {
+  TimingSamples Samples;
+  for (unsigned Rep = 0; Rep < Repeats; ++Rep) {
+    Problem<2> Prob = shockInteraction2D(Cells, 2.2,
+                                         static_cast<double>(Cells) / 2.0);
+    ShardOptions Opt;
+    Opt.Shards = Shards;
+    Opt.Scheme = Scheme;
+    ShardCoordinator Coord(Prob, Opt);
+    if (!Coord.start() || !Coord.advanceSteps(Steps)) {
+      std::fprintf(stderr, "error: %u-shard run failed\n", Shards);
+      std::exit(1);
+    }
+    WallTimer Timer;
+    // Time a second leg so process forking and first-touch page faults
+    // stay out of the steady-state number.
+    if (!Coord.advanceSteps(Steps)) {
+      std::fprintf(stderr, "error: %u-shard run failed\n", Shards);
+      std::exit(1);
+    }
+    Samples.add(Timer.seconds());
+    Hash = Coord.stateHash();
+    Coord.shutdown();
+  }
+  return Samples.min();
+}
+
+bool writeJson(const std::string &Path, unsigned Steps,
+               const std::vector<ShardRow> &Rows) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fprintf(F,
+               "{\n  \"experiment\": \"shard_ablation\",\n"
+               "  \"steps\": %u,\n  \"rows\": [\n",
+               Steps);
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const ShardRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"grid\": \"%s\", \"cells\": %zu, \"shards\": %u, "
+                 "\"seconds\": %.6f, \"speedup\": %.4f, "
+                 "\"hash_ok\": %s}%s\n",
+                 R.Grid.c_str(), R.Cells, R.Shards, R.Seconds, R.Speedup,
+                 R.HashOk ? "true" : "false",
+                 I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, const char **Argv) {
+  bool Full = false;
+  int Fig4Cells = 96;
+  int Ext5Cells = 192;
+  unsigned Steps = 20;
+  unsigned Repeats = 1;
+  std::string ShardList = "1,2,4,8";
+  std::string JsonPath;
+  SchemeConfig Scheme = SchemeConfig::benchmarkScheme();
+
+  CommandLine CL("ablation_shards",
+                 "A9: multi-process shard scaling (shared-memory halo "
+                 "exchange) on FIG4/EXT5 grids");
+  CL.addFlag("full", Full, "headline grids: EXT5 at 2000x2000, more steps");
+  CL.addInt("cells", Fig4Cells, "FIG4 grid cells per axis");
+  CL.addInt("ext5-cells", Ext5Cells, "EXT5 grid cells per axis");
+  CL.addUnsigned("steps", Steps, "timed steps per run (after warmup)");
+  CL.addUnsigned("repeats", Repeats, "repetitions per config (min wins)");
+  CL.addString("shards", ShardList, "comma-separated shard counts");
+  CL.addString("json", JsonPath, "write the table to this JSON file");
+  if (!CL.parse(Argc, Argv))
+    return CL.helpRequested() ? 0 : 1;
+  if (Full) {
+    Fig4Cells = 400;
+    Ext5Cells = 2000;
+    Steps = 40;
+  }
+  if (Repeats == 0)
+    Repeats = 1;
+
+  std::vector<unsigned> ShardCounts;
+  for (const std::string &Part : split(ShardList, ','))
+    if (auto N = parseInt(Part); N && *N > 0)
+      ShardCounts.push_back(static_cast<unsigned>(*N));
+  if (ShardCounts.empty())
+    ShardCounts = {1, 2, 4, 8};
+
+  struct GridSpec {
+    const char *Name;
+    size_t Cells;
+  };
+  const GridSpec Grids[] = {{"fig4", static_cast<size_t>(Fig4Cells)},
+                            {"ext5", static_cast<size_t>(Ext5Cells)}};
+
+  std::printf("# A9: fused engine per shard, %u timed steps, min of %u\n",
+              Steps, Repeats);
+  std::printf("%-6s %6s %7s %10s %9s %6s\n", "grid", "cells", "shards",
+              "wall[s]", "speedup", "hash");
+
+  std::vector<ShardRow> Rows;
+  bool AllHashesMatch = true;
+  for (const GridSpec &G : Grids) {
+    double OneShardSeconds = 0.0;
+    uint64_t RefHash = 0;
+    for (unsigned Shards : ShardCounts) {
+      uint64_t Hash = 0;
+      double Seconds = runOnce(Scheme, G.Cells, Shards, Steps, Repeats,
+                               Hash);
+      if (Shards == ShardCounts.front()) {
+        OneShardSeconds = Seconds;
+        RefHash = Hash;
+      }
+      bool HashOk = Hash == RefHash;
+      AllHashesMatch = AllHashesMatch && HashOk;
+      double Speedup = Seconds > 0.0 ? OneShardSeconds / Seconds : 1.0;
+      Rows.push_back(
+          {G.Name, G.Cells, Shards, Seconds, Speedup, HashOk});
+      std::printf("%-6s %6zu %7u %10.3f %9.2f %6s\n", G.Name, G.Cells,
+                  Shards, Seconds, Speedup, HashOk ? "ok" : "MISMATCH");
+    }
+  }
+  if (!AllHashesMatch) {
+    std::fprintf(stderr,
+                 "error: shard hash diverged from the reference row\n");
+    return 1;
+  }
+
+  if (!JsonPath.empty()) {
+    if (!writeJson(JsonPath, Steps, Rows)) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonPath.c_str());
+      return 1;
+    }
+    std::printf("# wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -147,9 +147,11 @@ int main(int Argc, const char **Argv) {
                 Recorder.minDensitySeen());
   }
 
+  std::string TelemetryError;
   if (!writeRunTelemetry(Run, "shock_interaction_2d",
                          {{"cells", std::to_string(Cells)},
-                          {"ms", std::to_string(Ms)}}))
-    reportFatalError("cannot write telemetry JSON file");
+                          {"ms", std::to_string(Ms)}},
+                         &TelemetryError))
+    reportFatalError(TelemetryError.c_str());
   return GuardFailed ? 1 : 0;
 }

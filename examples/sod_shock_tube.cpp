@@ -125,8 +125,10 @@ int main(int Argc, const char **Argv) {
     std::printf("profile written to %s\n", CsvPath.c_str());
   }
 
+  std::string TelemetryError;
   if (!writeRunTelemetry(Run, "sod_shock_tube",
-                         {{"cells", std::to_string(Cells)}}))
-    reportFatalError("cannot write telemetry JSON file");
+                         {{"cells", std::to_string(Cells)}},
+                         &TelemetryError))
+    reportFatalError(TelemetryError.c_str());
   return GuardFailed ? 1 : 0;
 }

@@ -99,6 +99,20 @@ echo "== allocation ablation artifact =="
     --threads 2 --json artifacts/BENCH_alloc.json
 echo "wrote artifacts/BENCH_alloc.json"
 
+echo "== shard smoke + ablation artifact =="
+# PR 9 record: multi-process row-block sharding.  First the elastic
+# recovery end-to-end (kill one shard mid-run, resume from its own
+# checkpoint store, verify the final hash against a single-process
+# run), then the A9 scaling table; the bench exits nonzero if any
+# shard count's hash diverges from the 1-shard reference.
+rm -rf artifacts/shard_ci_ckpt
+./build-ci-Release/examples/shard_interaction_2d --cells 64 --shards 2 \
+    --steps 10 --checkpoint-dir artifacts/shard_ci_ckpt \
+    --checkpoint-every 1 --kill-shard 1 --kill-at-step 5 --verify
+./build-ci-Release/bench/ablation_shards --cells 96 --ext5-cells 192 \
+    --steps 10 --shards 1,2,4,8 --json artifacts/BENCH_shard.json
+echo "wrote artifacts/BENCH_shard.json"
+
 echo "== simd ablation gate + artifact =="
 # A8 record and gate: per-kernel scalar-vs-SIMD speedups plus the
 # layout x simd end-to-end matrix on the Fig. 4 workload.  --gate fails

@@ -2,16 +2,26 @@
 
 #include "io/CsvWriter.h"
 
+#include "io/PathUtil.h"
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 using namespace sacfd;
 
 bool sacfd::writeCsv(const std::string &Path,
                      const std::vector<std::string> &Header,
-                     const std::vector<std::vector<double>> &Rows) {
-  std::FILE *File = std::fopen(Path.c_str(), "w");
-  if (!File)
+                     const std::vector<std::vector<double>> &Rows,
+                     std::string *Error) {
+  if (!ensureParentDir(Path, Error))
     return false;
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    if (Error)
+      *Error = "cannot open '" + Path + "': " + std::strerror(errno);
+    return false;
+  }
 
   for (size_t I = 0; I < Header.size(); ++I)
     std::fprintf(File, "%s%s", Header[I].c_str(),
@@ -22,14 +32,17 @@ bool sacfd::writeCsv(const std::string &Path,
 
   bool Ok = std::ferror(File) == 0;
   std::fclose(File);
+  if (!Ok && Error)
+    *Error = "write error on '" + Path + "'";
   return Ok;
 }
 
 bool sacfd::writeProfileCsv(const std::string &Path,
-                            const std::vector<ProfileSample> &Profile) {
+                            const std::vector<ProfileSample> &Profile,
+                            std::string *Error) {
   std::vector<std::vector<double>> Rows;
   Rows.reserve(Profile.size());
   for (const ProfileSample &S : Profile)
     Rows.push_back({S.X, S.Rho, S.U, S.P});
-  return writeCsv(Path, {"x", "rho", "u", "p"}, Rows);
+  return writeCsv(Path, {"x", "rho", "u", "p"}, Rows, Error);
 }

@@ -8,6 +8,9 @@
 /// \file
 /// Minimal CSV emission for profiles and benchmark tables.  Writers
 /// return false on I/O failure (recoverable error policy: no exceptions).
+/// A missing parent directory is created on the fly; when that (or the
+/// open itself) fails, the optional \p Error out-parameter receives a
+/// message naming the offending path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,15 +24,19 @@
 
 namespace sacfd {
 
-/// Writes a CSV file with \p Header (comma-joined) and numeric \p Rows.
-/// \returns false if the file cannot be written.
+/// Writes a CSV file with \p Header (comma-joined) and numeric \p Rows,
+/// creating the parent directory if needed.
+/// \returns false if the file cannot be written; \p Error (when non-null)
+/// then names the path that failed.
 bool writeCsv(const std::string &Path,
               const std::vector<std::string> &Header,
-              const std::vector<std::vector<double>> &Rows);
+              const std::vector<std::vector<double>> &Rows,
+              std::string *Error = nullptr);
 
 /// Writes a 1D profile as x,rho,u,p.
 bool writeProfileCsv(const std::string &Path,
-                     const std::vector<ProfileSample> &Profile);
+                     const std::vector<ProfileSample> &Profile,
+                     std::string *Error = nullptr);
 
 } // namespace sacfd
 

@@ -1,0 +1,27 @@
+//===- io/PathUtil.cpp - Output path helpers ------------------------------===//
+
+#include "io/PathUtil.h"
+
+#include <filesystem>
+#include <system_error>
+
+using namespace sacfd;
+
+bool sacfd::ensureParentDir(const std::string &Path, std::string *Error) {
+  namespace fs = std::filesystem;
+  fs::path Parent = fs::path(Path).parent_path();
+  if (Parent.empty())
+    return true;
+  std::error_code Ec;
+  fs::create_directories(Parent, Ec);
+  // create_directories reports an error for an already-existing directory
+  // on some implementations; only a path that still is not a directory is
+  // a real failure.
+  if (Ec && !fs::is_directory(Parent)) {
+    if (Error)
+      *Error = "cannot create directory '" + Parent.string() + "' for '" +
+               Path + "': " + Ec.message();
+    return false;
+  }
+  return true;
+}

@@ -1,0 +1,34 @@
+//===- io/PathUtil.h - Output path helpers ---------------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared output-path handling for the io/ writers: every writer that
+/// creates a file first makes sure the parent directory exists, so
+/// `--telemetry-out runs/today/metrics.json` works without a manual
+/// mkdir, and a genuinely uncreatable path yields a structured error
+/// naming the offending directory instead of a bare-bool failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_IO_PATHUTIL_H
+#define SACFD_IO_PATHUTIL_H
+
+#include <string>
+
+namespace sacfd {
+
+/// Creates the parent directory of \p Path (recursively) if it does not
+/// exist.  A path without a directory component trivially succeeds.
+///
+/// \returns false when the directory cannot be created; \p Error (when
+/// non-null) then receives a message naming the directory, e.g.
+/// "cannot create directory 'runs/today' for 'runs/today/out.csv': ...".
+bool ensureParentDir(const std::string &Path, std::string *Error = nullptr);
+
+} // namespace sacfd
+
+#endif // SACFD_IO_PATHUTIL_H

@@ -130,10 +130,12 @@ DurabilitySetup setupDurableRun(SolverRun<Dim> &Run) {
 /// Writes the telemetry JSON report for \p Run when --telemetry was
 /// given; no-op (returning true) otherwise.  The standard metadata —
 /// program, scheme, engine, backend, workers, schedule, tile, guard —
-/// is emitted first, then \p Extra entries.
+/// is emitted first, then \p Extra entries.  On failure \p Error (when
+/// non-null) names the path that failed.
 template <unsigned Dim>
 bool writeRunTelemetry(const SolverRun<Dim> &Run, const std::string &Program,
-                       TelemetryMeta Extra = {}) {
+                       TelemetryMeta Extra = {},
+                       std::string *Error = nullptr) {
   const RunConfig &Cfg = Run.config();
   if (!Cfg.Telemetry.enabled())
     return true;
@@ -149,7 +151,8 @@ bool writeRunTelemetry(const SolverRun<Dim> &Run, const std::string &Program,
   };
   for (auto &Entry : Extra)
     Meta.push_back(std::move(Entry));
-  if (!writeTelemetryJson(Cfg.Telemetry.Path, telemetry::snapshot(), Meta))
+  if (!writeTelemetryJson(Cfg.Telemetry.Path, telemetry::snapshot(), Meta,
+                          Error))
     return false;
   std::printf("telemetry written to %s\n", Cfg.Telemetry.Path.c_str());
   return true;

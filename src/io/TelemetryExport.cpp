@@ -2,6 +2,8 @@
 
 #include "io/TelemetryExport.h"
 
+#include "io/PathUtil.h"
+
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -63,10 +65,16 @@ std::string fmtDouble(double V) {
 
 bool sacfd::writeTelemetryJson(const std::string &Path,
                                const telemetry::MetricsReport &Report,
-                               const TelemetryMeta &Meta) {
-  std::ofstream Out(Path);
-  if (!Out)
+                               const TelemetryMeta &Meta,
+                               std::string *Error) {
+  if (!ensureParentDir(Path, Error))
     return false;
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
 
   Out << "{\n  \"schema\": \"sacfd-telemetry-1\",\n";
 
@@ -123,10 +131,16 @@ bool sacfd::writeTelemetryJson(const std::string &Path,
 }
 
 bool sacfd::writeTelemetryCsv(const std::string &Path,
-                              const telemetry::MetricsReport &Report) {
-  std::ofstream Out(Path);
-  if (!Out)
+                              const telemetry::MetricsReport &Report,
+                              std::string *Error) {
+  if (!ensureParentDir(Path, Error))
     return false;
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (Error)
+      *Error = "cannot open '" + Path + "'";
+    return false;
+  }
 
   Out << "kind,name,count,total_ns,min_ns,max_ns,step,value\n";
   for (const telemetry::SpanStats &S : Report.Spans)

@@ -48,17 +48,23 @@ namespace sacfd {
 /// comment header): example name, grid, scheme, backend, workers...
 using TelemetryMeta = std::vector<std::pair<std::string, std::string>>;
 
-/// Writes \p Report as a "sacfd-telemetry-1" JSON document.
-/// \returns false if the file cannot be written.
+/// Writes \p Report as a "sacfd-telemetry-1" JSON document, creating the
+/// parent directory if needed.
+/// \returns false if the file cannot be written; \p Error (when non-null)
+/// then names the path that failed.
 bool writeTelemetryJson(const std::string &Path,
                         const telemetry::MetricsReport &Report,
-                        const TelemetryMeta &Meta = {});
+                        const TelemetryMeta &Meta = {},
+                        std::string *Error = nullptr);
 
 /// Writes \p Report as long-format CSV
-/// (kind,name,count,total_ns,min_ns,max_ns,step,value).
-/// \returns false if the file cannot be written.
+/// (kind,name,count,total_ns,min_ns,max_ns,step,value), creating the
+/// parent directory if needed.
+/// \returns false if the file cannot be written; \p Error (when non-null)
+/// then names the path that failed.
 bool writeTelemetryCsv(const std::string &Path,
-                       const telemetry::MetricsReport &Report);
+                       const telemetry::MetricsReport &Report,
+                       std::string *Error = nullptr);
 
 } // namespace sacfd
 

@@ -1,0 +1,575 @@
+//===- shard/ShardCoordinator.cpp - Multi-process shard driver -----------===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+
+#include "shard/ShardCoordinator.h"
+
+#include "io/Checkpoint.h"
+#include "io/CheckpointStore.h"
+#include "runtime/Spin.h"
+#include "solver/Scenario.h"
+#include "solver/SolverFactory.h"
+#include "support/Process.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <thread>
+
+namespace sacfd {
+
+ShardCoordinator::ShardCoordinator(Problem<2> GlobalProb, ShardOptions O)
+    : Global(std::move(GlobalProb)), Opt(std::move(O)) {
+  if (Opt.Shards == 0)
+    Opt.Shards = 1;
+  StagesPerStep =
+      static_cast<unsigned>(sspStages(Opt.Scheme.Integrator).size());
+}
+
+ShardCoordinator::~ShardCoordinator() { shutdown(); }
+
+std::string ShardCoordinator::shardDir(unsigned K) const {
+  return Opt.CheckpointDir + "/shard-" + std::to_string(K);
+}
+
+uint64_t ShardCoordinator::latestGeneration(unsigned K) const {
+  CheckpointStore Store(shardDir(K), Opt.CheckpointKeep);
+  std::vector<CheckpointStore::Generation> Gens = Store.generations();
+  if (Gens.empty())
+    return ShardNoResume;
+  return Gens.front().Steps; // newest first
+}
+
+uint64_t ShardCoordinator::latestCommonGeneration() const {
+  // The intersection of the per-shard generation sets: a rewind target
+  // must exist in *every* store or the shards would disagree on the
+  // clock.  The shared cadence keeps the sets aligned in practice, but a
+  // shard killed mid-write can be one generation behind.
+  std::set<uint64_t> Common;
+  for (unsigned K = 0; K < Opt.Shards; ++K) {
+    CheckpointStore Store(shardDir(K), Opt.CheckpointKeep);
+    std::set<uint64_t> Mine;
+    for (const CheckpointStore::Generation &G : Store.generations())
+      Mine.insert(G.Steps);
+    if (K == 0) {
+      Common = std::move(Mine);
+    } else {
+      std::set<uint64_t> Both;
+      for (uint64_t G : Common)
+        if (Mine.count(G))
+          Both.insert(G);
+      Common = std::move(Both);
+    }
+    if (Common.empty())
+      return ShardNoResume;
+  }
+  return *Common.rbegin();
+}
+
+//===----------------------------------------------------------------------===//
+// Worker side
+//===----------------------------------------------------------------------===//
+
+int ShardCoordinator::workerBody(unsigned K) {
+  void *Base = Region.data();
+  ShardControl *Ctl = Layout.control(Base);
+  ShardSlot *Slot = Layout.slot(Base, K);
+
+  // Each worker is a plain serial solver over its sub-problem; all the
+  // single-process machinery (engines, layouts, pooling) applies as-is.
+  RunConfig Cfg;
+  Cfg.Scheme = Opt.Scheme;
+  Cfg.Engine = Opt.Engine;
+  Cfg.Backend = BackendKind::Serial;
+  Cfg.Threads = 1;
+  Cfg.FieldLayout = Opt.FieldLayout;
+  Cfg.Simd = Opt.Simd;
+  Cfg.Pooling = Opt.Pooling;
+  SolverRun<2> Run(SubProblems[K], Cfg);
+  EulerSolver<2> &S = Run.solver();
+
+  std::unique_ptr<CheckpointStore> Store;
+  if (!Opt.CheckpointDir.empty())
+    Store = std::make_unique<CheckpointStore>(shardDir(K), Opt.CheckpointKeep);
+
+  uint64_t Gen = Slot->TargetGen.load(std::memory_order_acquire);
+  if (Gen != ShardNoResume) {
+    std::string Path = shardDir(K) + "/" +
+                       CheckpointStore::generationFileName(
+                           static_cast<unsigned>(Gen));
+    if (!loadCheckpoint(Path, S).ok())
+      return 3; // the coordinator falls back to a global rewind
+  }
+
+  const Grid<2> &G = SubProblems[K].Domain;
+  const size_t Cols = G.cells(1);
+  const unsigned Ng = G.ghost();
+  const size_t StorageCols = Cols + 2 * Ng;
+  const size_t InteriorRows = Blocks[K].Count;
+  const size_t SlabCells = Layout.slabCells();
+
+  // Ring neighbors when the row axis is periodic; chain ends otherwise.
+  int Low = -1, High = -1;
+  if (Opt.Shards > 1) {
+    if (K > 0)
+      Low = static_cast<int>(K) - 1;
+    else if (Ring)
+      Low = static_cast<int>(Opt.Shards) - 1;
+    if (K + 1 < Opt.Shards)
+      High = static_cast<int>(K) + 1;
+    else if (Ring)
+      High = 0;
+  }
+
+  // Halo fill sequence: Steps * StagesPerStep fills have already run
+  // (and, at a barrier, been published) when the solver sits at step
+  // count Steps — the invariant the recovery criterion reads.
+  uint64_t Seq = static_cast<uint64_t>(S.stepCount()) * StagesPerStep;
+  Slot->PubSeq.store(Seq, std::memory_order_relaxed);
+
+  S.setGhostFillHook([&, Low, High](Field<2> &U, double) {
+    const uint64_t Sq = Seq;
+    const unsigned P = static_cast<unsigned>(Sq % 2);
+    // Advance PubSeq *before* the mailbox tags: a crash between the two
+    // then reads as "published" and forces the safe global rewind.
+    Slot->PubSeq.store(Sq + 1, std::memory_order_release);
+    auto Publish = [&](unsigned Side, size_t RowBegin) {
+      Cons<2> *Slab = Layout.mailboxSlab(Base, K, Side, P);
+      kernels::ConstRun<2> Rn = U.crun(RowBegin * StorageCols);
+      for (size_t I = 0; I < SlabCells; ++I)
+        Slab[I] = kernels::loadCons<2>(Rn, I);
+      Layout.mailbox(Base, K, Side)
+          ->SlotSeq[P]
+          .store(Sq + 1, std::memory_order_release);
+    };
+    auto Receive = [&](unsigned Src, unsigned SrcSide, size_t RowBegin) {
+      ShardMailbox *M = Layout.mailbox(Base, Src, SrcSide);
+      spinThenYieldUntil([&] {
+        return M->SlotSeq[P].load(std::memory_order_acquire) == Sq + 1;
+      });
+      const Cons<2> *Slab = Layout.mailboxSlab(Base, Src, SrcSide, P);
+      kernels::Run<2> W = U.run(RowBegin * StorageCols);
+      for (size_t I = 0; I < SlabCells; ++I)
+        kernels::storeCons<2>(W, I, Slab[I]);
+    };
+    // Publish both sides before reading either: no cyclic wait, even on
+    // the 2-shard ring where both neighbors are the same process.
+    if (Low >= 0)
+      Publish(/*Side=*/0, /*RowBegin=*/Ng); // first Ng interior rows
+    if (High >= 0)
+      Publish(/*Side=*/1, /*RowBegin=*/InteriorRows); // last Ng interior
+    if (Low >= 0)
+      Receive(static_cast<unsigned>(Low), /*SrcSide=*/1, /*RowBegin=*/0);
+    if (High >= 0)
+      Receive(static_cast<unsigned>(High), /*SrcSide=*/0,
+              /*RowBegin=*/Ng + InteriorRows);
+    Seq = Sq + 1;
+  });
+
+  auto PublishState = [&] {
+    Slot->TimeBits.store(shardBits(S.time()), std::memory_order_relaxed);
+    Slot->StepsDone.store(S.stepCount(), std::memory_order_relaxed);
+  };
+
+  PublishState();
+  uint64_t LastSeen = Slot->AckEpoch.load(std::memory_order_acquire);
+  Slot->Ready.store(1, std::memory_order_release);
+
+  while (true) {
+    spinThenYieldUntil([&] {
+      return Ctl->Epoch.load(std::memory_order_acquire) != LastSeen;
+    });
+    const uint64_t E = Ctl->Epoch.load(std::memory_order_acquire);
+    const ShardCmd Cmd =
+        static_cast<ShardCmd>(Ctl->Cmd.load(std::memory_order_acquire));
+    const uint64_t Payload = Ctl->Payload.load(std::memory_order_acquire);
+    switch (Cmd) {
+    case ShardCmd::ComputeEv:
+      S.computeDt();
+      Slot->EvBits.store(shardBits(S.lastMaxEigen()),
+                         std::memory_order_relaxed);
+      break;
+    case ShardCmd::AdvanceDt:
+      S.advanceWithDt(shardDouble(Payload));
+      if (Store && Opt.CheckpointEvery &&
+          S.stepCount() % Opt.CheckpointEvery == 0)
+        Store->write(S);
+      break;
+    case ShardCmd::SnapTime:
+      S.restoreClock(shardDouble(Payload), S.stepCount());
+      break;
+    case ShardCmd::Export: {
+      // Interior rows land at their global offsets, so the export
+      // section as a whole is the global row-major interior.
+      Cons<2> *Out = Layout.exportInterior(Base);
+      for (size_t R = 0; R < InteriorRows; ++R) {
+        kernels::ConstRun<2> Rn =
+            S.field().crun((Ng + R) * StorageCols + Ng);
+        Cons<2> *Dst = Out + (Blocks[K].Begin + R) * Cols;
+        for (size_t C = 0; C < Cols; ++C)
+          Dst[C] = kernels::loadCons<2>(Rn, C);
+      }
+      break;
+    }
+    case ShardCmd::ExportStorage:
+      if (Opt.StorageDump)
+        S.field().exportTo(Layout.storageDump(Base, K));
+      break;
+    case ShardCmd::Exit:
+      Slot->AckEpoch.store(E, std::memory_order_release);
+      return 0;
+    case ShardCmd::None:
+      break;
+    }
+    PublishState();
+    LastSeen = E;
+    Slot->AckEpoch.store(E, std::memory_order_release);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Coordinator side
+//===----------------------------------------------------------------------===//
+
+bool ShardCoordinator::forkWorker(unsigned K) {
+  Layout.slot(Region.data(), K)->Ready.store(0, std::memory_order_release);
+  pid_t Pid = spawnProcess([&]() -> int { return workerBody(K); });
+  if (Pid < 0)
+    return false;
+  Pids[K] = Pid;
+  return true;
+}
+
+bool ShardCoordinator::waitReady(unsigned K) {
+  ShardSlot *Slot = Layout.slot(Region.data(), K);
+  unsigned Spins = 0;
+  while (!Slot->Ready.load(std::memory_order_acquire)) {
+    if (Pids[K] > 0 && pollExited(Pids[K])) {
+      Pids[K] = -1;
+      return false;
+    }
+    if (Spins < (1u << 14))
+      ++Spins;
+    else
+      std::this_thread::yield();
+  }
+  return true;
+}
+
+bool ShardCoordinator::start() {
+  if (Started || Dead)
+    return false;
+  const Grid<2> &G = Global.Domain;
+  const size_t Rows = G.cells(0), Cols = G.cells(1);
+  const unsigned Ng = G.ghost();
+  if (Opt.Shards > Rows)
+    return false;
+  Blocks = rowBlocks(Rows, Opt.Shards);
+  if (Opt.Shards > 1)
+    for (const RowBlock &B : Blocks)
+      if (B.Count < Ng)
+        return false; // a halo slab must fit inside one neighbor block
+  Ring = Opt.Shards > 1 && rowAxisPeriodic(Global);
+  SubProblems.clear();
+  for (unsigned K = 0; K < Opt.Shards; ++K) {
+    const bool LowHalo = Opt.Shards > 1 && (K > 0 || Ring);
+    const bool HighHalo = Opt.Shards > 1 && (K + 1 < Opt.Shards || Ring);
+    SubProblems.push_back(shardProblem(Global, Blocks[K], LowHalo, HighHalo));
+  }
+  std::vector<size_t> BlockRows(Opt.Shards);
+  for (unsigned K = 0; K < Opt.Shards; ++K)
+    BlockRows[K] = Blocks[K].Count;
+  Layout =
+      ShardShmLayout(Opt.Shards, Rows, Cols, Ng, Opt.StorageDump, BlockRows);
+  Region = ShmRegion::create(Layout.totalBytes());
+  if (!Region.valid())
+    return false;
+  // The anonymous mapping is zero-filled: epoch 0, no acks, empty
+  // mailboxes — exactly the initial protocol state.
+  uint64_t Gen = ShardNoResume;
+  if (Opt.Resume && !Opt.CheckpointDir.empty())
+    Gen = latestCommonGeneration();
+  Pids.assign(Opt.Shards, -1);
+  for (unsigned K = 0; K < Opt.Shards; ++K)
+    Layout.slot(Region.data(), K)
+        ->TargetGen.store(Gen, std::memory_order_relaxed);
+  Started = true; // shutdown() must reap whatever start() forked
+  for (unsigned K = 0; K < Opt.Shards; ++K)
+    if (!forkWorker(K) || !waitReady(K)) {
+      Dead = true;
+      shutdown();
+      return false;
+    }
+  syncClock();
+  return true;
+}
+
+void ShardCoordinator::syncClock() {
+  // Every shard advances with the same broadcast dt through the same
+  // `Time += Dt` arithmetic, so the clocks are bitwise equal; shard 0
+  // speaks for the fleet.
+  ShardSlot *Slot = Layout.slot(Region.data(), 0);
+  CurTime = shardDouble(Slot->TimeBits.load(std::memory_order_acquire));
+  CurSteps =
+      static_cast<unsigned>(Slot->StepsDone.load(std::memory_order_acquire));
+}
+
+ShardCoordinator::CmdResult ShardCoordinator::command(ShardCmd Cmd,
+                                                      uint64_t Payload) {
+  if (Dead)
+    return CmdResult::Fatal;
+  ShardControl *Ctl = Layout.control(Region.data());
+  LastCmd = Cmd;
+  Ctl->Cmd.store(static_cast<uint32_t>(Cmd), std::memory_order_relaxed);
+  Ctl->Payload.store(Payload, std::memory_order_relaxed);
+  ++Epoch;
+  Ctl->Epoch.store(Epoch, std::memory_order_release);
+  return waitAcks();
+}
+
+ShardCoordinator::CmdResult ShardCoordinator::waitAcks() {
+  for (unsigned K = 0; K < Opt.Shards; ++K) {
+    ShardSlot *Slot = Layout.slot(Region.data(), K);
+    unsigned Spins = 0;
+    while (Slot->AckEpoch.load(std::memory_order_acquire) != Epoch) {
+      if (Pids[K] > 0 && pollExited(Pids[K])) {
+        Pids[K] = -1;
+        CmdResult R = handleDeath(K);
+        if (R != CmdResult::Done)
+          return R;
+        continue; // targeted restart done — keep waiting for this ack
+      }
+      if (Spins < (1u << 14))
+        ++Spins;
+      else
+        std::this_thread::yield();
+    }
+  }
+  return CmdResult::Done;
+}
+
+ShardCoordinator::CmdResult ShardCoordinator::handleDeath(unsigned K) {
+  ShardSlot *Slot = Layout.slot(Region.data(), K);
+  const uint64_t Steps = Slot->StepsDone.load(std::memory_order_acquire);
+  const uint64_t Pub = Slot->PubSeq.load(std::memory_order_acquire);
+  const uint64_t Acked = Slot->AckEpoch.load(std::memory_order_acquire);
+  // Targeted restart needs two proofs: the victim died at a step barrier
+  // (nothing of an in-flight step was published into the mailboxes), and
+  // its own store holds a checkpoint of exactly that state.  Then the
+  // replacement resumes bit-identically and the neighbors — parked in
+  // their mailbox spins — never notice beyond the wait.
+  const bool AtBarrier = Pub == Steps * StagesPerStep;
+  const bool HasCheckpoint =
+      !Opt.CheckpointDir.empty() && latestGeneration(K) == Steps;
+  if (AtBarrier && HasCheckpoint) {
+    ++Restarts;
+    // If the victim already finished this epoch's work (it acked, or it
+    // completed the AdvanceDt step and died before acking), the
+    // replacement must not run it again — preset the ack.
+    const bool Completed =
+        Acked == Epoch ||
+        (LastCmd == ShardCmd::AdvanceDt &&
+         Steps == static_cast<uint64_t>(CurSteps) + 1);
+    Slot->TargetGen.store(Steps, std::memory_order_relaxed);
+    Slot->AckEpoch.store(Completed ? Epoch : Epoch - 1,
+                         std::memory_order_release);
+    if (forkWorker(K) && waitReady(K))
+      return CmdResult::Done;
+  }
+  return globalRestart();
+}
+
+ShardCoordinator::CmdResult ShardCoordinator::globalRestart() {
+  ++FullRestarts;
+  for (pid_t &Pid : Pids) {
+    killProcess(Pid);
+    if (Pid > 0)
+      waitExit(Pid);
+    Pid = -1;
+  }
+  // Rewind to the newest generation every shard can load; with no common
+  // generation (or no durability at all) replay restarts from the
+  // initial state — the drivers aim at absolute targets, so either way
+  // the rerun converges on the same bitwise state.
+  const uint64_t Gen =
+      Opt.CheckpointDir.empty() ? ShardNoResume : latestCommonGeneration();
+  Layout.resetMailboxes(Region.data());
+  for (unsigned K = 0; K < Opt.Shards; ++K) {
+    ShardSlot *Slot = Layout.slot(Region.data(), K);
+    Slot->TargetGen.store(Gen, std::memory_order_relaxed);
+    Slot->PubSeq.store(0, std::memory_order_relaxed);
+    Slot->StepsDone.store(0, std::memory_order_relaxed);
+    Slot->TimeBits.store(0, std::memory_order_relaxed);
+    // The abandoned epoch is not re-executed; the driver loops re-issue
+    // from their loop tops against the rewound clock.
+    Slot->AckEpoch.store(Epoch, std::memory_order_release);
+  }
+  for (unsigned K = 0; K < Opt.Shards; ++K)
+    if (!forkWorker(K) || !waitReady(K)) {
+      Dead = true;
+      return CmdResult::Fatal;
+    }
+  syncClock();
+  return CmdResult::Rewound;
+}
+
+ShardCoordinator::CmdResult ShardCoordinator::stepOnce(const double *EndTime) {
+  CmdResult R = command(ShardCmd::ComputeEv, 0);
+  if (R != CmdResult::Done)
+    return R;
+  // max is exact under any grouping, so the shard-order reduction equals
+  // the global GetDT maximum bit for bit.
+  double EvMax = 0.0;
+  for (unsigned K = 0; K < Opt.Shards; ++K)
+    EvMax = std::max(
+        EvMax, shardDouble(Layout.slot(Region.data(), K)
+                               ->EvBits.load(std::memory_order_acquire)));
+  double Dt = Opt.Scheme.dtFromMaxEigen(EvMax);
+  if (EndTime)
+    Dt = std::min(Dt, *EndTime - CurTime); // EulerSolver::advanceTo clamp
+  R = command(ShardCmd::AdvanceDt, shardBits(Dt));
+  if (R != CmdResult::Done)
+    return R;
+  syncClock();
+  return CmdResult::Done;
+}
+
+bool ShardCoordinator::advanceSteps(unsigned N) {
+  if (!Started || Dead)
+    return false;
+  const uint64_t Target = static_cast<uint64_t>(CurSteps) + N;
+  while (CurSteps < Target) {
+    CmdResult R = stepOnce(nullptr);
+    if (R == CmdResult::Fatal)
+      return false;
+    // Rewound: the loop re-aims at the absolute target from the rewound
+    // clock — deterministic replay converges on the same states.
+  }
+  return true;
+}
+
+bool ShardCoordinator::advanceTo(double EndTime) {
+  if (!Started || Dead)
+    return false;
+  while (CurTime < EndTime) {
+    if (stepRemainderNegligible(CurTime, EndTime)) {
+      // The single-process end-time snap, broadcast through restoreClock
+      // on every worker (engines cache state keyed on the clock).
+      CmdResult R = command(ShardCmd::SnapTime, shardBits(EndTime));
+      if (R == CmdResult::Fatal)
+        return false;
+      if (R == CmdResult::Rewound)
+        continue;
+      syncClock();
+      break;
+    }
+    CmdResult R = stepOnce(&EndTime);
+    if (R == CmdResult::Fatal)
+      return false;
+  }
+  return true;
+}
+
+bool ShardCoordinator::restoreTo(uint64_t WantSteps, double WantTime) {
+  while (CurSteps < WantSteps) {
+    CmdResult R = stepOnce(nullptr);
+    if (R == CmdResult::Fatal)
+      return false;
+  }
+  if (CurTime != WantTime) {
+    // The pre-rewind clock had been snapped onto an end time; replay the
+    // snap too.
+    CmdResult R = command(ShardCmd::SnapTime, shardBits(WantTime));
+    if (R == CmdResult::Fatal)
+      return false;
+    if (R == CmdResult::Rewound)
+      return restoreTo(WantSteps, WantTime);
+    syncClock();
+  }
+  return true;
+}
+
+bool ShardCoordinator::exportNow(ShardCmd Cmd) {
+  if (!Started || Dead)
+    return false;
+  const uint64_t WantSteps = CurSteps;
+  const double WantTime = CurTime;
+  while (true) {
+    CmdResult R = command(Cmd, 0);
+    if (R == CmdResult::Fatal)
+      return false;
+    if (R == CmdResult::Done)
+      return true;
+    if (!restoreTo(WantSteps, WantTime))
+      return false;
+  }
+}
+
+uint64_t ShardCoordinator::stateHash() {
+  if (!exportNow(ShardCmd::Export))
+    return 0;
+  const Grid<2> &G = Global.Domain;
+  return fieldStateHash<2>(Layout.exportInterior(Region.data()),
+                           G.cells(0) * G.cells(1), CurSteps, CurTime);
+}
+
+bool ShardCoordinator::stitchInterior(std::vector<Cons<2>> &Out) {
+  if (!exportNow(ShardCmd::Export))
+    return false;
+  const Grid<2> &G = Global.Domain;
+  const Cons<2> *In = Layout.exportInterior(Region.data());
+  Out.assign(In, In + G.cells(0) * G.cells(1));
+  return true;
+}
+
+bool ShardCoordinator::exportShardStorage(unsigned K,
+                                          std::vector<Cons<2>> &Out) {
+  if (!Opt.StorageDump || K >= Opt.Shards)
+    return false;
+  if (!exportNow(ShardCmd::ExportStorage))
+    return false;
+  const Grid<2> &G = Global.Domain;
+  const unsigned Ng = G.ghost();
+  const size_t Count = (Blocks[K].Count + 2 * Ng) * (G.cells(1) + 2 * Ng);
+  const Cons<2> *In = Layout.storageDump(Region.data(), K);
+  Out.assign(In, In + Count);
+  return true;
+}
+
+void ShardCoordinator::killShard(unsigned K) {
+  if (Started && K < Pids.size())
+    killProcess(Pids[K]); // next command's ack wait detects the death
+}
+
+void ShardCoordinator::shutdown() {
+  if (!Started)
+    return;
+  if (!Dead) {
+    // Every live worker is parked at the epoch spin between commands, so
+    // a clean Exit broadcast reaches them all.
+    ShardControl *Ctl = Layout.control(Region.data());
+    LastCmd = ShardCmd::Exit;
+    Ctl->Cmd.store(static_cast<uint32_t>(ShardCmd::Exit),
+                   std::memory_order_relaxed);
+    Ctl->Payload.store(0, std::memory_order_relaxed);
+    ++Epoch;
+    Ctl->Epoch.store(Epoch, std::memory_order_release);
+  } else {
+    // A fatal run can leave workers wedged inside mailbox spins; only
+    // SIGKILL gets them out.
+    for (pid_t Pid : Pids)
+      killProcess(Pid);
+  }
+  for (pid_t &Pid : Pids) {
+    if (Pid > 0)
+      waitExit(Pid);
+    Pid = -1;
+  }
+  Started = false;
+}
+
+} // namespace sacfd

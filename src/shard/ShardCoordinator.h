@@ -1,0 +1,179 @@
+//===- shard/ShardCoordinator.h - Multi-process shard driver ----*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lockstep driver for a sharded 2D run: N forked worker processes, each
+/// owning a full SolverRun over one row block plus ghost rows, exchange
+/// halo slabs through shared-memory mailboxes every RK stage while the
+/// coordinator broadcasts commands and reduces the per-shard GetDT
+/// maxima into the global CFL step.
+///
+/// Bit-determinism: the shard-order max reduction reproduces the global
+/// GetDT maximum exactly (max is grouping-invariant), the broadcast dt
+/// is applied by every worker, every sub-grid coordinate is bitwise the
+/// global grid's (Grid::rowSlice), and a halo slab is a bitwise copy of
+/// neighbor interior rows — so an N-shard run matches the single-process
+/// run bit for bit, which the determinism suite pins at 1/2/4 shards.
+///
+/// Elastic recovery: each worker checkpoints its block into its own
+/// CheckpointStore directory on a shared cadence.  When a worker dies at
+/// a step barrier with a current checkpoint, only that shard is re-forked
+/// and resumed while the others wait inside their mailbox spins; any
+/// messier death (mid-step, stale checkpoint) falls back to a global
+/// rewind to the latest common generation.  Either way the run continues
+/// to the same bitwise final state, which the kill-one-shard fault test
+/// asserts by hash.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SHARD_SHARDCOORDINATOR_H
+#define SACFD_SHARD_SHARDCOORDINATOR_H
+
+#include "shard/ShardPlan.h"
+#include "shard/ShardShm.h"
+#include "solver/RunConfig.h"
+#include "support/Shm.h"
+
+#include <cstdint>
+#include <string>
+#include <sys/types.h>
+#include <vector>
+
+namespace sacfd {
+
+/// Everything a shard run is shaped by.  Scheme/engine/layout mirror the
+/// single-process RunConfig knobs so a sharded run can be compared
+/// bitwise against the equivalent SolverRun.
+struct ShardOptions {
+  unsigned Shards = 2;
+  SchemeConfig Scheme;
+  EngineKind Engine = EngineKind::Fused;
+  Layout FieldLayout = Layout::AoS;
+  bool Simd = true;
+  bool Pooling = true;
+  /// Per-shard checkpoint stores live under `<CheckpointDir>/shard-<k>`;
+  /// empty disables durability (and with it, elastic recovery).
+  std::string CheckpointDir;
+  /// Checkpoint cadence in steps (0 = off).  The cadence is shared by
+  /// every shard, so the per-shard stores always hold a common
+  /// generation set.
+  unsigned CheckpointEvery = 0;
+  unsigned CheckpointKeep = 3;
+  /// Resume every shard from the latest generation common to all the
+  /// per-shard stores (fresh start when none exists).
+  bool Resume = false;
+  /// Reserve the per-shard full-storage dump section so tests can read
+  /// ghost rows back (exportShardStorage).
+  bool StorageDump = false;
+};
+
+/// Forks, drives and recovers the worker fleet.  Single-threaded on the
+/// coordinator side — it never creates a Backend, so forking is always
+/// safe (no live threads).
+class ShardCoordinator {
+public:
+  ShardCoordinator(Problem<2> Global, ShardOptions Opt);
+  ~ShardCoordinator();
+
+  ShardCoordinator(const ShardCoordinator &) = delete;
+  ShardCoordinator &operator=(const ShardCoordinator &) = delete;
+
+  /// Maps the shared region and forks the workers (resuming when
+  /// configured).  \returns false when setup fails (mmap, fork, or a
+  /// worker failing its resume load).
+  bool start();
+
+  /// Advances every shard \p N lockstep steps.  \returns false on an
+  /// unrecoverable failure.
+  bool advanceSteps(unsigned N);
+
+  /// Advances every shard to \p EndTime with the exact clamp-and-snap
+  /// arithmetic of EulerSolver::advanceTo.  \returns false on an
+  /// unrecoverable failure.
+  bool advanceTo(double EndTime);
+
+  double time() const { return CurTime; }
+  unsigned stepCount() const { return CurSteps; }
+  unsigned shards() const { return Opt.Shards; }
+  const std::vector<RowBlock> &blocks() const { return Blocks; }
+
+  /// Stitches the global interior and hashes it with fieldStateHash
+  /// component order — comparable against the single-process hash.
+  /// \returns 0 on failure.
+  uint64_t stateHash();
+
+  /// Copies the stitched global interior (row-major) into \p Out.
+  bool stitchInterior(std::vector<Cons<2>> &Out);
+
+  /// Copies shard \p K's full local storage — ghost rows included — into
+  /// \p Out (requires Opt.StorageDump).  The halo test suite reads ghost
+  /// rows through this.
+  bool exportShardStorage(unsigned K, std::vector<Cons<2>> &Out);
+
+  /// Fault injection: SIGKILLs shard \p K's process.  Call between
+  /// advance calls (the fleet is at a step barrier); the next command
+  /// detects the death and runs recovery.
+  void killShard(unsigned K);
+
+  /// Shards restarted individually (elastic path).
+  unsigned restartCount() const { return Restarts; }
+  /// Whole-fleet rewinds (global path).
+  unsigned fullRestartCount() const { return FullRestarts; }
+
+  /// Stops the fleet (Exit broadcast + reap); idempotent, also run by
+  /// the destructor.
+  void shutdown();
+
+private:
+  enum class CmdResult { Done, Rewound, Fatal };
+
+  /// The forked child's whole life; never returns to the caller's flow
+  /// (spawnProcess _exits with its return value).
+  int workerBody(unsigned K);
+
+  bool forkWorker(unsigned K);
+  bool waitReady(unsigned K);
+  CmdResult waitAcks();
+  CmdResult command(ShardCmd Cmd, uint64_t Payload);
+  CmdResult handleDeath(unsigned K);
+  CmdResult globalRestart();
+  /// One ComputeEv + reduce + AdvanceDt (or SnapTime) cycle; EndTime
+  /// null for the fixed-step loop.
+  CmdResult stepOnce(const double *EndTime);
+  /// Re-advances a rewound fleet back to (WantSteps, WantTime) —
+  /// deterministic replay, used before re-trying an export.
+  bool restoreTo(uint64_t WantSteps, double WantTime);
+  /// Runs an export-style command to completion, replaying through any
+  /// rewind recovery.
+  bool exportNow(ShardCmd Cmd);
+  void syncClock();
+  uint64_t latestGeneration(unsigned K) const;
+  uint64_t latestCommonGeneration() const;
+  std::string shardDir(unsigned K) const;
+
+  Problem<2> Global;
+  ShardOptions Opt;
+  std::vector<RowBlock> Blocks;
+  std::vector<Problem<2>> SubProblems;
+  bool Ring = false;
+  unsigned StagesPerStep = 1;
+  ShardShmLayout Layout;
+  ShmRegion Region;
+  std::vector<pid_t> Pids;
+  uint64_t Epoch = 0;
+  ShardCmd LastCmd = ShardCmd::None;
+  double CurTime = 0.0;
+  unsigned CurSteps = 0;
+  unsigned Restarts = 0;
+  unsigned FullRestarts = 0;
+  bool Started = false;
+  bool Dead = false;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SHARD_SHARDCOORDINATOR_H

@@ -137,7 +137,6 @@ private:
     static const unsigned SpanBoundary = telemetry::spanId("solver.boundary");
     static const unsigned SpanFlux = telemetry::spanId("solver.flux");
     static const unsigned SpanUpdate = telemetry::spanId("solver.update");
-    const Grid<Dim> &G = this->Prob.Domain;
     constexpr unsigned LineAxis = Dim - 1;
 
     // Q^n snapshot for the convex Runge-Kutta combinations.  Leased
@@ -153,8 +152,7 @@ private:
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
       {
         telemetry::ScopedSpan S(SpanBoundary);
-        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec,
-                        this->Time);
+        this->fillGhosts(this->Time);
       }
       Field<Dim> Res;
       {
@@ -336,8 +334,7 @@ private:
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
       {
         telemetry::ScopedSpan S(SpanBoundary);
-        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec,
-                        this->Time);
+        this->fillGhosts(this->Time);
       }
       FieldPool::Lease<Cons<Dim>> ResL;
       {

@@ -64,6 +64,10 @@ enum class BcKind {
   /// reflection's top boundary.  Every ghost layer of a column gets the
   /// same value (like Inflow, but varying along the side and in time).
   Prescribed,
+  /// Internal shard interface: the ghost layers are owned by a
+  /// neighboring shard's halo exchange, which runs *before* the
+  /// boundary fill each stage.  The fill leaves them untouched.
+  Halo,
 };
 
 /// One stretch of a boundary side with a single condition.
@@ -215,6 +219,9 @@ void applyBoundarySide(FieldT &U, const Grid<Dim> &G,
       case BcKind::Prescribed:
         assert(Seg.StateAt && "Prescribed segment without a state function");
         ghostStore(U, Ghost, Seg.StateAt(TangentialCoord, Time));
+        break;
+      case BcKind::Halo:
+        // Filled by the shard halo exchange before this pass.
         break;
       }
     }

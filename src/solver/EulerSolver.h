@@ -34,6 +34,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <functional>
 #include <limits>
 #include <string>
 
@@ -90,6 +91,21 @@ public:
   double time() const { return Time; }
   unsigned stepCount() const { return Steps; }
 
+  /// Result of the last GetDT reduction (0 before the first computeDt).
+  /// The shard coordinator reduces these across shards to form the
+  /// global CFL step.
+  double lastMaxEigen() const { return LastMaxEigen; }
+
+  /// Called at the top of every ghost fill, before the boundary
+  /// conditions are applied (shard halo exchange: neighbor interiors
+  /// land in the axis-0 ghost rows, then the physical BC pass fills the
+  /// remaining sides — BcKind::Halo sides are left untouched by it).
+  using GhostFillHook = std::function<void(Field<Dim> &U, double Time)>;
+
+  /// Installs \p Hook; pass an empty function to remove it.  The hook
+  /// runs on the driving thread once per stage fill.
+  void setGhostFillHook(GhostFillHook Hook) { GhostHook = std::move(Hook); }
+
   /// The full field including ghost cells (shape == storageShape()).
   /// Element access goes through Field::at()/set(); bulk transfers
   /// through Field::exportTo()/importFrom().  The old accessors handing
@@ -144,7 +160,11 @@ public:
   void advanceTo(double EndTime) {
     while (Time < EndTime) {
       if (stepRemainderNegligible(Time, EndTime)) {
-        Time = EndTime;
+        // Snap through restoreClock, not a bare assignment: engines cache
+        // state keyed on the clock (the DAG GetDT cache), and Prescribed
+        // boundary segments read the clock — both must observe the snap
+        // exactly like a checkpoint-resume overwrite.
+        restoreClock(EndTime, Steps);
         break;
       }
       double Dt = std::min(computeDt(), EndTime - Time);
@@ -176,6 +196,16 @@ public:
 protected:
   /// One full multi-stage step with the given dt.
   virtual void stepWithDt(double Dt) = 0;
+
+  /// The per-stage ghost fill both engines call: the ghost-fill hook
+  /// first (halo exchange), then the physical boundary conditions.  All
+  /// engine step modes route their applyBoundaries calls through here so
+  /// a sharded sub-solver exchanges halos exactly once per stage.
+  void fillGhosts(double FillTime) {
+    if (GhostHook)
+      GhostHook(U, FillTime);
+    applyBoundaries(U, Prob.Domain, Prob.Boundary, Exec, FillTime);
+  }
 
   /// Line decomposition shared by the engines and the kernel routing: a
   /// "line" is a run of interior cells along \p Axis; contiguous in
@@ -325,6 +355,8 @@ protected:
   unsigned Steps = 0;
   /// Result of the last GetDT reduction (0 until computeDt runs).
   double LastMaxEigen = 0.0;
+  /// Optional pre-BC ghost fill (shard halo exchange); empty by default.
+  GhostFillHook GhostHook;
 };
 
 } // namespace sacfd

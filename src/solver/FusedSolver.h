@@ -142,8 +142,7 @@ protected:
     for (const SspStage &Stage : sspStages(this->Scheme.Integrator)) {
       {
         telemetry::ScopedSpan S(SpanBoundary);
-        applyBoundaries(this->U, G, this->Prob.Boundary, this->Exec,
-                        this->Time);
+        this->fillGhosts(this->Time);
       }
 
       {
@@ -562,8 +561,7 @@ private:
       // Runs serially inside this one task (nested parallelFor calls
       // from a task body execute inline).  Same start-of-step Time for
       // every stage, matching the loops mode bit for bit.
-      applyBoundaries(this->U, this->Prob.Domain, this->Prob.Boundary,
-                      this->Exec, this->Time);
+      this->fillGhosts(this->Time);
       return;
     case KFlux: {
       TileRect R = G.rect(Ti);

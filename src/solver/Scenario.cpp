@@ -56,12 +56,20 @@ SpecParse<ScenarioSpec> ScenarioSpec::parse(std::string_view Text) {
   if (Rest.empty())
     return Result::fail("scenario '" + S.Name +
                         "': empty parameter list after ':'; " + SpecGrammar);
-  while (!Rest.empty()) {
+  // Segment split: every comma terminates a segment, so a trailing comma
+  // ("cells=64,") or doubled comma produces an *empty* segment that must
+  // be rejected — the old substr-and-drop loop silently swallowed it.
+  for (unsigned Segment = 1; true; ++Segment) {
     size_t Comma = Rest.find(',');
     std::string_view Piece =
         Comma == std::string_view::npos ? Rest : Rest.substr(0, Comma);
-    Rest = Comma == std::string_view::npos ? std::string_view()
-                                           : Rest.substr(Comma + 1);
+    if (Piece.empty())
+      return Result::fail("scenario '" + S.Name + "': empty parameter segment " +
+                          std::to_string(Segment) +
+                          (Comma == std::string_view::npos
+                               ? " (trailing ',')"
+                               : " (before ',')") +
+                          "; " + SpecGrammar);
     size_t Eq = Piece.find('=');
     if (Eq == std::string_view::npos)
       return Result::fail("scenario '" + S.Name + "': parameter '" +
@@ -80,6 +88,9 @@ SpecParse<ScenarioSpec> ScenarioSpec::parse(std::string_view Text) {
       return Result::fail("scenario '" + S.Name + "': duplicate parameter '" +
                           std::string(Key) + "'");
     S.Params.emplace_back(std::string(Key), std::string(Value));
+    if (Comma == std::string_view::npos)
+      break;
+    Rest = Rest.substr(Comma + 1);
   }
   return Result::ok(std::move(S));
 }

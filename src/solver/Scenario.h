@@ -276,6 +276,33 @@ template <unsigned Dim> uint64_t fieldStateHash(const EulerSolver<Dim> &S) {
   return H;
 }
 
+/// fieldStateHash over an already-stitched interior buffer (\p Count
+/// cells in global row-major order) — the shard coordinator's view of
+/// the same observable state.  Component order per cell matches the
+/// solver overload exactly, so an N-shard stitched hash equals the
+/// single-process hash when the fields match bit for bit.
+template <unsigned Dim>
+uint64_t fieldStateHash(const Cons<Dim> *Interior, size_t Count,
+                        unsigned StepCount, double Time) {
+  uint64_t H = FnvOffsetBasis;
+  auto HashDouble = [&H](double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    H = fnv1a(&Bits, sizeof(Bits), H);
+  };
+  for (size_t I = 0; I < Count; ++I) {
+    const Cons<Dim> &Q = Interior[I];
+    HashDouble(Q.Rho);
+    for (unsigned A = 0; A < Dim; ++A)
+      HashDouble(Q.Mom[A]);
+    HashDouble(Q.E);
+  }
+  uint64_t Steps = StepCount;
+  H = fnv1a(&Steps, sizeof(Steps), H);
+  HashDouble(Time);
+  return H;
+}
+
 /// Outcome of one pinned regression run.
 struct PinnedResult {
   std::string Name;

@@ -78,7 +78,21 @@ bool CommandLine::wasSet(std::string_view Name) const {
   return false;
 }
 
-bool CommandLine::applyValue(Option &Opt, std::string_view Value) {
+namespace {
+
+bool allDigits(std::string_view S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool CommandLine::applyValue(Option &Opt, std::string_view Value,
+                             std::string &Why) {
   switch (Opt.Kind) {
   case OptionKind::Flag: {
     if (equalsLower(Value, "true") || Value == "1") {
@@ -93,17 +107,33 @@ bool CommandLine::applyValue(Option &Opt, std::string_view Value) {
   }
   case OptionKind::Int: {
     std::optional<long long> V = parseInt(Value);
-    if (!V || *V < std::numeric_limits<int>::min() ||
-        *V > std::numeric_limits<int>::max())
+    if (V && (*V < std::numeric_limits<int>::min() ||
+              *V > std::numeric_limits<int>::max())) {
+      Why = "out of range (int)";
+      return false;
+    }
+    if (!V)
       return false;
     *static_cast<int *>(Opt.Target) = static_cast<int>(*V);
     return true;
   }
   case OptionKind::Unsigned: {
     // parseUnsigned rejects a leading sign outright — strtoull would
-    // wrap "-3" to a huge positive value instead of failing.
+    // wrap "-3" to a huge positive value instead of failing — and
+    // rejects ERANGE overflow, which strtoull saturates to ULLONG_MAX.
     std::optional<unsigned long long> V = parseUnsigned(Value);
-    if (!V || *V > std::numeric_limits<unsigned>::max())
+    if (!V && allDigits(Value)) {
+      // All digits but unparseable: the value overflowed 64 bits.
+      Why = "out of range (max " +
+            std::to_string(std::numeric_limits<unsigned>::max()) + ")";
+      return false;
+    }
+    if (V && *V > std::numeric_limits<unsigned>::max()) {
+      Why = "out of range (max " +
+            std::to_string(std::numeric_limits<unsigned>::max()) + ")";
+      return false;
+    }
+    if (!V)
       return false;
     *static_cast<unsigned *>(Opt.Target) = static_cast<unsigned>(*V);
     return true;
@@ -170,10 +200,12 @@ bool CommandLine::parse(int Argc, const char *const *Argv) {
       Value = Argv[++I];
     }
 
-    if (!applyValue(*Opt, Value)) {
-      std::fprintf(stderr, "%s: bad value '%.*s' for option '--%s'\n",
+    std::string Why;
+    if (!applyValue(*Opt, Value, Why)) {
+      std::fprintf(stderr, "%s: bad value '%.*s' for option '--%s'%s%s\n",
                    Program.c_str(), static_cast<int>(Value.size()),
-                   Value.data(), Opt->Name.c_str());
+                   Value.data(), Opt->Name.c_str(), Why.empty() ? "" : ": ",
+                   Why.c_str());
       return false;
     }
     Opt->Seen = true;

@@ -81,7 +81,9 @@ private:
   };
 
   Option *findOption(std::string_view Name);
-  bool applyValue(Option &Opt, std::string_view Value);
+  /// \p Why receives extra diagnostic detail (e.g. "out of range") when
+  /// the value has the right shape but an unrepresentable magnitude.
+  bool applyValue(Option &Opt, std::string_view Value, std::string &Why);
 
   std::string Program;
   std::string About;

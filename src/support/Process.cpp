@@ -1,0 +1,45 @@
+//===- support/Process.cpp - Child-process helpers ------------------------===//
+
+#include "support/Process.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace sacfd;
+
+pid_t sacfd::spawnProcess(FunctionRef<int()> Body) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  // Child: die with the parent so a crashed coordinator cannot leave
+  // workers spinning on shared memory forever.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+  if (::getppid() == 1)
+    ::_exit(127); // parent died between fork and prctl
+  ::_exit(Body());
+}
+
+bool sacfd::pollExited(pid_t Pid, bool *Signaled) {
+  int Status = 0;
+  pid_t R = ::waitpid(Pid, &Status, WNOHANG);
+  if (R != Pid)
+    return false;
+  if (Signaled)
+    *Signaled = WIFSIGNALED(Status);
+  return true;
+}
+
+int sacfd::waitExit(pid_t Pid) {
+  int Status = 0;
+  if (::waitpid(Pid, &Status, 0) != Pid)
+    return -1;
+  return WIFEXITED(Status) ? WEXITSTATUS(Status) : -1;
+}
+
+void sacfd::killProcess(pid_t Pid) {
+  if (Pid > 0)
+    ::kill(Pid, SIGKILL);
+}

@@ -1,0 +1,51 @@
+//===- support/Process.h - Child-process helpers ----------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90". (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// fork()-based worker processes for the shard runtime and the fault-
+/// injection tests.  Children run a callable and _exit() without
+/// touching parent-process state (no atexit handlers, no stream
+/// flushing races); the parent polls or waits for exits.
+///
+/// Fork discipline: spawn only while the parent holds no live worker
+/// threads — the shard coordinator never creates a Backend, and every
+/// test SolverRun lives in a scope whose end joins its threads before
+/// the fork.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_PROCESS_H
+#define SACFD_SUPPORT_PROCESS_H
+
+#include "support/FunctionRef.h"
+
+#include <sys/types.h>
+
+namespace sacfd {
+
+/// Forks a child that runs \p Body and _exit()s with its return value.
+/// The child dies with the parent (PDEATHSIG), so a crashed coordinator
+/// cannot leak spinning workers.  \returns the child pid, or -1 when
+/// fork fails.
+pid_t spawnProcess(FunctionRef<int()> Body);
+
+/// Nonblocking liveness probe: \returns true when \p Pid has exited (or
+/// was killed); the exit is reaped.  \p Signaled (when non-null) is set
+/// to true when the child died of a signal.
+bool pollExited(pid_t Pid, bool *Signaled = nullptr);
+
+/// Blocks until \p Pid exits; \returns its exit code, or -1 when it
+/// died of a signal.
+int waitExit(pid_t Pid);
+
+/// SIGKILLs \p Pid (no-op for Pid <= 0).  The zombie must still be
+/// reaped via pollExited/waitExit.
+void killProcess(pid_t Pid);
+
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_PROCESS_H

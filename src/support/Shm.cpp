@@ -1,0 +1,38 @@
+//===- support/Shm.cpp - Shared-memory region -----------------------------===//
+
+#include "support/Shm.h"
+
+#include <sys/mman.h>
+#include <utility>
+
+using namespace sacfd;
+
+ShmRegion::~ShmRegion() {
+  if (Base)
+    ::munmap(Base, Bytes);
+}
+
+ShmRegion::ShmRegion(ShmRegion &&Other) noexcept
+    : Base(std::exchange(Other.Base, nullptr)),
+      Bytes(std::exchange(Other.Bytes, 0)) {}
+
+ShmRegion &ShmRegion::operator=(ShmRegion &&Other) noexcept {
+  if (this != &Other) {
+    if (Base)
+      ::munmap(Base, Bytes);
+    Base = std::exchange(Other.Base, nullptr);
+    Bytes = std::exchange(Other.Bytes, 0);
+  }
+  return *this;
+}
+
+ShmRegion ShmRegion::create(std::size_t Bytes) {
+  ShmRegion R;
+  void *P = ::mmap(nullptr, Bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (P == MAP_FAILED)
+    return R;
+  R.Base = P;
+  R.Bytes = Bytes;
+  return R;
+}

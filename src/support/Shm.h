@@ -1,0 +1,54 @@
+//===- support/Shm.h - Shared-memory region ---------------------*- C++ -*-===//
+//
+// Part of SacFD, a reproduction of "Numerical Simulations of Unsteady Shock
+// Wave Interactions Using SaC and Fortran-90" (PaCT 2009).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An anonymous MAP_SHARED memory region for fork-based multi-process
+/// coordination: created by the parent *before* forking, the mapping is
+/// inherited by every child at the same state, so the processes share it
+/// with no filesystem object to clean up and no per-step syscalls —
+/// plain loads/stores (through std::atomic for the handshake words)
+/// carry the shard mailboxes and the dt reduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SACFD_SUPPORT_SHM_H
+#define SACFD_SUPPORT_SHM_H
+
+#include <cstddef>
+
+namespace sacfd {
+
+/// Owning handle to an anonymous shared mapping (zero-initialized).
+/// Move-only; unmaps on destruction.  After fork() both sides hold the
+/// same physical pages; each side's destructor drops only its own
+/// mapping.
+class ShmRegion {
+public:
+  ShmRegion() = default;
+  ~ShmRegion();
+
+  ShmRegion(ShmRegion &&Other) noexcept;
+  ShmRegion &operator=(ShmRegion &&Other) noexcept;
+  ShmRegion(const ShmRegion &) = delete;
+  ShmRegion &operator=(const ShmRegion &) = delete;
+
+  /// Maps \p Bytes of anonymous shared memory.  \returns an invalid
+  /// region (valid() == false) when mmap fails.
+  static ShmRegion create(std::size_t Bytes);
+
+  bool valid() const { return Base != nullptr; }
+  void *data() const { return Base; }
+  std::size_t size() const { return Bytes; }
+
+private:
+  void *Base = nullptr;
+  std::size_t Bytes = 0;
+};
+
+} // namespace sacfd
+
+#endif // SACFD_SUPPORT_SHM_H

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -44,8 +45,37 @@ TEST(CsvWriter, WritesHeaderAndRows) {
   std::remove(Path.c_str());
 }
 
+TEST(CsvWriter, CreatesMissingParentDirectory) {
+  // A bench pointed at an output directory that does not exist yet must
+  // not fail after the run finished — the writer creates the directory.
+  std::string Dir = tempPath("csv-new-dir/nested");
+  std::string Path = Dir + "/x.csv";
+  std::filesystem::remove_all(tempPath("csv-new-dir"));
+  std::string Error;
+  ASSERT_TRUE(writeCsv(Path, {"a"}, {{1.0}}, &Error)) << Error;
+  EXPECT_TRUE(Error.empty());
+  EXPECT_EQ(readAll(Path), "a\n1\n");
+  std::filesystem::remove_all(tempPath("csv-new-dir"));
+}
+
 TEST(CsvWriter, FailsOnUnwritablePath) {
-  EXPECT_FALSE(writeCsv("/nonexistent-dir/x.csv", {"a"}, {{1.0}}));
+  // Parent "directory" is an existing regular file: creation cannot
+  // succeed, and the error must name the path that failed.
+  std::string Blocker = tempPath("csv-blocker");
+  { std::ofstream(Blocker) << "x"; }
+  std::string Path = Blocker + "/x.csv";
+  std::string Error;
+  EXPECT_FALSE(writeCsv(Path, {"a"}, {{1.0}}, &Error));
+  EXPECT_NE(Error.find("cannot create directory"), std::string::npos)
+      << Error;
+  EXPECT_NE(Error.find(Blocker), std::string::npos) << Error;
+
+  // Opening a directory as the CSV file itself fails at fopen.
+  Error.clear();
+  EXPECT_FALSE(
+      writeCsv(std::string(::testing::TempDir()), {"a"}, {{1.0}}, &Error));
+  EXPECT_NE(Error.find("cannot open"), std::string::npos) << Error;
+  std::remove(Blocker.c_str());
 }
 
 TEST(CsvWriter, ProfileRoundTrip) {

@@ -53,10 +53,17 @@ TEST(ScenarioSpec, StructuredErrors) {
       {"Sod", "bad scenario name"},
       {"sod tube", "bad scenario name"},
       {"sod:", "empty parameter list"},
+      {"sedov:", "empty parameter list"},
       {"sod:cells", "not key=value"},
       {"sod:cells=", "empty value"},
       {"sod:=3", "bad parameter key"},
       {"sod:cells=3,cells=4", "duplicate parameter"},
+      // A trailing or doubled comma makes an *empty segment*; the error
+      // must name the offending segment instead of silently dropping it
+      // (the old substr loop swallowed trailing commas).
+      {"sedov:cells=64,", "empty parameter segment 2 (trailing ',')"},
+      {"sod:cells=64,,ghost=2", "empty parameter segment 2 (before ',')"},
+      {"sod:,cells=64", "empty parameter segment 1 (before ',')"},
   };
   for (const Row &R : Rows) {
     SpecParse<ScenarioSpec> S = ScenarioSpec::parse(R.Spec);

@@ -59,6 +59,9 @@ TEST(StrUtil, ParseUnsignedRejectsSignsAndWraps) {
   EXPECT_FALSE(parseUnsigned("1.5").has_value());
   // One past ULLONG_MAX overflows.
   EXPECT_FALSE(parseUnsigned("18446744073709551616").has_value());
+  // Far past 64 bits: strtoull saturates with ERANGE; must reject, not
+  // silently return ULLONG_MAX.
+  EXPECT_FALSE(parseUnsigned("99999999999999999999").has_value());
 }
 
 TEST(StrUtil, ParseDoubleAcceptsStrtodForms) {
@@ -242,6 +245,30 @@ TEST(CommandLine, UnsignedRangeBoundaries) {
   EXPECT_FALSE(parseWith(Opts, {"--threads", "4294967296"}));
   EXPECT_FALSE(parseWith(Opts, {"--threads", "99999999999999999999"}));
   EXPECT_EQ(Opts.Threads, 4294967295u);
+}
+
+TEST(CommandLine, OverflowDiagnosticNamesTheRange) {
+  // An overflowing value must produce an "out of range" diagnostic
+  // naming the limit — not the generic bad-value line that suggests a
+  // typo.  Both overflow classes: past 64 bits (strtoull ERANGE) and
+  // 64-bit-representable but past UINT_MAX.
+  for (const char *Value : {"99999999999999999999", "4294967296"}) {
+    ParsedOptions Opts;
+    ::testing::internal::CaptureStderr();
+    EXPECT_FALSE(parseWith(Opts, {"--threads", Value}));
+    std::string Err = ::testing::internal::GetCapturedStderr();
+    EXPECT_NE(Err.find(std::string("bad value '") + Value + "'"),
+              std::string::npos)
+        << Err;
+    EXPECT_NE(Err.find("out of range (max 4294967295)"), std::string::npos)
+        << Err;
+  }
+  // Int options get their own range note.
+  ParsedOptions Opts;
+  ::testing::internal::CaptureStderr();
+  EXPECT_FALSE(parseWith(Opts, {"--nx", "99999999999"}));
+  std::string Err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(Err.find("out of range (int)"), std::string::npos) << Err;
 }
 
 TEST(CommandLine, WasSetTracksExplicitFlagsOnly) {

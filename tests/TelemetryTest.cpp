@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <thread>
@@ -229,6 +230,41 @@ TEST_F(TelemetryTest, JsonExportHasSchemaMetaAndData) {
   EXPECT_NE(Json.find("{\"step\": 5, \"value\": 2.5}"), std::string::npos);
   EXPECT_NE(Json.find("{\"step\": 6, \"value\": null}"), std::string::npos);
   EXPECT_EQ(Json.find("nan"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, ExportCreatesMissingOutputDirectory) {
+  // --telemetry-json pointed at a not-yet-existing directory must not
+  // lose the run's telemetry at exit: the exporter creates the path.
+  telemetry::addCounter(telemetry::counterId("test.dir.counter"), 1);
+  std::string Base = std::string(::testing::TempDir()) + "/telemetry-new-dir";
+  std::filesystem::remove_all(Base);
+  std::string JsonPath = Base + "/a/run.json";
+  std::string CsvPath = Base + "/b/run.csv";
+  std::string Error;
+  ASSERT_TRUE(writeTelemetryJson(JsonPath, telemetry::snapshot(), {}, &Error))
+      << Error;
+  ASSERT_TRUE(writeTelemetryCsv(CsvPath, telemetry::snapshot(), &Error))
+      << Error;
+  EXPECT_NE(slurp(JsonPath).find("sacfd-telemetry-1"), std::string::npos);
+  EXPECT_NE(slurp(CsvPath).find("kind,name"), std::string::npos);
+  std::filesystem::remove_all(Base);
+}
+
+TEST_F(TelemetryTest, ExportErrorNamesTheFailingPath) {
+  // Parent blocked by a regular file: a structured error naming the
+  // path, for both exporters.
+  std::string Blocker = std::string(::testing::TempDir()) + "/telemetry-blocker";
+  { std::ofstream(Blocker) << "x"; }
+  std::string Path = Blocker + "/run.json";
+  std::string Error;
+  EXPECT_FALSE(writeTelemetryJson(Path, telemetry::snapshot(), {}, &Error));
+  EXPECT_NE(Error.find("cannot create directory"), std::string::npos) << Error;
+  EXPECT_NE(Error.find(Blocker), std::string::npos) << Error;
+  Error.clear();
+  EXPECT_FALSE(writeTelemetryCsv(Blocker + "/run.csv", telemetry::snapshot(),
+                                 &Error));
+  EXPECT_NE(Error.find(Blocker), std::string::npos) << Error;
+  std::remove(Blocker.c_str());
 }
 
 TEST_F(TelemetryTest, CsvExportEmitsLongFormatRows) {
