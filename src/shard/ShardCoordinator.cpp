@@ -19,6 +19,7 @@
 #include <memory>
 #include <set>
 #include <thread>
+#include <unistd.h>
 
 namespace sacfd {
 
@@ -134,6 +135,14 @@ int ShardCoordinator::workerBody(unsigned K) {
   S.setGhostFillHook([&, Low, High](Field<2> &U, double) {
     const uint64_t Sq = Seq;
     const unsigned P = static_cast<unsigned>(Sq % 2);
+    if (Ctl->FaultShard.load(std::memory_order_acquire) == K &&
+        Ctl->FaultSeq.load(std::memory_order_relaxed) == Sq) {
+      // Armed self-kill (tests): disarm in shared memory first so the
+      // replacement survives this fill, then die with nothing of it
+      // published — a deterministic mid-step crash.
+      Ctl->FaultShard.store(ShardNoFault, std::memory_order_release);
+      killProcess(getpid());
+    }
     // Advance PubSeq *before* the mailbox tags: a crash between the two
     // then reads as "published" and forces the safe global rewind.
     Slot->PubSeq.store(Sq + 1, std::memory_order_release);
@@ -288,8 +297,13 @@ bool ShardCoordinator::start() {
   Region = ShmRegion::create(Layout.totalBytes());
   if (!Region.valid())
     return false;
-  // The anonymous mapping is zero-filled: epoch 0, no acks, empty
-  // mailboxes — exactly the initial protocol state.
+  // The anonymous mapping is zero-filled, which is byte-wise exactly the
+  // initial protocol state (epoch 0, no acks, empty mailboxes); the
+  // placement-news start the atomics' lifetimes formally before any
+  // access.  Only the fault word needs a nonzero sentinel.
+  Layout.constructAll(Region.data());
+  Layout.control(Region.data())
+      ->FaultShard.store(ShardNoFault, std::memory_order_relaxed);
   uint64_t Gen = ShardNoResume;
   if (Opt.Resume && !Opt.CheckpointDir.empty())
     Gen = latestCommonGeneration();
@@ -305,6 +319,8 @@ bool ShardCoordinator::start() {
       return false;
     }
   syncClock();
+  History.clear();
+  HistoryBase = CurSteps;
   return true;
 }
 
@@ -336,12 +352,22 @@ ShardCoordinator::CmdResult ShardCoordinator::waitAcks() {
     ShardSlot *Slot = Layout.slot(Region.data(), K);
     unsigned Spins = 0;
     while (Slot->AckEpoch.load(std::memory_order_acquire) != Epoch) {
-      if (Pids[K] > 0 && pollExited(Pids[K])) {
-        Pids[K] = -1;
-        CmdResult R = handleDeath(K);
-        if (R != CmdResult::Done)
-          return R;
-        continue; // targeted restart done — keep waiting for this ack
+      // Poll every live pid, not just the shard whose ack is awaited: a
+      // shard that dies mid-AdvanceDt before publishing its halo slab
+      // wedges a *neighbor* inside its mailbox spin, so the ack that
+      // never arrives and the pid that died need not be the same shard.
+      // (Workers only wait on mailboxes while executing an epoch the
+      // coordinator is parked in this loop for, so every wedge window is
+      // covered from here.)
+      for (unsigned J = 0; J < Opt.Shards; ++J) {
+        if (Pids[J] > 0 && pollExited(Pids[J])) {
+          Pids[J] = -1;
+          CmdResult R = handleDeath(J);
+          if (R != CmdResult::Done)
+            return R;
+          // Targeted restart done — the replacement re-drives the epoch
+          // (unwedging any waiting neighbors); keep waiting for acks.
+        }
       }
       if (Spins < (1u << 14))
         ++Spins;
@@ -357,15 +383,24 @@ ShardCoordinator::CmdResult ShardCoordinator::handleDeath(unsigned K) {
   const uint64_t Steps = Slot->StepsDone.load(std::memory_order_acquire);
   const uint64_t Pub = Slot->PubSeq.load(std::memory_order_acquire);
   const uint64_t Acked = Slot->AckEpoch.load(std::memory_order_acquire);
-  // Targeted restart needs two proofs: the victim died at a step barrier
-  // (nothing of an in-flight step was published into the mailboxes), and
-  // its own store holds a checkpoint of exactly that state.  Then the
-  // replacement resumes bit-identically and the neighbors — parked in
-  // their mailbox spins — never notice beyond the wait.
+  // Targeted restart needs three proofs: the victim died at a step
+  // barrier (nothing of an in-flight step was published into the
+  // mailboxes), its own store holds a checkpoint at exactly that step
+  // count, and no clock snap landed after that checkpoint was written —
+  // a checkpoint stores the post-step clock, so a later SnapTime
+  // (recorded in the replay log, or the in-flight command the victim
+  // already completed) would leave the replacement on the pre-snap clock
+  // while the survivors run the snapped one, diverging time-dependent
+  // boundaries.  Then the replacement resumes bit-identically and the
+  // neighbors — parked in their mailbox spins — never notice beyond the
+  // wait.
   const bool AtBarrier = Pub == Steps * StagesPerStep;
   const bool HasCheckpoint =
       !Opt.CheckpointDir.empty() && latestGeneration(K) == Steps;
-  if (AtBarrier && HasCheckpoint) {
+  const bool SnappedSince =
+      snapRecordedAfter(Steps) ||
+      (LastCmd == ShardCmd::SnapTime && Acked == Epoch);
+  if (AtBarrier && HasCheckpoint && !SnappedSince) {
     ++Restarts;
     // If the victim already finished this epoch's work (it acked, or it
     // completed the AdvanceDt step and died before acking), the
@@ -393,8 +428,8 @@ ShardCoordinator::CmdResult ShardCoordinator::globalRestart() {
   }
   // Rewind to the newest generation every shard can load; with no common
   // generation (or no durability at all) replay restarts from the
-  // initial state — the drivers aim at absolute targets, so either way
-  // the rerun converges on the same bitwise state.
+  // initial state — either way replayHistory re-issues the recorded
+  // command stream and lands on the same bitwise state.
   const uint64_t Gen =
       Opt.CheckpointDir.empty() ? ShardNoResume : latestCommonGeneration();
   Layout.resetMailboxes(Region.data());
@@ -404,8 +439,8 @@ ShardCoordinator::CmdResult ShardCoordinator::globalRestart() {
     Slot->PubSeq.store(0, std::memory_order_relaxed);
     Slot->StepsDone.store(0, std::memory_order_relaxed);
     Slot->TimeBits.store(0, std::memory_order_relaxed);
-    // The abandoned epoch is not re-executed; the driver loops re-issue
-    // from their loop tops against the rewound clock.
+    // The abandoned epoch is not re-executed as-is; the callers replay
+    // the recorded stream and then re-issue the interrupted command.
     Slot->AckEpoch.store(Epoch, std::memory_order_release);
   }
   for (unsigned K = 0; K < Opt.Shards; ++K)
@@ -418,9 +453,15 @@ ShardCoordinator::CmdResult ShardCoordinator::globalRestart() {
 }
 
 ShardCoordinator::CmdResult ShardCoordinator::stepOnce(const double *EndTime) {
-  CmdResult R = command(ShardCmd::ComputeEv, 0);
-  if (R != CmdResult::Done)
-    return R;
+  while (true) {
+    CmdResult R = command(ShardCmd::ComputeEv, 0);
+    if (R == CmdResult::Fatal)
+      return R;
+    if (R == CmdResult::Done)
+      break;
+    if (!replayHistory()) // Rewound: back to the exact pre-command state
+      return CmdResult::Fatal;
+  }
   // max is exact under any grouping, so the shard-order reduction equals
   // the global GetDT maximum bit for bit.
   double EvMax = 0.0;
@@ -431,9 +472,25 @@ ShardCoordinator::CmdResult ShardCoordinator::stepOnce(const double *EndTime) {
   double Dt = Opt.Scheme.dtFromMaxEigen(EvMax);
   if (EndTime)
     Dt = std::min(Dt, *EndTime - CurTime); // EulerSolver::advanceTo clamp
-  R = command(ShardCmd::AdvanceDt, shardBits(Dt));
-  if (R != CmdResult::Done)
-    return R;
+  const uint64_t PreSteps = CurSteps;
+  while (true) {
+    CmdResult R = command(ShardCmd::AdvanceDt, shardBits(Dt));
+    if (R == CmdResult::Fatal)
+      return R;
+    if (R == CmdResult::Done)
+      break;
+    if (!replayHistory())
+      return CmdResult::Fatal;
+    // A rewind can absorb the in-flight step: when every shard
+    // checkpointed the new step before the death, the rewind target
+    // already contains it and re-running it would double-step.
+    if (CurSteps > PreSteps)
+      break;
+  }
+  // The committed step joins the replay log with the dt bits actually
+  // broadcast — clamps included — so a later rewind replays it exactly
+  // instead of recomputing an unclamped dt.
+  History.push_back({ShardCmd::AdvanceDt, shardBits(Dt)});
   syncClock();
   return CmdResult::Done;
 }
@@ -442,13 +499,9 @@ bool ShardCoordinator::advanceSteps(unsigned N) {
   if (!Started || Dead)
     return false;
   const uint64_t Target = static_cast<uint64_t>(CurSteps) + N;
-  while (CurSteps < Target) {
-    CmdResult R = stepOnce(nullptr);
-    if (R == CmdResult::Fatal)
+  while (CurSteps < Target)
+    if (stepOnce(nullptr) != CmdResult::Done)
       return false;
-    // Rewound: the loop re-aims at the absolute target from the rewound
-    // clock — deterministic replay converges on the same states.
-  }
   return true;
 }
 
@@ -459,52 +512,79 @@ bool ShardCoordinator::advanceTo(double EndTime) {
     if (stepRemainderNegligible(CurTime, EndTime)) {
       // The single-process end-time snap, broadcast through restoreClock
       // on every worker (engines cache state keyed on the clock).
-      CmdResult R = command(ShardCmd::SnapTime, shardBits(EndTime));
-      if (R == CmdResult::Fatal)
-        return false;
-      if (R == CmdResult::Rewound)
-        continue;
+      while (true) {
+        CmdResult R = command(ShardCmd::SnapTime, shardBits(EndTime));
+        if (R == CmdResult::Fatal)
+          return false;
+        if (R == CmdResult::Done)
+          break;
+        if (!replayHistory()) // re-issuing the snap is idempotent
+          return false;
+      }
+      History.push_back({ShardCmd::SnapTime, shardBits(EndTime)});
       syncClock();
       break;
     }
-    CmdResult R = stepOnce(&EndTime);
-    if (R == CmdResult::Fatal)
+    if (stepOnce(&EndTime) != CmdResult::Done)
       return false;
   }
   return true;
 }
 
-bool ShardCoordinator::restoreTo(uint64_t WantSteps, double WantTime) {
-  while (CurSteps < WantSteps) {
-    CmdResult R = stepOnce(nullptr);
-    if (R == CmdResult::Fatal)
-      return false;
-  }
-  if (CurTime != WantTime) {
-    // The pre-rewind clock had been snapped onto an end time; replay the
-    // snap too.
-    CmdResult R = command(ShardCmd::SnapTime, shardBits(WantTime));
-    if (R == CmdResult::Fatal)
-      return false;
-    if (R == CmdResult::Rewound)
-      return restoreTo(WantSteps, WantTime);
-    syncClock();
+bool ShardCoordinator::replayHistory() {
+  // After a rewind the fleet sits at some checkpoint generation (or the
+  // initial state); re-issue the recorded command stream from that
+  // point: the exact dt of every committed step and every clock snap.
+  // Recomputing steps instead would drop the advanceTo clamp an original
+  // step ran under and diverge bitwise from the single-process run.
+  for (bool Again = true; Again;) {
+    Again = false;
+    // Skip the events the rewind target already contains: everything up
+    // to and including the AdvanceDt that produced step count CurSteps
+    // (checkpoints are written inside that command, so a snap recorded
+    // after it is *not* in the checkpoint and must be replayed).
+    size_t Pos = 0;
+    for (uint64_t Steps = HistoryBase;
+         Pos < History.size() && Steps < CurSteps; ++Pos)
+      if (History[Pos].Cmd == ShardCmd::AdvanceDt)
+        ++Steps;
+    for (; Pos < History.size(); ++Pos) {
+      CmdResult R = command(History[Pos].Cmd, History[Pos].Payload);
+      if (R == CmdResult::Fatal)
+        return false;
+      if (R == CmdResult::Rewound) {
+        Again = true; // a second death mid-replay: rewind again
+        break;
+      }
+      syncClock();
+    }
   }
   return true;
+}
+
+bool ShardCoordinator::snapRecordedAfter(uint64_t Steps) const {
+  uint64_t S = HistoryBase;
+  for (const ReplayEvent &E : History) {
+    if (E.Cmd == ShardCmd::AdvanceDt)
+      ++S;
+    else if (S >= Steps)
+      return true; // snap applied at or after the checkpoint write
+  }
+  return false;
 }
 
 bool ShardCoordinator::exportNow(ShardCmd Cmd) {
   if (!Started || Dead)
     return false;
-  const uint64_t WantSteps = CurSteps;
-  const double WantTime = CurTime;
   while (true) {
     CmdResult R = command(Cmd, 0);
     if (R == CmdResult::Fatal)
       return false;
     if (R == CmdResult::Done)
       return true;
-    if (!restoreTo(WantSteps, WantTime))
+    // Rewound: replay the recorded stream back to the current state,
+    // then re-issue the export.
+    if (!replayHistory())
       return false;
   }
 }
@@ -543,6 +623,14 @@ bool ShardCoordinator::exportShardStorage(unsigned K,
 void ShardCoordinator::killShard(unsigned K) {
   if (Started && K < Pids.size())
     killProcess(Pids[K]); // next command's ack wait detects the death
+}
+
+void ShardCoordinator::killShardAtFill(unsigned K, uint64_t FillSeq) {
+  if (!Started || K >= Opt.Shards)
+    return;
+  ShardControl *Ctl = Layout.control(Region.data());
+  Ctl->FaultSeq.store(FillSeq, std::memory_order_relaxed);
+  Ctl->FaultShard.store(K, std::memory_order_release);
 }
 
 void ShardCoordinator::shutdown() {

@@ -21,12 +21,18 @@
 ///
 /// Elastic recovery: each worker checkpoints its block into its own
 /// CheckpointStore directory on a shared cadence.  When a worker dies at
-/// a step barrier with a current checkpoint, only that shard is re-forked
-/// and resumed while the others wait inside their mailbox spins; any
-/// messier death (mid-step, stale checkpoint) falls back to a global
-/// rewind to the latest common generation.  Either way the run continues
-/// to the same bitwise final state, which the kill-one-shard fault test
-/// asserts by hash.
+/// a step barrier with a checkpoint of exactly its current state — same
+/// step count and no clock snap applied since it was written — only that
+/// shard is re-forked and resumed while the others wait inside their
+/// mailbox spins; any messier death (mid-step, stale checkpoint, snapped
+/// clock) falls back to a global rewind to the latest common generation.
+/// A rewound fleet is brought back by replaying the coordinator's
+/// recorded command stream — the exact dt of every committed step
+/// (advanceTo clamps included) and every end-time snap — rather than by
+/// recomputing steps, so recovery is bitwise faithful even when the
+/// original steps ran under a clamp the rewound clock no longer implies.
+/// Either way the run continues to the same bitwise final state, which
+/// the fault tests assert by hash.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -99,6 +105,7 @@ public:
   double time() const { return CurTime; }
   unsigned stepCount() const { return CurSteps; }
   unsigned shards() const { return Opt.Shards; }
+  unsigned stagesPerStep() const { return StagesPerStep; }
   const std::vector<RowBlock> &blocks() const { return Blocks; }
 
   /// Stitches the global interior and hashes it with fieldStateHash
@@ -118,6 +125,14 @@ public:
   /// advance calls (the fleet is at a step barrier); the next command
   /// detects the death and runs recovery.
   void killShard(unsigned K);
+
+  /// Fault injection: arms a one-shot self-kill — shard \p K SIGKILLs
+  /// itself at the top of halo fill \p FillSeq (`= steps * stages +
+  /// stage`, counted from t = 0), before publishing anything of that
+  /// fill.  A deterministic mid-AdvanceDt death: the victim's neighbors
+  /// wedge in their mailbox spins, so detection must not depend on the
+  /// victim being the shard whose ack the coordinator is waiting on.
+  void killShardAtFill(unsigned K, uint64_t FillSeq);
 
   /// Shards restarted individually (elastic path).
   unsigned restartCount() const { return Restarts; }
@@ -141,12 +156,18 @@ private:
   CmdResult command(ShardCmd Cmd, uint64_t Payload);
   CmdResult handleDeath(unsigned K);
   CmdResult globalRestart();
-  /// One ComputeEv + reduce + AdvanceDt (or SnapTime) cycle; EndTime
-  /// null for the fixed-step loop.
+  /// One ComputeEv + reduce + AdvanceDt cycle, replaying through any
+  /// rewind recovery; EndTime null for the fixed-step loop.  Records the
+  /// committed step in the replay log.
   CmdResult stepOnce(const double *EndTime);
-  /// Re-advances a rewound fleet back to (WantSteps, WantTime) —
-  /// deterministic replay, used before re-trying an export.
-  bool restoreTo(uint64_t WantSteps, double WantTime);
+  /// Re-advances a rewound fleet back to the current state by re-issuing
+  /// the recorded command stream (exact per-step dt and clock snaps)
+  /// from the rewind point.  \returns false on an unrecoverable failure.
+  bool replayHistory();
+  /// True when the replay log holds a SnapTime applied at or after step
+  /// count \p Steps — i.e. after the checkpoint of generation \p Steps
+  /// was written, making that checkpoint's clock stale.
+  bool snapRecordedAfter(uint64_t Steps) const;
   /// Runs an export-style command to completion, replaying through any
   /// rewind recovery.
   bool exportNow(ShardCmd Cmd);
@@ -154,6 +175,14 @@ private:
   uint64_t latestGeneration(unsigned K) const;
   uint64_t latestCommonGeneration() const;
   std::string shardDir(unsigned K) const;
+
+  /// One committed entry of the coordinator's command stream: the step
+  /// dts actually broadcast (AdvanceDt) and the end-time snaps
+  /// (SnapTime), in order.  Replayed verbatim after a global rewind.
+  struct ReplayEvent {
+    ShardCmd Cmd;
+    uint64_t Payload;
+  };
 
   Problem<2> Global;
   ShardOptions Opt;
@@ -166,6 +195,10 @@ private:
   std::vector<pid_t> Pids;
   uint64_t Epoch = 0;
   ShardCmd LastCmd = ShardCmd::None;
+  /// Command stream since start(); HistoryBase is the fleet step count
+  /// the stream begins at (nonzero after a cross-coordinator resume).
+  std::vector<ReplayEvent> History;
+  uint64_t HistoryBase = 0;
   double CurTime = 0.0;
   unsigned CurSteps = 0;
   unsigned Restarts = 0;

@@ -44,6 +44,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <new>
 #include <vector>
 
 namespace sacfd {
@@ -71,11 +72,21 @@ enum class ShardCmd : uint32_t {
 /// Sentinel for ShardSlot::TargetGen: start fresh, do not resume.
 constexpr uint64_t ShardNoResume = ~uint64_t(0);
 
+/// Sentinel for ShardControl::FaultShard: no self-kill armed.
+constexpr uint32_t ShardNoFault = ~uint32_t(0);
+
 /// Coordinator -> workers broadcast block.
 struct alignas(64) ShardControl {
   std::atomic<uint64_t> Epoch;
   std::atomic<uint32_t> Cmd;
   std::atomic<uint64_t> Payload;
+  /// Fault injection (tests): the worker whose index matches SIGKILLs
+  /// itself at the top of halo fill FaultSeq, before publishing anything
+  /// of that fill — a deterministic mid-step death.  One-shot: the
+  /// victim disarms the word (back to ShardNoFault) before dying, so its
+  /// replacement survives the same fill.
+  std::atomic<uint32_t> FaultShard;
+  std::atomic<uint64_t> FaultSeq;
 };
 
 /// One worker's state block (worker -> coordinator, plus the resume
@@ -167,11 +178,28 @@ public:
     return at<Cons<2>>(Base, StorageOffs[K]);
   }
 
+  /// Constructs the control, slot and mailbox objects in place.  The
+  /// fresh mapping is already zero-filled and std::atomic value-init is
+  /// byte-wise that same zero state, so this writes nothing new — it
+  /// exists to start the objects' lifetimes formally before coordinator
+  /// and workers access them through the mapping.
+  void constructAll(void *Base) const {
+    new (control(Base)) ShardControl();
+    for (unsigned K = 0; K < NumShards; ++K) {
+      new (slot(Base, K)) ShardSlot();
+      for (unsigned Side = 0; Side < 2; ++Side)
+        new (mailbox(Base, K, Side)) ShardMailbox();
+    }
+  }
+
   /// Clears every mailbox tag and slab (all workers must be dead): the
   /// global-restart path republishes from the rewound state.
   void resetMailboxes(void *Base) const {
     std::memset(static_cast<char *>(Base) + MailboxesOff, 0,
                 MailboxStride * 2 * NumShards);
+    for (unsigned K = 0; K < NumShards; ++K)
+      for (unsigned Side = 0; Side < 2; ++Side)
+        new (mailbox(Base, K, Side)) ShardMailbox();
   }
 
 private:

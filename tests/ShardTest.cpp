@@ -28,6 +28,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -295,6 +296,115 @@ TEST(ShardFault, KillWithoutCheckpointsRewindsGlobally) {
   EXPECT_EQ(Coord.stepCount(), 5u);
   EXPECT_GE(Coord.fullRestartCount(), 1u);
   EXPECT_EQ(Coord.stateHash(), fieldStateHash(Ref.solver()));
+}
+
+// A shard that dies *inside* AdvanceDt — here shard 1, at the top of
+// step 4's first RK-stage halo fill, before publishing anything — wedges
+// shard 0 in its mailbox receive spin, so shard 0's ack never arrives
+// and the pid the coordinator must notice is not the one whose ack it is
+// waiting on.  Nothing of the step was published (the barrier criterion
+// still holds) and the checkpoint is current, so the elastic path
+// restarts just the victim, which re-drives the interrupted step and
+// unwedges its neighbor; the run still lands on the uninterrupted bits.
+TEST(ShardFault, DiesMidStepBeforePublishElasticRestart) {
+  Problem<2> P = shockInteraction2D(32);
+  SchemeConfig Scheme = SchemeConfig::figureScheme();
+  SolverRun<2> Ref = referenceRun(P, Scheme, 6);
+
+  ShardOptions Opt = shardOptions(Scheme, 2);
+  Opt.CheckpointDir = freshDir("shard-kill-midstep");
+  Opt.CheckpointEvery = 1;
+  ShardCoordinator Coord(P, Opt);
+  ASSERT_TRUE(Coord.start());
+  ASSERT_TRUE(Coord.advanceSteps(3));
+  Coord.killShardAtFill(1, uint64_t(Coord.stepCount()) *
+                               Coord.stagesPerStep());
+  ASSERT_TRUE(Coord.advanceSteps(3));
+  EXPECT_EQ(Coord.stepCount(), 6u);
+  EXPECT_EQ(Coord.restartCount(), 1u);
+  EXPECT_EQ(Coord.fullRestartCount(), 0u);
+  EXPECT_EQ(Coord.stateHash(), fieldStateHash(Ref.solver()));
+}
+
+// Dying one stage later — after the first stage's slab was published —
+// breaks the barrier criterion: recovery must take the global rewind
+// even though a checkpoint at the current step count exists, because the
+// mailboxes hold half a step.  The rewind replays onto the same bits.
+TEST(ShardFault, DiesMidStagePublishedForcesGlobalRewind) {
+  Problem<2> P = shockInteraction2D(32);
+  SchemeConfig Scheme = SchemeConfig::figureScheme();
+  SolverRun<2> Ref = referenceRun(P, Scheme, 6);
+
+  ShardOptions Opt = shardOptions(Scheme, 2);
+  Opt.CheckpointDir = freshDir("shard-kill-midstage");
+  Opt.CheckpointEvery = 1;
+  ShardCoordinator Coord(P, Opt);
+  ASSERT_TRUE(Coord.start());
+  ASSERT_GE(Coord.stagesPerStep(), 2u); // the kill targets a stage-1 fill
+  ASSERT_TRUE(Coord.advanceSteps(3));
+  Coord.killShardAtFill(
+      1, uint64_t(Coord.stepCount()) * Coord.stagesPerStep() + 1);
+  ASSERT_TRUE(Coord.advanceSteps(3));
+  EXPECT_EQ(Coord.stepCount(), 6u);
+  EXPECT_EQ(Coord.restartCount(), 0u);
+  EXPECT_GE(Coord.fullRestartCount(), 1u);
+  EXPECT_EQ(Coord.stateHash(), fieldStateHash(Ref.solver()));
+}
+
+// An end-time snap applied after the latest checkpoint was written makes
+// that checkpoint's clock stale: a targeted restart would resume the
+// victim on the pre-snap clock while the survivors run the snapped one,
+// diverging the time-dependent prescribed boundary (double Mach top
+// wall, owned here by the killed shard).  Recovery must detect the snap
+// in its replay log, fall back to the global rewind, and re-apply the
+// snap during replay.
+TEST(ShardFault, KillAfterSnapRewindsGloballyAndReplaysSnap) {
+  Problem<2> P = doubleMachReflection(16);
+  SchemeConfig Scheme = SchemeConfig::figureScheme();
+  Scheme.Cfl = 0.3;
+  SolverRun<2> Ref(P, serialConfig(Scheme));
+  Ref.solver().advanceSteps(3);
+  const double Snapped = std::nextafter(Ref.solver().time(), 1e300);
+  Ref.solver().advanceTo(Snapped); // pure snap: remainder is one ulp
+  Ref.solver().advanceSteps(2);
+
+  ShardOptions Opt = shardOptions(Scheme, 2);
+  Opt.CheckpointDir = freshDir("shard-kill-after-snap");
+  Opt.CheckpointEvery = 1;
+  ShardCoordinator Coord(P, Opt);
+  ASSERT_TRUE(Coord.start());
+  ASSERT_TRUE(Coord.advanceSteps(3));
+  ASSERT_TRUE(Coord.advanceTo(Snapped));
+  EXPECT_TRUE(sameBits(Coord.time(), Snapped));
+  Coord.killShard(1);
+  ASSERT_TRUE(Coord.advanceSteps(2));
+  EXPECT_EQ(Coord.stepCount(), Ref.solver().stepCount());
+  EXPECT_TRUE(sameBits(Coord.time(), Ref.solver().time()));
+  EXPECT_EQ(Coord.restartCount(), 0u);
+  EXPECT_GE(Coord.fullRestartCount(), 1u);
+  EXPECT_EQ(Coord.stateHash(), fieldStateHash(Ref.solver()));
+}
+
+// A global rewind during an export must replay the *recorded* dt stream
+// — including the final advanceTo-clamped step and the end-time snap —
+// not recompute unclamped steps: with no durability the fleet rewinds to
+// the initial state and replays the whole run, and the re-exported state
+// still matches the uninterrupted single-process run bit for bit.
+TEST(ShardFault, RewindReplayPreservesAdvanceToClamp) {
+  Problem<2> P = shockInteraction2D(32);
+  SchemeConfig Scheme = SchemeConfig::figureScheme();
+  SolverRun<2> Ref(P, serialConfig(Scheme));
+  Ref.solver().advanceTo(30.0);
+
+  ShardCoordinator Coord(P, shardOptions(Scheme, 2)); // no durability
+  ASSERT_TRUE(Coord.start());
+  ASSERT_TRUE(Coord.advanceTo(30.0));
+  Coord.killShard(1);
+  // The death is noticed by the export command itself.
+  EXPECT_EQ(Coord.stateHash(), fieldStateHash(Ref.solver()));
+  EXPECT_GE(Coord.fullRestartCount(), 1u);
+  EXPECT_EQ(Coord.stepCount(), Ref.solver().stepCount());
+  EXPECT_TRUE(sameBits(Coord.time(), Ref.solver().time()));
 }
 
 // A whole new coordinator resumes the fleet from the per-shard stores
